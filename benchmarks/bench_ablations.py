@@ -1,0 +1,17 @@
+"""Bench ablations — in-order delivery (Appendix A) and echo suppression."""
+
+from bench_helpers import run_experiment_benchmark
+
+from repro.experiments import ablations
+
+
+def test_ablation_in_order(benchmark):
+    run_experiment_benchmark(benchmark, ablations.run_in_order_ablation)
+
+
+def test_ablation_echo(benchmark):
+    run_experiment_benchmark(benchmark, ablations.run_echo_ablation)
+
+
+def test_ablation_clock_skew(benchmark):
+    run_experiment_benchmark(benchmark, ablations.run_clock_skew_ablation)

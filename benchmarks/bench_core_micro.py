@@ -1,0 +1,88 @@
+"""Microbenchmarks of the toolkit's hot paths.
+
+Not tied to a paper table — these quantify the substrate itself (simulator
+event throughput, SQL engine, rule matching, guarantee checking) so
+regressions in the machinery underneath the experiments are visible.
+"""
+
+import pytest
+
+from repro.core.dsl import parse_rule
+from repro.core.events import notify_desc, spontaneous_write_desc
+from repro.core.guarantees import follows
+from repro.core.items import MISSING, DataItemRef, item
+from repro.core.templates import match_desc
+from repro.core.trace import ExecutionTrace
+from repro.core.timebase import seconds
+from repro.ris.relational import RelationalDatabase
+from repro.sim.scheduler import Simulator
+
+
+def test_simulator_event_throughput(benchmark):
+    def run() -> int:
+        sim = Simulator()
+        counter = [0]
+
+        def tick():
+            counter[0] += 1
+            if counter[0] < 10_000:
+                sim.after(1, tick)
+
+        sim.after(1, tick)
+        sim.run()
+        return counter[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_sql_insert_select_throughput(benchmark):
+    def run() -> int:
+        db = RelationalDatabase("bench")
+        db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v REAL)")
+        for key in range(500):
+            db.execute("INSERT INTO t (k, v) VALUES (?, ?)", (key, key * 1.5))
+        total = 0
+        for key in range(0, 500, 7):
+            total += len(db.query("SELECT v FROM t WHERE k = ?", (key,)))
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_rule_matching_throughput(benchmark):
+    rule = parse_rule("N(salary1(n), b) -> [5] WR(salary2(n), b)")
+    descs = [
+        notify_desc(item("salary1", f"e{i}"), float(i)) for i in range(1000)
+    ]
+
+    def run() -> int:
+        matched = 0
+        for desc in descs:
+            if match_desc(rule.lhs, desc) is not None:
+                matched += 1
+        return matched
+
+    assert benchmark(run) == 1000
+
+
+def test_guarantee_checker_on_large_trace(benchmark):
+    trace = ExecutionTrace()
+    x, y = DataItemRef("X"), DataItemRef("Y")
+    time = 0
+    for index in range(2000):
+        time += seconds(1)
+        trace.record(
+            time, "a",
+            spontaneous_write_desc(x, trace.current_value(x), index),
+        )
+        trace.record(
+            time + seconds(0.1), "b",
+            spontaneous_write_desc(y, trace.current_value(y), index),
+        )
+    trace.close(time + seconds(10))
+    guarantee = follows("X", "Y", within_seconds=2)
+
+    def run() -> bool:
+        return guarantee.check(trace).valid
+
+    assert benchmark(run)

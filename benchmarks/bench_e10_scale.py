@@ -1,0 +1,9 @@
+"""Bench E10 — Sections 4.3/7.2 scale-out (flat latency with fan-out)."""
+
+from bench_helpers import run_experiment_benchmark
+
+from repro.experiments import e10_scale
+
+
+def test_e10_scale(benchmark):
+    run_experiment_benchmark(benchmark, e10_scale.run)

@@ -1,0 +1,9 @@
+"""Bench E11 — Section 7.1 arithmetic decomposition (X = Y + Z)."""
+
+from bench_helpers import run_experiment_benchmark
+
+from repro.experiments import e11_arithmetic
+
+
+def test_e11_arithmetic(benchmark):
+    run_experiment_benchmark(benchmark, e11_arithmetic.run)

@@ -1,0 +1,9 @@
+"""Bench E1 — Section 4.2 propagation strategy (guarantees (1)-(4) valid)."""
+
+from bench_helpers import run_experiment_benchmark
+
+from repro.experiments import e1_propagation
+
+
+def test_e1_propagation(benchmark):
+    run_experiment_benchmark(benchmark, e1_propagation.run)

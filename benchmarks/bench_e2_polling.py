@@ -1,0 +1,9 @@
+"""Bench E2 — Section 4.2.3 polling (guarantee (2) lost; misses vs period)."""
+
+from bench_helpers import run_experiment_benchmark
+
+from repro.experiments import e2_polling
+
+
+def test_e2_polling(benchmark):
+    run_experiment_benchmark(benchmark, e2_polling.run)

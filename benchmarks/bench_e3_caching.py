@@ -1,0 +1,9 @@
+"""Bench E3 — Section 3.2 fn. 3 cached propagation (message savings)."""
+
+from bench_helpers import run_experiment_benchmark
+
+from repro.experiments import e3_caching
+
+
+def test_e3_caching(benchmark):
+    run_experiment_benchmark(benchmark, e3_caching.run)

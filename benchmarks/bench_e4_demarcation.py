@@ -1,0 +1,9 @@
+"""Bench E4 — Section 6.1 Demarcation Protocol (X <= Y always; policies)."""
+
+from bench_helpers import run_experiment_benchmark
+
+from repro.experiments import e4_demarcation
+
+
+def test_e4_demarcation(benchmark):
+    run_experiment_benchmark(benchmark, e4_demarcation.run)

@@ -1,0 +1,9 @@
+"""Bench E5 — Section 6.2 referential integrity (24h violation windows)."""
+
+from bench_helpers import run_experiment_benchmark
+
+from repro.experiments import e5_referential
+
+
+def test_e5_referential(benchmark):
+    run_experiment_benchmark(benchmark, e5_referential.run)

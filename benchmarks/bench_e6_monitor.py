@@ -1,0 +1,9 @@
+"""Bench E6 — Section 6.3 monitor strategy (Flag/Tb soundness vs kappa)."""
+
+from bench_helpers import run_experiment_benchmark
+
+from repro.experiments import e6_monitor
+
+
+def test_e6_monitor(benchmark):
+    run_experiment_benchmark(benchmark, e6_monitor.run)

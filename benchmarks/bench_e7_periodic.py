@@ -1,0 +1,9 @@
+"""Bench E7 — Section 6.4 periodic guarantees (banking EOD batch)."""
+
+from bench_helpers import run_experiment_benchmark
+
+from repro.experiments import e7_periodic
+
+
+def test_e7_periodic(benchmark):
+    run_experiment_benchmark(benchmark, e7_periodic.run)

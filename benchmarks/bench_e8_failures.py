@@ -1,0 +1,9 @@
+"""Bench E8 — Section 5 failure handling (metric/logical/silent matrix)."""
+
+from bench_helpers import run_experiment_benchmark
+
+from repro.experiments import e8_failures
+
+
+def test_e8_failures(benchmark):
+    run_experiment_benchmark(benchmark, e8_failures.run)

@@ -1,0 +1,9 @@
+"""Bench E9 — Sections 4.2.3/4.3 reconfiguration cost (spec-only changes)."""
+
+from bench_helpers import run_experiment_benchmark
+
+from repro.experiments import e9_reconfig
+
+
+def test_e9_reconfig(benchmark):
+    run_experiment_benchmark(benchmark, e9_reconfig.run)

@@ -1,0 +1,34 @@
+"""Shared plumbing for the benchmark harness.
+
+Every experiment gets one benchmark: it runs the experiment at full scale
+under ``pytest-benchmark`` timing, prints the regenerated result table (the
+reproduction's analogue of the paper's evaluation output; run with ``-s`` to
+see it), asserts the claim reproduced, and attaches the rows to the
+benchmark JSON via ``extra_info``.
+
+Experiments are deterministic, so a single round measures them faithfully;
+``benchmark.pedantic`` keeps wall-clock time sane.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.common import ExperimentResult
+
+
+def run_experiment_benchmark(
+    benchmark, run: Callable[[], ExperimentResult]
+) -> ExperimentResult:
+    """Run one experiment under timing; assert its claim reproduced."""
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert isinstance(result, ExperimentResult)
+    print()
+    print(result.render())
+    benchmark.extra_info["experiment"] = result.experiment
+    benchmark.extra_info["claim_holds"] = result.claim_holds
+    benchmark.extra_info["rows"] = [
+        [str(cell) for cell in row] for row in result.rows
+    ]
+    assert result.claim_holds, result.render()
+    return result

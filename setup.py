@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment this reproduction targets has no ``wheel`` package and no
+network access, so PEP 517 editable installs are unavailable; this shim lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` path.  All
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""repro — a reproduction of *A Toolkit for Constraint Management in
+Heterogeneous Information Systems* (Chawathe, Garcia-Molina, Widom;
+ICDE 1996).
+
+The package provides:
+
+- :mod:`repro.core` — the formal framework: events, rules (interfaces and
+  strategies), guarantees, execution traces, and trace-based checkers.
+- :mod:`repro.sim` — the deterministic discrete-event substrate standing in
+  for the paper's real network and wall clock.
+- :mod:`repro.ris` — from-scratch heterogeneous information sources
+  (relational DBMS, flat-file store, object store, bibliographic server,
+  whois directory, flaky legacy system).
+- :mod:`repro.cm` — the toolkit itself: CM-Shells, CM-Translators, CM-RID
+  configuration, and the :class:`~repro.cm.manager.ConstraintManager` façade.
+- :mod:`repro.constraints`, :mod:`repro.protocols` — constraint types and
+  the Demarcation Protocol.
+- :mod:`repro.workloads`, :mod:`repro.apps`, :mod:`repro.experiments` —
+  scenario generators, guarantee-consuming applications, and the
+  experiment harness reproducing the paper's claims.
+
+Quickstart: see ``examples/quickstart.py`` or the README.
+"""
+
+__version__ = "1.0.0"

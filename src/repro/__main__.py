@@ -1,0 +1,118 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands:
+
+- ``experiments [ids...]`` — run the reproduction harness
+  (same as ``python -m repro.experiments.runner``);
+- ``menu`` — print the toolkit's interface and strategy menus with their
+  paper-style rule shapes;
+- ``demo`` — run the quickstart scenario inline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _print_menu() -> None:
+    from repro.core.interfaces import (
+        conditional_notify_interface,
+        no_spontaneous_write_interface,
+        notify_interface,
+        periodic_notify_interface,
+        read_interface,
+        update_window_interface,
+        write_interface,
+    )
+    from repro.core.dsl import parse_condition
+    from repro.core.strategies import (
+        arithmetic_maintenance,
+        cached_propagation,
+        eod_batch,
+        eod_cleanup,
+        monitor,
+        polling,
+        propagation,
+    )
+    from repro.core.timebase import clock_time, seconds
+
+    print("Interface menu (Section 3.1.1):")
+    samples = [
+        write_interface("Y", seconds(2), params=("n",)),
+        read_interface("X", seconds(1), params=("n",)),
+        notify_interface("X", seconds(2), params=("n",)),
+        conditional_notify_interface(
+            "X", seconds(2), parse_condition("abs(b - a) > a * 0.1")
+        ),
+        periodic_notify_interface("X", seconds(300), seconds(1)),
+        no_spontaneous_write_interface("Y", params=("n",)),
+        update_window_interface("X", clock_time(17), clock_time(8)),
+    ]
+    for spec in samples:
+        print(f"  {spec.kind.value:22s} {spec.rule}")
+    print()
+    print("Strategy menu (Sections 3.2, 4.2, 6, 7.1):")
+    strategies = [
+        propagation("X", "Y", seconds(5), params=("n",)),
+        cached_propagation("X", "Y", seconds(5), dst_site="<dst>"),
+        polling("X", "Y", seconds(60), seconds(5)),
+        monitor("X", "Y", "<app>", seconds(1)),
+        eod_batch("X", "Y", clock_time(17), seconds(2), params=("n",)),
+        eod_cleanup("P", "C", clock_time(23), seconds(2)),
+        arithmetic_maintenance("X", ("Y", "Z"), "<sx>", seconds(1)),
+    ]
+    for strategy in strategies:
+        print(f"  {strategy}")
+        print()
+    print(
+        "(The Demarcation Protocol, Section 6.1, is a programmed strategy: "
+        "repro.protocols.demarcation.)"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI dispatch; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the ICDE 1996 constraint-management "
+        "toolkit paper.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    experiments = sub.add_parser(
+        "experiments", help="run the reproduction experiments"
+    )
+    experiments.add_argument("ids", nargs="*")
+    experiments.add_argument("--list", action="store_true")
+    sub.add_parser("menu", help="print the interface and strategy menus")
+    sub.add_parser("demo", help="run the quickstart scenario")
+    args = parser.parse_args(argv)
+
+    if args.command == "experiments":
+        from repro.experiments.runner import main as runner_main
+
+        forwarded = list(args.ids)
+        if args.list:
+            forwarded.append("--list")
+        return runner_main(forwarded)
+    if args.command == "menu":
+        _print_menu()
+        return 0
+    if args.command == "demo":
+        import runpy
+        from pathlib import Path
+
+        quickstart = (
+            Path(__file__).resolve().parents[2] / "examples" / "quickstart.py"
+        )
+        if quickstart.exists():
+            runpy.run_path(str(quickstart), run_name="__main__")
+            return 0
+        print("examples/quickstart.py not found", file=sys.stderr)
+        return 1
+    parser.print_help()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,85 @@
+"""The auditing application of Sections 6.3 and 7.1.
+
+An application received query results computed from ``X`` and ``Y`` at some
+past time and wants to know whether that computation saw a consistent state.
+It reads the monitor strategy's auxiliary items ``Flag`` and ``Tb`` from the
+CM-Shell at its site and applies the guarantee::
+
+    ((Flag = true) ∧ (Tb = s))@t  =>  (X = Y)@@[s, t - κ]
+
+If the query time falls inside ``[s, t - κ]``, the application can proceed
+with confidence; otherwise the guarantee is inconclusive and the application
+should recompute (the paper's recommended reaction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.cm.shell import CMShell
+from repro.core.items import MISSING, DataItemRef
+from repro.core.timebase import Ticks
+
+
+class AuditVerdict(Enum):
+    """What the guarantee lets the application conclude."""
+
+    #: The query ran on a provably consistent state.
+    CONSISTENT = "consistent"
+    #: The guarantee cannot vouch for that instant; recompute.
+    INCONCLUSIVE = "inconclusive"
+
+
+@dataclass
+class AuditRecord:
+    """One audit: the question asked and the answer obtained."""
+
+    query_time: Ticks
+    asked_at: Ticks
+    flag: object
+    tb: object
+    verdict: AuditVerdict
+
+
+class AuditorApp:
+    """Reads Flag/Tb through the local CM-Shell and audits past queries."""
+
+    def __init__(
+        self,
+        shell: CMShell,
+        flag_ref: DataItemRef,
+        tb_ref: DataItemRef,
+        kappa: Ticks,
+    ):
+        self.shell = shell
+        self.flag_ref = flag_ref
+        self.tb_ref = tb_ref
+        self.kappa = kappa
+        self.audits: list[AuditRecord] = []
+
+    def audit_query(self, query_time: Ticks) -> AuditVerdict:
+        """Was the state consistent at ``query_time``?
+
+        Reads the auxiliary data *now*; the consistent interval the guarantee
+        certifies is ``[Tb, now - κ]``.
+        """
+        now = self.shell.sim.now
+        flag = self.shell.store.read_local(self.flag_ref)
+        tb = self.shell.store.read_local(self.tb_ref)
+        if flag is True and tb is not MISSING and (
+            int(tb) <= query_time <= now - self.kappa
+        ):
+            verdict = AuditVerdict.CONSISTENT
+        else:
+            verdict = AuditVerdict.INCONCLUSIVE
+        self.audits.append(
+            AuditRecord(
+                query_time=query_time,
+                asked_at=now,
+                flag=flag,
+                tb=tb,
+                verdict=verdict,
+            )
+        )
+        return verdict

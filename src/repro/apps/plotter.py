@@ -1,0 +1,75 @@
+"""The path-plotting application of Section 3.3.1.
+
+"If X represents the position of a robot and Y is its copy on a system that
+plots the robot's path, we would like to receive the updated positions of
+the robot in the order in which the updates are actually made" — the
+"Y strictly follows X" guarantee.
+
+The app records the copy's change sequence; :meth:`audit` checks that the
+plotted sequence is order-consistent with the primary's true movement
+history (every plotted pair appears in the same order at the primary).
+The in-order-delivery ablation breaks exactly this audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cm.manager import ConstraintManager
+from repro.core.items import MISSING, DataItemRef
+
+
+@dataclass
+class PlotAudit:
+    """Order consistency of the plotted path."""
+
+    points_plotted: int
+    out_of_order_pairs: list[tuple[object, object]]
+
+    @property
+    def ordered(self) -> bool:
+        """Whether every plotted pair respected the primary's order."""
+        return not self.out_of_order_pairs
+
+
+class PlotterApp:
+    """Plots the copied position stream (post-hoc, from the trace)."""
+
+    def __init__(
+        self,
+        cm: ConstraintManager,
+        src_ref: DataItemRef,
+        dst_ref: DataItemRef,
+    ):
+        self.cm = cm
+        self.src_ref = src_ref
+        self.dst_ref = dst_ref
+
+    def plotted_path(self) -> list[object]:
+        """The sequence of positions the plotter drew (copy change list)."""
+        timeline = self.cm.scenario.trace.timeline(self.dst_ref)
+        return [
+            value
+            for __, value in timeline.change_points()
+            if value is not MISSING
+        ]
+
+    def audit(self) -> PlotAudit:
+        """Check the plotted order against the primary's true order."""
+        path = self.plotted_path()
+        src_timeline = self.cm.scenario.trace.timeline(self.src_ref)
+        first_seen: dict[object, int] = {}
+        last_seen: dict[object, int] = {}
+        for index, (__, value) in enumerate(src_timeline.change_points()):
+            if value is MISSING:
+                continue
+            first_seen.setdefault(value, index)
+            last_seen[value] = index
+        bad_pairs: list[tuple[object, object]] = []
+        for earlier, later in zip(path, path[1:]):
+            if earlier not in first_seen or later not in first_seen:
+                bad_pairs.append((earlier, later))
+                continue
+            if first_seen[earlier] > last_seen[later]:
+                bad_pairs.append((earlier, later))
+        return PlotAudit(points_plotted=len(path), out_of_order_pairs=bad_pairs)

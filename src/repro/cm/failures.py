@@ -1,0 +1,48 @@
+"""Failure notices: how translators report trouble upward (Section 5).
+
+A CM-Translator maps raw-source errors onto the paper's two failure classes:
+
+- transient error codes (busy, timeout) → **metric** failures: the promised
+  actions will still happen, just late; only metric guarantees are affected;
+- permanent codes (unavailable) → **logical** failures: the interface
+  statements no longer hold; all guarantees involving the site are invalid
+  until the system is reset.
+
+On detecting a failure the translator notifies its local CM-Shell, which
+propagates the notice so affected guarantees can be marked invalid — that
+propagation ends at the :class:`~repro.cm.guarantee_status.GuaranteeStatusBoard`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.timebase import Ticks
+from repro.ris.base import RISError
+from repro.sim.failures import FailureKind
+
+
+@dataclass(frozen=True)
+class FailureNotice:
+    """One failure (or recovery) observation at a site."""
+
+    site: str
+    source_name: str
+    kind: FailureKind
+    time: Ticks
+    detail: str
+    recovered: bool = False
+
+    def __str__(self) -> str:
+        state = "recovered" if self.recovered else "failed"
+        return (
+            f"[{self.time}] {self.source_name}@{self.site} {state} "
+            f"({self.kind.value}): {self.detail}"
+        )
+
+
+def classify_error(error: RISError) -> FailureKind:
+    """Map a raw-source error to the paper's failure classes."""
+    if error.code.transient:
+        return FailureKind.METRIC
+    return FailureKind.LOGICAL

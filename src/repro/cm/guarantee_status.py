@@ -1,0 +1,127 @@
+"""Run-time guarantee validity tracking (Section 5).
+
+When a metric failure occurs at a site, the *metric* guarantees involving
+that site stop being valid (non-metric ones survive, letting applications
+keep working); a logical failure invalidates every guarantee involving the
+site until the system is explicitly reset.  The board receives failure
+notices from the shells and maintains, per guarantee, the intervals during
+which the toolkit could not stand behind it.
+
+Applications consult :meth:`GuaranteeStatusBoard.is_valid` before relying on
+a guarantee (Section 7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.guarantees import Guarantee
+from repro.core.intervals import Interval, IntervalSet
+from repro.core.timebase import Ticks
+from repro.cm.failures import FailureNotice
+from repro.sim.failures import FailureKind
+
+
+@dataclass
+class _SiteState:
+    metric_failed_since: Ticks | None = None
+    logical_failed_since: Ticks | None = None
+
+
+@dataclass
+class _GuaranteeEntry:
+    guarantee: Guarantee
+    sites: frozenset[str]
+    invalid_since: Ticks | None = None
+    closed_invalid: list[Interval] = field(default_factory=list)
+
+
+class GuaranteeStatusBoard:
+    """Tracks which guarantees are currently standing."""
+
+    def __init__(self) -> None:
+        self._sites: dict[str, _SiteState] = {}
+        self._entries: dict[str, _GuaranteeEntry] = {}
+        self.notices: list[FailureNotice] = []
+
+    def register(self, guarantee: Guarantee, sites: set[str]) -> None:
+        """Start tracking a guarantee that involves the given sites."""
+        self._entries[guarantee.name] = _GuaranteeEntry(
+            guarantee, frozenset(sites)
+        )
+        for site in sites:
+            self._sites.setdefault(site, _SiteState())
+
+    def guarantees(self) -> list[Guarantee]:
+        """All tracked guarantees."""
+        return [entry.guarantee for entry in self._entries.values()]
+
+    # -- notice intake -------------------------------------------------------
+
+    def on_notice(self, notice: FailureNotice) -> None:
+        """Process a failure/recovery notice from a shell."""
+        self.notices.append(notice)
+        state = self._sites.setdefault(notice.site, _SiteState())
+        if notice.recovered:
+            if notice.kind is FailureKind.METRIC:
+                state.metric_failed_since = None
+            # Logical failures do NOT auto-recover: the interface statements
+            # were broken, so the system must be reset (Section 5).
+        else:
+            if notice.kind is FailureKind.METRIC:
+                if state.metric_failed_since is None:
+                    state.metric_failed_since = notice.time
+            else:
+                if state.logical_failed_since is None:
+                    state.logical_failed_since = notice.time
+        self._refresh(notice.time)
+
+    def reset_site(self, site: str, time: Ticks) -> None:
+        """Operator reset after a logical failure: guarantees stand again."""
+        state = self._sites.setdefault(site, _SiteState())
+        state.logical_failed_since = None
+        state.metric_failed_since = None
+        self._refresh(time)
+
+    # -- queries -------------------------------------------------------------
+
+    def is_valid(self, guarantee: Guarantee) -> bool:
+        """Whether the toolkit currently stands behind the guarantee."""
+        entry = self._require(guarantee)
+        return entry.invalid_since is None
+
+    def invalid_intervals(self, guarantee: Guarantee, horizon: Ticks) -> IntervalSet:
+        """All intervals during which the guarantee was not standing."""
+        entry = self._require(guarantee)
+        intervals = list(entry.closed_invalid)
+        if entry.invalid_since is not None:
+            intervals.append(Interval(entry.invalid_since, horizon))
+        return IntervalSet(intervals)
+
+    def _require(self, guarantee: Guarantee) -> _GuaranteeEntry:
+        entry = self._entries.get(guarantee.name)
+        if entry is None:
+            raise KeyError(f"guarantee not registered: {guarantee.name!r}")
+        return entry
+
+    # -- internals ------------------------------------------------------------
+
+    def _affected(self, entry: _GuaranteeEntry) -> bool:
+        for site in entry.sites:
+            state = self._sites.get(site)
+            if state is None:
+                continue
+            if state.logical_failed_since is not None:
+                return True
+            if state.metric_failed_since is not None and entry.guarantee.metric:
+                return True
+        return False
+
+    def _refresh(self, time: Ticks) -> None:
+        for entry in self._entries.values():
+            affected = self._affected(entry)
+            if affected and entry.invalid_since is None:
+                entry.invalid_since = time
+            elif not affected and entry.invalid_since is not None:
+                entry.closed_invalid.append(Interval(entry.invalid_since, time))
+                entry.invalid_since = None

@@ -1,0 +1,251 @@
+"""CM-RID: the Raw Interface Description configuring a standard translator.
+
+Section 4.1 of the paper: "The design and implementation of the
+CM-Translator is helped by the CM-Raw Interface Description (CM-RID) file,
+which configures standard CM-Translators to the particular underlying data
+source ... a CM-Translator for relational databases can be configured to
+interface with any DBMS and any database just by specifying the appropriate
+CM-RID."
+
+A CM-RID contains, per constraint-relevant item family:
+
+- an :class:`ItemBinding` — *where* the items live in the native source
+  (table/key-column/value-column for relational, path for files, class and
+  attribute for object stores, ...), expressed as a translator-kind-specific
+  ``locator`` mapping, mirroring the paper's example of embedding the actual
+  SQL command shape in the CM-RID;
+- the :class:`InterfaceOffer` list — *which* interfaces the administrator
+  chose to offer for the family, with their time bounds.
+
+Plus connection "protocol details" (server, port) that are carried for
+fidelity to the paper's description; the in-process sources don't need them.
+
+CM-RIDs round-trip through plain dicts (:meth:`CMRID.from_dict` /
+:meth:`CMRID.to_dict`) so examples can show the config-file workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.dsl import parse_condition
+from repro.core.errors import ConfigurationError
+from repro.core.interfaces import (
+    InterfaceKind,
+    InterfaceSet,
+    InterfaceSpec,
+    conditional_notify_interface,
+    no_spontaneous_write_interface,
+    notify_interface,
+    periodic_notify_interface,
+    read_interface,
+    update_window_interface,
+    write_interface,
+)
+from repro.core.timebase import Ticks, seconds, to_seconds
+
+
+@dataclass(frozen=True)
+class ItemBinding:
+    """Where one item family lives inside the native source."""
+
+    family: str
+    locator: dict[str, str]
+    params: tuple[str, ...] = ()
+
+    @property
+    def parameterized(self) -> bool:
+        """Whether the family takes a parameter (e.g. salary1(n))."""
+        return bool(self.params)
+
+
+@dataclass(frozen=True)
+class InterfaceOffer:
+    """One interface the administrator offers for a family."""
+
+    kind: InterfaceKind
+    bound: Ticks = 0
+    period: Optional[Ticks] = None
+    condition: str = ""  # DSL text, for conditional notify
+    window: Optional[tuple[Ticks, Ticks]] = None  # for update-window offers
+
+    def to_spec(self, binding: ItemBinding) -> InterfaceSpec:
+        """Materialize the paper-style interface rule for this offer."""
+        family = binding.family
+        params = binding.params
+        if self.kind is InterfaceKind.WRITE:
+            return write_interface(family, self.bound, params)
+        if self.kind is InterfaceKind.READ:
+            return read_interface(family, self.bound, params)
+        if self.kind is InterfaceKind.NOTIFY:
+            return notify_interface(family, self.bound, params)
+        if self.kind is InterfaceKind.CONDITIONAL_NOTIFY:
+            if not self.condition:
+                raise ConfigurationError(
+                    f"conditional notify for {family!r} needs a condition"
+                )
+            return conditional_notify_interface(
+                family, self.bound, parse_condition(self.condition), params
+            )
+        if self.kind is InterfaceKind.PERIODIC_NOTIFY:
+            if self.period is None:
+                raise ConfigurationError(
+                    f"periodic notify for {family!r} needs a period"
+                )
+            return periodic_notify_interface(family, self.period, self.bound)
+        if self.kind is InterfaceKind.NO_SPONTANEOUS_WRITE:
+            return no_spontaneous_write_interface(family, params)
+        if self.kind is InterfaceKind.UPDATE_WINDOW:
+            if self.window is None:
+                raise ConfigurationError(
+                    f"update-window offer for {family!r} needs a window"
+                )
+            return update_window_interface(
+                family, self.window[0], self.window[1], params
+            )
+        raise ConfigurationError(f"unknown interface kind: {self.kind}")
+
+
+@dataclass
+class CMRID:
+    """The full configuration of one standard CM-Translator."""
+
+    source_kind: str
+    source_name: str
+    bindings: dict[str, ItemBinding] = field(default_factory=dict)
+    offers: dict[str, list[InterfaceOffer]] = field(default_factory=dict)
+    protocol: dict[str, Any] = field(default_factory=dict)
+
+    def bind(
+        self,
+        family: str,
+        params: tuple[str, ...] = (),
+        **locator: str,
+    ) -> "CMRID":
+        """Declare where a family lives (chainable)."""
+        if family in self.bindings:
+            raise ConfigurationError(f"family {family!r} already bound")
+        self.bindings[family] = ItemBinding(family, dict(locator), params)
+        return self
+
+    def offer(
+        self,
+        family: str,
+        kind: InterfaceKind,
+        bound_seconds: float = 0.0,
+        period_seconds: Optional[float] = None,
+        condition: str = "",
+        window: Optional[tuple[Ticks, Ticks]] = None,
+    ) -> "CMRID":
+        """Offer an interface for a bound family (chainable)."""
+        if family not in self.bindings:
+            raise ConfigurationError(
+                f"cannot offer an interface for unbound family {family!r}"
+            )
+        self.offers.setdefault(family, []).append(
+            InterfaceOffer(
+                kind,
+                seconds(bound_seconds),
+                seconds(period_seconds) if period_seconds is not None else None,
+                condition,
+                window,
+            )
+        )
+        return self
+
+    def binding(self, family: str) -> ItemBinding:
+        """The binding for a family; raises if unbound."""
+        if family not in self.bindings:
+            raise ConfigurationError(
+                f"translator for {self.source_name!r} has no binding for "
+                f"family {family!r}"
+            )
+        return self.bindings[family]
+
+    def interface_set(self) -> InterfaceSet:
+        """All offered interfaces as paper-style rules."""
+        interfaces = InterfaceSet()
+        for family, offers in self.offers.items():
+            binding = self.bindings[family]
+            for offer in offers:
+                interfaces.add(offer.to_spec(binding))
+        return interfaces
+
+    # -- dict round-trip -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (what a CM-RID file would contain)."""
+        return {
+            "source_kind": self.source_kind,
+            "source_name": self.source_name,
+            "protocol": dict(self.protocol),
+            "bindings": {
+                family: {
+                    "locator": dict(binding.locator),
+                    "params": list(binding.params),
+                }
+                for family, binding in self.bindings.items()
+            },
+            "offers": {
+                family: [
+                    {
+                        "kind": offer.kind.value,
+                        "bound_seconds": to_seconds(offer.bound),
+                        **(
+                            {"period_seconds": to_seconds(offer.period)}
+                            if offer.period is not None
+                            else {}
+                        ),
+                        **(
+                            {"condition": offer.condition}
+                            if offer.condition
+                            else {}
+                        ),
+                        **(
+                            {
+                                "window_seconds": [
+                                    to_seconds(offer.window[0]),
+                                    to_seconds(offer.window[1]),
+                                ]
+                            }
+                            if offer.window is not None
+                            else {}
+                        ),
+                    }
+                    for offer in offers
+                ]
+                for family, offers in self.offers.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CMRID":
+        """Parse the plain-dict (file) form."""
+        rid = cls(
+            source_kind=data["source_kind"],
+            source_name=data["source_name"],
+            protocol=dict(data.get("protocol", {})),
+        )
+        for family, binding_data in data.get("bindings", {}).items():
+            rid.bind(
+                family,
+                params=tuple(binding_data.get("params", ())),
+                **binding_data.get("locator", {}),
+            )
+        for family, offers in data.get("offers", {}).items():
+            for offer in offers:
+                window = offer.get("window_seconds")
+                rid.offer(
+                    family,
+                    InterfaceKind(offer["kind"]),
+                    bound_seconds=offer.get("bound_seconds", 0.0),
+                    period_seconds=offer.get("period_seconds"),
+                    condition=offer.get("condition", ""),
+                    window=(
+                        (seconds(window[0]), seconds(window[1]))
+                        if window is not None
+                        else None
+                    ),
+                )
+        return rid

@@ -1,0 +1,328 @@
+"""CM-Shell: the per-site rule engine of the toolkit (Section 4.1).
+
+Each shell:
+
+- receives events from its local CM-Translators (notifications, read
+  responses) and from its periodic timers;
+- matches them against the strategy rules whose *left-hand side* is at this
+  site (rule distribution, Section 4.1);
+- evaluates LHS conditions (with binder equalities) over its private store;
+- executes right-hand sides locally, or forwards a fire message to the shell
+  owning the RHS site — message transport is the simulated network, whose
+  per-channel FIFO provides the in-order processing Appendix A property 7
+  requires;
+- emits RHS events: ``WR``/``RR`` go to the owning translator, ``W`` on
+  shell-private items goes to the local store;
+- relays failure notices from its translators to its peers and to any
+  registered listeners (the manager's guarantee-status board).
+
+A documented extension beyond the paper's examples: a read-request template
+with unbound parameters (e.g. ``RR(salary1(n))`` fired by a poll timer) is
+executed as an *enumerating read* over all current instances of the family,
+which is how parameterized polling and end-of-day scans work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.conditions import evaluate, evaluate_value
+from repro.core.errors import BindingError, ConfigurationError, SpecError
+from repro.core.events import Event, EventKind, periodic_desc
+from repro.core.items import DataItemRef
+from repro.core.rules import Rule
+from repro.core.templates import match_desc
+from repro.core.terms import Bindings, Const, ground_item
+from repro.core.timebase import Ticks
+from repro.core.trace import ExecutionTrace
+from repro.cm.failures import FailureNotice
+from repro.cm.store import ShellStore
+from repro.cm.translator import CMTranslator
+from repro.sim.failures import FailurePlan
+from repro.sim.network import Message, Network
+from repro.sim.process import PeriodicTimer
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Simulator
+
+
+@dataclass(frozen=True)
+class FireMessage:
+    """Cross-site rule firing: 'run this rule's RHS with these bindings'."""
+
+    rule: Rule
+    bindings: tuple[tuple[str, object], ...]
+    trigger: Event
+
+
+class CMShell:
+    """One site's constraint-manager shell."""
+
+    def __init__(
+        self,
+        site: str,
+        sim: Simulator,
+        network: Network,
+        trace: ExecutionTrace,
+        failure_plan: FailurePlan,
+        rngs: RngRegistry,
+    ):
+        self.site = site
+        self.sim = sim
+        self.network = network
+        self.trace = trace
+        self.failure_plan = failure_plan
+        self.rngs = rngs
+        self.store = ShellStore(site, trace)
+        self.translators: dict[str, CMTranslator] = {}
+        self._rules: list[tuple[Rule, str | None]] = []  # (rule, rhs site)
+        self._timers: list[PeriodicTimer] = []
+        self.peers: list[str] = []
+        self.failure_log: list[FailureNotice] = []
+        self.on_failure: list[Callable[[FailureNotice], None]] = []
+        self.events_processed = 0
+        self.rules_fired = 0
+        self._chain_depth = 0
+        #: Offset of this site's local clock from true time, in ticks.
+        #: Strategy execution never needs clocks (Section 7.2), but rules
+        #: that *stamp* local time — the implicit ``now`` variable, as in
+        #: the monitor strategy's Tb — read the skewed local clock, letting
+        #: experiments quantify the paper's remark that time-referencing
+        #: guarantees must absorb clock skew in their margins.
+        self.clock_skew: Ticks = 0
+        network.register_site(site, self._on_message)
+
+    #: Maximum depth of rule-chained private writes in one causal chain.
+    MAX_CHAIN_DEPTH = 16
+
+    # -- wiring --------------------------------------------------------------
+
+    def add_translator(self, translator: CMTranslator) -> None:
+        """Attach a translator; its families become locally resolvable."""
+        translator.attach(self)
+        for family in translator.families():
+            existing = self.translators.get(family)
+            if existing is not None and existing is not translator:
+                raise ConfigurationError(
+                    f"family {family!r} already handled by "
+                    f"{existing.source.name!r} at site {self.site!r}"
+                )
+            self.translators[family] = translator
+
+    def translator_for(self, family: str) -> CMTranslator:
+        """The translator owning a family at this site; raises if none."""
+        translator = self.translators.get(family)
+        if translator is None:
+            raise ConfigurationError(
+                f"site {self.site!r} has no translator for family {family!r}"
+            )
+        return translator
+
+    def install_rule(self, rule: Rule, rhs_site: str | None) -> None:
+        """Install a strategy rule whose LHS is at this site."""
+        self._rules.append((rule, rhs_site))
+
+    def install_periodic_rule(
+        self, rule: Rule, rhs_site: str | None, phase: Optional[Ticks] = None
+    ) -> None:
+        """Install a rule triggered by ``P(p)``: start its timer here.
+
+        ``phase`` is the tick-of-day of the first firing (e.g. 17:00 for
+        end-of-day strategies); without it the timer starts at the epoch
+        and fires every period.
+        """
+        if rule.lhs.kind is not EventKind.PERIODIC:
+            raise SpecError(f"rule {rule.name!r} has no periodic LHS")
+        period_term = rule.lhs.values[0]
+        if not isinstance(period_term, Const):
+            raise SpecError(
+                f"rule {rule.name!r}: periodic template needs a constant period"
+            )
+        period = int(period_term.value)
+        self._rules.append((rule, rhs_site))
+
+        def fire() -> None:
+            p_event = self.trace.record(
+                self.sim.now, self.site, periodic_desc(period)
+            )
+            self._process_event(p_event)
+
+        if phase is None:
+            timer = PeriodicTimer(self.sim, period, fire)
+        else:
+            timer = _PhasedTimer(self.sim, period, phase, fire)
+        self._timers.append(timer)
+
+    def stop_timers(self) -> None:
+        """Stop all periodic timers, including translator-driven ones."""
+        for timer in self._timers:
+            timer.stop()
+        seen: set[int] = set()
+        for translator in self.translators.values():
+            if id(translator) not in seen:
+                seen.add(id(translator))
+                translator.stop_timers()
+
+    # -- event processing -----------------------------------------------------------
+
+    def deliver_local_event(self, event: Event) -> None:
+        """Entry point for events from this site's translators."""
+        self._process_event(event)
+
+    def _process_event(self, event: Event) -> None:
+        self.events_processed += 1
+        for rule, rhs_site in self._rules:
+            bindings = match_desc(rule.lhs, event.desc)
+            if bindings is None:
+                continue
+            if not self._lhs_condition_holds(rule, bindings):
+                continue
+            self.rules_fired += 1
+            if rhs_site is None or rhs_site == self.site:
+                self._execute_rhs(rule, bindings, event)
+            else:
+                self.network.send(
+                    self.site,
+                    rhs_site,
+                    FireMessage(rule, tuple(bindings.items()), event),
+                )
+
+    def _lhs_condition_holds(self, rule: Rule, bindings: Bindings) -> bool:
+        try:
+            for var, expr in rule.binders:
+                bindings[var] = evaluate_value(expr, bindings, self.store)
+            return evaluate(rule.condition, bindings, self.store)
+        except (BindingError, TypeError):
+            # An unbindable condition (e.g. arithmetic over a cache that is
+            # still MISSING) means the rule is simply not applicable yet.
+            return False
+
+    # -- RHS execution -----------------------------------------------------------------
+
+    def _on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, FireMessage):
+            self._execute_rhs(
+                payload.rule, dict(payload.bindings), payload.trigger
+            )
+        elif isinstance(payload, FailureNotice):
+            self.failure_log.append(payload)
+        else:
+            raise ConfigurationError(
+                f"shell {self.site!r} received unknown message {payload!r}"
+            )
+
+    def _execute_rhs(self, rule: Rule, bindings: Bindings, trigger: Event) -> None:
+        for step in rule.steps:
+            if step.template.kind is EventKind.FALSE:
+                continue  # prohibitions are promises, not actions
+            step_bindings = dict(bindings)
+            step_bindings["now"] = self.sim.now + self.clock_skew
+            try:
+                applicable = evaluate(
+                    step.condition, step_bindings, self.store
+                )
+            except (BindingError, TypeError):
+                applicable = False  # unevaluable condition = not applicable
+            if not applicable:
+                continue
+            self._emit(step.template, step_bindings, rule, trigger)
+
+    def _emit(self, template, bindings: Bindings, rule: Rule, trigger: Event) -> None:
+        kind = template.kind
+        if kind is EventKind.WRITE_REQUEST:
+            ref = ground_item(template.item, bindings)
+            value = _ground_value(template, bindings, index=0)
+            self.translator_for(ref.name).request_write(
+                ref, value, rule=rule, trigger=trigger
+            )
+            return
+        if kind is EventKind.READ_REQUEST:
+            unbound = template.item.variables() - set(bindings)
+            if unbound:
+                translator = self.translator_for(template.item.name)
+                for ref in translator.enumerate_refs(template.item.name):
+                    translator.request_read(ref, rule=rule, trigger=trigger)
+                return
+            ref = ground_item(template.item, bindings)
+            self.translator_for(ref.name).request_read(
+                ref, rule=rule, trigger=trigger
+            )
+            return
+        if kind is EventKind.WRITE:
+            ref = ground_item(template.item, bindings)
+            if ref.name in self.translators:
+                raise SpecError(
+                    f"rule {rule.name!r} writes {ref.name!r} directly; "
+                    f"database items need a WR (write request) event"
+                )
+            value = _ground_value(template, bindings, index=0)
+            event = self.store.write(
+                ref, value, self.sim.now, rule=rule, trigger=trigger
+            )
+            # Rule chaining: a generated write on private data is itself an
+            # event other rules may trigger on (how the Section 7.1
+            # arithmetic decomposition recomputes X from its caches).  Depth
+            # is bounded to catch self-triggering rule sets.
+            self._chain_depth += 1
+            try:
+                if self._chain_depth > self.MAX_CHAIN_DEPTH:
+                    raise SpecError(
+                        f"rule chaining exceeded depth "
+                        f"{self.MAX_CHAIN_DEPTH} at {ref} (self-triggering "
+                        f"rule set?)"
+                    )
+                self._process_event(event)
+            finally:
+                self._chain_depth -= 1
+            return
+        raise SpecError(
+            f"rule {rule.name!r}: cannot generate a {kind.value} event"
+        )
+
+    # -- failure propagation ---------------------------------------------------------------
+
+    def report_failure(self, notice: FailureNotice) -> None:
+        """Record a failure notice and propagate it (Section 5)."""
+        self.failure_log.append(notice)
+        for listener in self.on_failure:
+            listener(notice)
+        for peer in self.peers:
+            if peer != self.site:
+                self.network.send(self.site, peer, notice)
+
+
+def _ground_value(template, bindings: Bindings, index: int):
+    from repro.core.terms import ground_term
+
+    return ground_term(template.values[index], bindings)
+
+
+class _PhasedTimer:
+    """A daily-phase periodic timer: first fires at the next occurrence of
+    ``phase`` ticks-past-midnight, then every ``period``."""
+
+    def __init__(self, sim: Simulator, period: Ticks, phase: Ticks, callback):
+        from repro.core.timebase import DAY
+
+        self.sim = sim
+        self.period = period
+        self.callback = callback
+        self._stopped = False
+        self.fire_count = 0
+        first = (sim.now // DAY) * DAY + phase
+        while first <= sim.now:
+            first += DAY
+        self._pending = sim.at(first, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.fire_count += 1
+        self._pending = self.sim.after(self.period, self._fire)
+        self.callback()
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._pending is not None:
+            self._pending.cancel()

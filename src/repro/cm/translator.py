@@ -1,0 +1,492 @@
+"""CM-Translator base: mapping native source interfaces to the CM-Interface.
+
+A CM-Translator (Figure 2 of the paper) sits between one raw source and the
+site's CM-Shell.  Upward it offers the uniform CM-Interface: write requests,
+read requests, notifications, and instance enumeration; downward it speaks
+the source's native API.  It is configured by a :class:`~repro.cm.rid.CMRID`,
+and it is the component that classifies raw failures into the paper's metric
+and logical classes (Section 5) and reports them to the shell.
+
+Time behaviour: every operation takes a sampled service time (plus any
+metric-failure slowdown from the scenario's failure plan), so the promised
+interface bounds are *honest* — the translator self-reports a metric failure
+whenever an operation completes later than the bound the CM-RID advertised.
+
+Subclasses implement four native hooks:
+
+- ``_native_read(ref)`` — return the current value (MISSING if absent);
+- ``_native_write(ref, value)`` — write, or delete when value is MISSING;
+- ``_native_enumerate(family)`` — all existing instances of a family;
+- ``_setup_native_notify(family)`` — hook the source's change mechanism so
+  spontaneous writes reach :meth:`_deliver_notification`.
+
+Spontaneous writes by "local applications" are modelled by calling
+:meth:`apply_spontaneous_write`, which records the ``Ws`` event and performs
+the native write (firing any declared notify hooks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.errors import ConfigurationError, UnsupportedOperationError
+from repro.core.events import (
+    Event,
+    notify_desc,
+    read_request_desc,
+    read_response_desc,
+    spontaneous_write_desc,
+    write_desc,
+    write_request_desc,
+)
+from repro.core.interfaces import InterfaceKind, InterfaceSet
+from repro.core.items import MISSING, DataItemRef, Value
+from repro.core.rules import Rule
+from repro.core.timebase import Ticks, seconds
+from repro.cm.failures import FailureNotice, classify_error
+from repro.cm.rid import CMRID
+from repro.ris.base import RawInformationSource, RISError
+from repro.sim.failures import FailureKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cm.shell import CMShell
+
+
+@dataclass(frozen=True)
+class ServiceModel:
+    """Base service times of one translator+source pair, in ticks.
+
+    ``jitter`` is a +/- fraction applied uniformly (0.2 = ±20%).
+    """
+
+    read: Ticks = seconds(0.02)
+    write: Ticks = seconds(0.03)
+    notify: Ticks = seconds(0.05)
+    jitter: float = 0.2
+
+    def sample(self, operation: str, rng, slowdown: float = 1.0) -> Ticks:
+        """One service-time sample for a given operation kind."""
+        base = {"read": self.read, "write": self.write, "notify": self.notify}[
+            operation
+        ]
+        if self.jitter:
+            factor = 1.0 + rng.uniform(-self.jitter, self.jitter)
+        else:
+            factor = 1.0
+        return max(1, round(base * factor * slowdown))
+
+
+class CMTranslator:
+    """Base class for all translators.  See the module docstring."""
+
+    kind = "abstract"
+    #: Retries on transient (BUSY/TIMEOUT) errors before declaring logical.
+    max_retries = 3
+    #: Backoff between retries.
+    retry_delay: Ticks = seconds(0.5)
+
+    def __init__(
+        self,
+        source: RawInformationSource,
+        rid: CMRID,
+        service: ServiceModel | None = None,
+    ):
+        if rid.source_name != source.name:
+            raise ConfigurationError(
+                f"CM-RID names source {rid.source_name!r} but translator was "
+                f"given {source.name!r}"
+            )
+        self.source = source
+        self.rid = rid
+        self.service = service or ServiceModel()
+        self.shell: Optional["CMShell"] = None
+        self._interfaces: InterfaceSet | None = None
+        self._failed: FailureKind | None = None
+        self._current_spontaneous: Event | None = None
+        self._notify_families: set[str] = set()
+        self._timers: list = []
+        self.writes_requested = 0
+        self.reads_requested = 0
+        self.notifications_delivered = 0
+        self.notifications_suppressed = 0
+        self._busy_until: Ticks = 0
+
+    # -- wiring ----------------------------------------------------------------
+
+    def attach(self, shell: "CMShell") -> None:
+        """Bind this translator to its site's shell (done by the manager)."""
+        self.shell = shell
+
+    def _require_shell(self) -> "CMShell":
+        if self.shell is None:
+            raise ConfigurationError(
+                f"translator for {self.source.name!r} is not attached to a shell"
+            )
+        return self.shell
+
+    @property
+    def site(self) -> str:
+        """The site of the owning shell."""
+        return self._require_shell().site
+
+    @property
+    def sim(self):
+        """The scenario's simulator (via the owning shell)."""
+        return self._require_shell().sim
+
+    @property
+    def trace(self):
+        """The scenario's execution trace (via the owning shell)."""
+        return self._require_shell().trace
+
+    @property
+    def _rng(self):
+        return self._require_shell().rngs.stream(f"translator:{self.source.name}")
+
+    @property
+    def _plan(self):
+        return self._require_shell().failure_plan
+
+    # -- survey (Section 4.1 initialization) -------------------------------------
+
+    def offered_interfaces(self) -> InterfaceSet:
+        """The interfaces this translator offers, from its CM-RID."""
+        if self._interfaces is None:
+            self._interfaces = self.rid.interface_set()
+        return self._interfaces
+
+    def families(self) -> list[str]:
+        """Item families this translator manages."""
+        return list(self.rid.bindings)
+
+    def _interface_rule(self, family: str, kind: InterfaceKind) -> Rule | None:
+        interfaces = self.offered_interfaces()
+        if interfaces.has(family, kind):
+            return interfaces.get(family, kind).rule
+        return None
+
+    # -- service-time / failure plumbing --------------------------------------------
+
+    def _delay(self, operation: str) -> Ticks:
+        slowdown = self._plan.slowdown_at(self.site, self.sim.now)
+        return self.service.sample(operation, self._rng, slowdown)
+
+    def _schedule_op(self, operation: str, fn) -> None:
+        """Schedule a native operation on this translator's FIFO lane.
+
+        A translator models one session to its source: operations complete in
+        the order they were submitted, never overtaking each other even when
+        their sampled service times differ.  This is what makes the paper's
+        in-order-processing assumption (Appendix A property 7) hold across
+        interface rules that share this site.
+        """
+        start = max(self.sim.now, self._busy_until)
+        completion = start + self._delay(operation)
+        self._busy_until = completion
+        self.sim.at(completion, fn)
+
+    def _report(self, kind: FailureKind, detail: str) -> None:
+        if self._failed is kind:
+            return  # already reported; don't spam
+        self._failed = kind
+        self._require_shell().report_failure(
+            FailureNotice(
+                site=self.site,
+                source_name=self.source.name,
+                kind=kind,
+                time=self.sim.now,
+                detail=detail,
+            )
+        )
+
+    def _report_error(self, error: RISError, context: str) -> None:
+        self._report(classify_error(error), f"{context}: {error}")
+
+    def _note_success(self) -> None:
+        if self._failed is None:
+            return
+        previous, self._failed = self._failed, None
+        self._require_shell().report_failure(
+            FailureNotice(
+                site=self.site,
+                source_name=self.source.name,
+                kind=previous,
+                time=self.sim.now,
+                detail="operations succeeding again",
+                recovered=True,
+            )
+        )
+
+    def _check_bound(self, family: str, kind: InterfaceKind, elapsed: Ticks) -> None:
+        """Self-report a metric failure when an op exceeded its promise."""
+        interfaces = self.offered_interfaces()
+        if not interfaces.has(family, kind):
+            return
+        bound = interfaces.bound(family, kind)
+        if bound and elapsed > bound:
+            self._report(
+                FailureKind.METRIC,
+                f"{kind.value} for {family!r} took {elapsed} > bound {bound}",
+            )
+        elif self._failed is FailureKind.METRIC and bound and elapsed <= bound:
+            self._note_success()
+
+    # -- CM-Interface: writes ----------------------------------------------------------
+
+    def request_write(
+        self,
+        ref: DataItemRef,
+        value: Value,
+        rule: Rule | None = None,
+        trigger: Event | None = None,
+    ) -> None:
+        """Accept a CM write request: records WR, performs W after service time."""
+        interfaces = self.offered_interfaces()
+        if not interfaces.has(ref.name, InterfaceKind.WRITE):
+            raise UnsupportedOperationError(
+                f"{self.source.name!r} offers no write interface for {ref.name!r}"
+            )
+        self.writes_requested += 1
+        wr_event = self.trace.record(
+            self.sim.now,
+            self.site,
+            write_request_desc(ref, value),
+            rule=rule,
+            trigger=trigger,
+        )
+        self._schedule_write(ref, value, wr_event, attempt=0)
+
+    def _schedule_write(
+        self, ref: DataItemRef, value: Value, wr_event: Event, attempt: int
+    ) -> None:
+        self._schedule_op(
+            "write",
+            lambda: self._perform_write(ref, value, wr_event, attempt),
+        )
+
+    def _perform_write(
+        self, ref: DataItemRef, value: Value, wr_event: Event, attempt: int
+    ) -> None:
+        if self._plan.logically_failed(self.site, self.sim.now):
+            self._report(FailureKind.LOGICAL, f"site down; write {ref} lost")
+            return
+        try:
+            self._native_write(ref, value)
+        except RISError as error:
+            if error.code.transient and attempt < self.max_retries:
+                self._report_error(error, f"write {ref} (will retry)")
+                self.sim.after(
+                    self.retry_delay * (attempt + 1),
+                    lambda: self._perform_write(
+                        ref, value, wr_event, attempt + 1
+                    ),
+                )
+                return
+            if error.code.transient:
+                self._report(
+                    FailureKind.LOGICAL,
+                    f"write {ref} failed after {attempt} retries: {error}",
+                )
+            else:
+                self._report_error(error, f"write {ref}")
+            return
+        elapsed = self.sim.now - wr_event.time
+        self._check_bound(ref.name, InterfaceKind.WRITE, elapsed)
+        if self._failed is None:
+            self._note_success()
+        self.trace.record(
+            self.sim.now,
+            self.site,
+            write_desc(ref, value),
+            rule=self._interface_rule(ref.name, InterfaceKind.WRITE),
+            trigger=wr_event,
+        )
+
+    # -- CM-Interface: reads --------------------------------------------------------------
+
+    def request_read(
+        self,
+        ref: DataItemRef,
+        rule: Rule | None = None,
+        trigger: Event | None = None,
+    ) -> None:
+        """Accept a CM read request: records RR, delivers R after service time."""
+        interfaces = self.offered_interfaces()
+        if not interfaces.has(ref.name, InterfaceKind.READ):
+            raise UnsupportedOperationError(
+                f"{self.source.name!r} offers no read interface for {ref.name!r}"
+            )
+        self.reads_requested += 1
+        rr_event = self.trace.record(
+            self.sim.now,
+            self.site,
+            read_request_desc(ref),
+            rule=rule,
+            trigger=trigger,
+        )
+        self._schedule_op("read", lambda: self._perform_read(ref, rr_event))
+
+    def _perform_read(self, ref: DataItemRef, rr_event: Event) -> None:
+        if self._plan.logically_failed(self.site, self.sim.now):
+            self._report(FailureKind.LOGICAL, f"site down; read {ref} lost")
+            return
+        try:
+            value = self._native_read(ref)
+        except RISError as error:
+            self._report_error(error, f"read {ref}")
+            return
+        elapsed = self.sim.now - rr_event.time
+        self._check_bound(ref.name, InterfaceKind.READ, elapsed)
+        if self._failed is None:
+            self._note_success()
+        r_event = self.trace.record(
+            self.sim.now,
+            self.site,
+            read_response_desc(ref, value),
+            rule=self._interface_rule(ref.name, InterfaceKind.READ),
+            trigger=rr_event,
+        )
+        self._require_shell().deliver_local_event(r_event)
+
+    def enumerate_refs(self, family: str) -> list[DataItemRef]:
+        """All current instances of a family (for enumerating reads)."""
+        return self._native_enumerate(family)
+
+    # -- CM-Interface: notifications -----------------------------------------------------------
+
+    def setup_notify(self, family: str) -> None:
+        """Arrange for update notifications to reach the shell (Section 4.2.1).
+
+        Uses the source's native change mechanism when a (conditional)
+        notify interface is offered; falls back to the periodic-notify
+        interface (a translator-driven timer pushing the current value every
+        period) when that is what the CM-RID offers.
+        """
+        interfaces = self.offered_interfaces()
+        if family in self._notify_families:
+            return
+        if interfaces.has(family, InterfaceKind.NOTIFY) or interfaces.has(
+            family, InterfaceKind.CONDITIONAL_NOTIFY
+        ):
+            self._notify_families.add(family)
+            self._setup_native_notify(family)
+            return
+        if interfaces.has(family, InterfaceKind.PERIODIC_NOTIFY):
+            self._notify_families.add(family)
+            self._setup_periodic_notify(
+                interfaces.get(family, InterfaceKind.PERIODIC_NOTIFY)
+            )
+            return
+        raise UnsupportedOperationError(
+            f"{self.source.name!r} offers no notify interface for {family!r}"
+        )
+
+    def _setup_periodic_notify(self, spec) -> None:
+        """Drive ``P(p) ∧ (X = b) -> [ε] N(X, b)`` with a translator timer."""
+        from repro.core.events import periodic_desc
+        from repro.sim.process import PeriodicTimer
+
+        assert spec.period is not None
+        ref = DataItemRef(spec.family, ())
+
+        def fire() -> None:
+            p_event = self.trace.record(
+                self.sim.now, self.site, periodic_desc(spec.period)
+            )
+            if self._plan.logically_failed(self.site, self.sim.now):
+                return
+            try:
+                value = self._native_read(ref)
+            except RISError as error:
+                self._report_error(error, f"periodic read {ref}")
+                return
+            self._deliver_notification(ref, value, p_event, rule=spec.rule)
+
+        self._timers.append(PeriodicTimer(self.sim, spec.period, fire))
+
+    def stop_timers(self) -> None:
+        """Stop any translator-driven timers (end of scenario)."""
+        for timer in self._timers:
+            timer.stop()
+
+    def _deliver_notification(
+        self,
+        ref: DataItemRef,
+        value: Value,
+        trigger: Event | None,
+        rule: Rule | None = None,
+    ) -> None:
+        """Push one update notification to the shell, after the notify delay.
+
+        Silent-loss failure windows (Section 5's undetectable legacy case)
+        drop the notification here with no error anywhere.
+        """
+        now = self.sim.now
+        drop_probability = self._plan.notify_drop_probability(self.site, now)
+        if drop_probability and self._rng.random() < drop_probability:
+            self.notifications_suppressed += 1
+            return
+        if self._plan.logically_failed(self.site, now):
+            return  # the site is dead; nothing is sent (logical failure)
+        interfaces = self.offered_interfaces()
+        if rule is not None:
+            pass  # provenance supplied by the caller (periodic notify)
+        elif interfaces.has(ref.name, InterfaceKind.CONDITIONAL_NOTIFY):
+            rule = interfaces.get(
+                ref.name, InterfaceKind.CONDITIONAL_NOTIFY
+            ).rule
+        else:
+            rule = self._interface_rule(ref.name, InterfaceKind.NOTIFY)
+
+        def deliver() -> None:
+            n_event = self.trace.record(
+                self.sim.now,
+                self.site,
+                notify_desc(ref, value),
+                rule=rule,
+                trigger=trigger,
+            )
+            self.notifications_delivered += 1
+            self._require_shell().deliver_local_event(n_event)
+
+        self._schedule_op("notify", deliver)
+
+    # -- spontaneous activity (local applications) ----------------------------------------------
+
+    def apply_spontaneous_write(self, ref: DataItemRef, value: Value) -> Event:
+        """A local application writes the source directly.
+
+        Records the ``Ws`` event and performs the native write; any notify
+        hook set up for the family fires as a consequence.
+        """
+        old = self.trace.current_value(ref)
+        ws_event = self.trace.record(
+            self.sim.now, self.site, spontaneous_write_desc(ref, old, value)
+        )
+        self._current_spontaneous = ws_event
+        try:
+            self._native_write(ref, value)
+        finally:
+            self._current_spontaneous = None
+        return ws_event
+
+    def apply_spontaneous_delete(self, ref: DataItemRef) -> Event:
+        """A local application deletes the item (writes MISSING)."""
+        return self.apply_spontaneous_write(ref, MISSING)
+
+    # -- native hooks (subclass responsibilities) ---------------------------------------------------
+
+    def _native_read(self, ref: DataItemRef) -> Value:
+        raise NotImplementedError
+
+    def _native_write(self, ref: DataItemRef, value: Value) -> None:
+        raise NotImplementedError
+
+    def _native_enumerate(self, family: str) -> list[DataItemRef]:
+        raise NotImplementedError
+
+    def _setup_native_notify(self, family: str) -> None:
+        raise UnsupportedOperationError(
+            f"{type(self).__name__} cannot implement notification"
+        )

@@ -1,0 +1,53 @@
+"""Concrete CM-Translators, one per raw-source kind.
+
+Each maps the uniform CM-Interface onto one native RISI, configured by a
+CM-RID (Section 4.1-4.2 of the paper).  The translator registry
+(:func:`translator_for`) picks the right class from a CM-RID's
+``source_kind`` — the toolkit's "standard translators" menu.
+"""
+
+from repro.cm.rid import CMRID
+from repro.cm.translator import CMTranslator, ServiceModel
+from repro.cm.translators.relational import RelationalTranslator
+from repro.cm.translators.file import FileTranslator
+from repro.cm.translators.object import ObjectTranslator
+from repro.cm.translators.biblio import BiblioTranslator
+from repro.cm.translators.whois import WhoisTranslator
+from repro.cm.translators.legacy import LegacyTranslator
+from repro.ris.base import RawInformationSource
+
+_REGISTRY: dict[str, type[CMTranslator]] = {
+    "relational": RelationalTranslator,
+    "flat-file": FileTranslator,
+    "object": ObjectTranslator,
+    "bibliographic": BiblioTranslator,
+    "whois": WhoisTranslator,
+    "legacy": LegacyTranslator,
+}
+
+
+def translator_for(
+    source: RawInformationSource,
+    rid: CMRID,
+    service: ServiceModel | None = None,
+) -> CMTranslator:
+    """Instantiate the standard translator matching a CM-RID's source kind."""
+    try:
+        cls = _REGISTRY[rid.source_kind]
+    except KeyError:
+        raise ValueError(
+            f"no standard translator for source kind {rid.source_kind!r} "
+            f"(known: {sorted(_REGISTRY)})"
+        ) from None
+    return cls(source, rid, service)
+
+
+__all__ = [
+    "RelationalTranslator",
+    "FileTranslator",
+    "ObjectTranslator",
+    "BiblioTranslator",
+    "WhoisTranslator",
+    "LegacyTranslator",
+    "translator_for",
+]

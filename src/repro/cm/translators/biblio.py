@@ -1,0 +1,103 @@
+"""The bibliographic CM-Translator — a read-only source.
+
+CM-RID locator keys per item family:
+
+- ``field`` — which record field the item's value is (``title``, ``year``,
+  ``venue``); or
+- ``exists`` — any truthy value: the item's value is ``True`` while the
+  record exists (and MISSING otherwise), which is what referential
+  constraints need.
+
+Only read interfaces can be offered; constraints against this source are
+*monitored*, never enforced (Section 6.3's situation).  Spontaneous activity
+(the cataloguing feed) goes through :meth:`CMTranslator.apply_spontaneous_write`
+with a title string, which ingests/withdraws records.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+from repro.core.items import MISSING, DataItemRef, Value
+from repro.cm.translator import CMTranslator
+from repro.ris.bibliodb import BibRecord, BiblioDatabase
+from repro.ris.base import RISError, RISErrorCode
+
+
+class BiblioTranslator(CMTranslator):
+    """CM-Translator for :class:`~repro.ris.bibliodb.BiblioDatabase`."""
+
+    kind = "bibliographic"
+
+    def __init__(self, source, rid, service=None):
+        if not isinstance(source, BiblioDatabase):
+            raise ConfigurationError(
+                f"BiblioTranslator needs a BiblioDatabase, got "
+                f"{type(source).__name__}"
+            )
+        super().__init__(source, rid, service)
+        self.biblio: BiblioDatabase = source
+
+    def _field_for(self, family: str) -> str | None:
+        binding = self.rid.binding(family)
+        if binding.locator.get("exists"):
+            return None
+        field = binding.locator.get("field")
+        if field is None:
+            raise ConfigurationError(
+                f"biblio binding for {family!r} needs 'field' or 'exists'"
+            )
+        return field
+
+    def _record_id(self, ref: DataItemRef) -> str:
+        binding = self.rid.binding(ref.name)
+        if binding.parameterized:
+            return str(ref.args[0])
+        record_id = binding.locator.get("record_id")
+        if record_id is None:
+            raise ConfigurationError(
+                f"plain biblio family {ref.name!r} needs a fixed 'record_id'"
+            )
+        return record_id
+
+    # -- native hooks ----------------------------------------------------------
+
+    def _native_read(self, ref: DataItemRef) -> Value:
+        field = self._field_for(ref.name)
+        record_id = self._record_id(ref)
+        try:
+            record = self.biblio.lookup(record_id)
+        except RISError as error:
+            if error.code is RISErrorCode.NOT_FOUND:
+                return MISSING
+            raise
+        if field is None:
+            return True
+        value = getattr(record, field, None)
+        if isinstance(value, tuple):
+            value = ", ".join(value)
+        return MISSING if value is None else value
+
+    def _native_write(self, ref: DataItemRef, value: Value) -> None:
+        # Models the external cataloguing feed (apply_spontaneous_write);
+        # the CM itself never gets a write interface to this source.
+        record_id = self._record_id(ref)
+        if value is MISSING:
+            self.biblio.withdraw(record_id)
+            return
+        self.biblio.ingest(
+            BibRecord(
+                record_id=record_id,
+                title=str(value),
+                authors=(),
+                year=0,
+            )
+        )
+
+    def _native_enumerate(self, family: str) -> list[DataItemRef]:
+        binding = self.rid.binding(family)
+        if not binding.parameterized:
+            return [DataItemRef(family, ())]
+        return [
+            DataItemRef(family, (record_id,))
+            for record_id in self.biblio.record_ids()
+        ]

@@ -1,0 +1,123 @@
+"""The flat-file CM-Translator (the paper's "Unix file" case, Section 4.3).
+
+CM-RID locator keys per item family:
+
+- ``path`` — the record-format file holding the items;
+- ``key`` — (plain items only) the fixed record key; parameterized families
+  use the rule parameter as the record key.
+
+The file system offers no change notification, so this translator supports
+read and write interfaces only — constraints against files must use polling
+strategies, exactly the heterogeneity the toolkit is built to absorb.
+Values are stored as strings; non-string values round-trip through ``repr``
+-style encoding (ints and floats are parsed back).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+from repro.core.items import MISSING, DataItemRef, Value
+from repro.cm.translator import CMTranslator
+from repro.ris.base import RISError, RISErrorCode
+from repro.ris.filestore import FlatFileStore, parse_records
+
+
+def encode_value(value: Value) -> str:
+    """Encode a value for storage in a text record."""
+    if isinstance(value, bool):
+        return f"b:{value}"
+    if isinstance(value, int):
+        return f"i:{value}"
+    if isinstance(value, float):
+        return f"f:{value!r}"
+    return f"s:{value}"
+
+
+def decode_value(text: str) -> Value:
+    """Decode a stored record value."""
+    tag, __, body = text.partition(":")
+    if tag == "i":
+        return int(body)
+    if tag == "f":
+        return float(body)
+    if tag == "b":
+        return body == "True"
+    if tag == "s":
+        return body
+    return text  # untagged legacy content: raw string
+
+
+class FileTranslator(CMTranslator):
+    """CM-Translator for :class:`~repro.ris.filestore.FlatFileStore`."""
+
+    kind = "flat-file"
+
+    def __init__(self, source, rid, service=None):
+        if not isinstance(source, FlatFileStore):
+            raise ConfigurationError(
+                f"FileTranslator needs a FlatFileStore, got "
+                f"{type(source).__name__}"
+            )
+        super().__init__(source, rid, service)
+        self.store: FlatFileStore = source
+
+    def _locator(self, family: str) -> str:
+        binding = self.rid.binding(family)
+        path = binding.locator.get("path")
+        if path is None:
+            raise ConfigurationError(
+                f"file binding for {family!r} lacks a 'path'"
+            )
+        return path
+
+    def _key_for(self, ref: DataItemRef) -> str:
+        binding = self.rid.binding(ref.name)
+        if binding.parameterized:
+            if len(ref.args) != 1:
+                raise ConfigurationError(
+                    f"file families take exactly one parameter; {ref} has "
+                    f"{len(ref.args)}"
+                )
+            return str(ref.args[0])
+        key = binding.locator.get("key")
+        if key is None:
+            raise ConfigurationError(
+                f"plain file family {ref.name!r} needs a fixed 'key'"
+            )
+        return key
+
+    # -- native hooks -------------------------------------------------------
+
+    def _native_read(self, ref: DataItemRef) -> Value:
+        path = self._locator(ref.name)
+        try:
+            return decode_value(self.store.read_record(path, self._key_for(ref)))
+        except RISError as error:
+            if error.code is RISErrorCode.NOT_FOUND:
+                return MISSING
+            raise
+
+    def _native_write(self, ref: DataItemRef, value: Value) -> None:
+        path = self._locator(ref.name)
+        key = self._key_for(ref)
+        if value is MISSING:
+            try:
+                self.store.delete_record(path, key)
+            except RISError as error:
+                if error.code is not RISErrorCode.NOT_FOUND:
+                    raise
+            return
+        self.store.write_record(path, key, encode_value(value))
+
+    def _native_enumerate(self, family: str) -> list[DataItemRef]:
+        binding = self.rid.binding(family)
+        path = self._locator(family)
+        if not binding.parameterized:
+            return [DataItemRef(family, ())]
+        try:
+            records = parse_records(self.store.read_file(path))
+        except RISError as error:
+            if error.code is RISErrorCode.NOT_FOUND:
+                return []
+            raise
+        return [DataItemRef(family, (key,)) for key in sorted(records)]

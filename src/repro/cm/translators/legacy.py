@@ -1,0 +1,112 @@
+"""The legacy-system CM-Translator — the Section 5 cautionary case.
+
+CM-RID locator keys per item family:
+
+- ``key_prefix`` — the native key is ``key_prefix + parameter`` (or exactly
+  ``key_prefix`` for plain items).
+
+The legacy system pushes update messages, so a notify interface *can* be
+offered — but the feed can drop messages silently, with no error observable
+anywhere.  The experiment harness uses this translator to demonstrate why
+the paper says a Notify Interface should not be used when the probability of
+undetectable failure is unacceptable, and how a Read Interface + polling
+recovers the guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.errors import ConfigurationError
+from repro.core.items import MISSING, DataItemRef, Value
+from repro.cm.translator import CMTranslator
+from repro.ris.base import RISError, RISErrorCode
+from repro.ris.legacy import LegacySystem
+
+
+class LegacyTranslator(CMTranslator):
+    """CM-Translator for :class:`~repro.ris.legacy.LegacySystem`."""
+
+    kind = "legacy"
+
+    def __init__(self, source, rid, service=None):
+        if not isinstance(source, LegacySystem):
+            raise ConfigurationError(
+                f"LegacyTranslator needs a LegacySystem, got "
+                f"{type(source).__name__}"
+            )
+        super().__init__(source, rid, service)
+        self.legacy: LegacySystem = source
+        self._subscribed = False
+        self._notify_families_by_prefix: dict[str, str] = {}
+
+    def _prefix_for(self, family: str) -> str:
+        binding = self.rid.binding(family)
+        prefix = binding.locator.get("key_prefix")
+        if prefix is None:
+            raise ConfigurationError(
+                f"legacy binding for {family!r} needs a 'key_prefix'"
+            )
+        return prefix
+
+    def _key_for(self, ref: DataItemRef) -> str:
+        prefix = self._prefix_for(ref.name)
+        binding = self.rid.binding(ref.name)
+        if binding.parameterized:
+            return f"{prefix}{ref.args[0]}"
+        return prefix
+
+    def _ref_for_key(self, key: str) -> DataItemRef | None:
+        for prefix, family in self._notify_families_by_prefix.items():
+            binding = self.rid.binding(family)
+            if binding.parameterized:
+                if key.startswith(prefix) and len(key) > len(prefix):
+                    return DataItemRef(family, (key[len(prefix):],))
+            elif key == prefix:
+                return DataItemRef(family, ())
+        return None
+
+    # -- native hooks ---------------------------------------------------------
+
+    def _native_read(self, ref: DataItemRef) -> Value:
+        try:
+            return self.legacy.get(self._key_for(ref))
+        except RISError as error:
+            if error.code is RISErrorCode.NOT_FOUND:
+                return MISSING
+            raise
+
+    def _native_write(self, ref: DataItemRef, value: Value) -> None:
+        if value is MISSING:
+            raise RISError(
+                RISErrorCode.UNSUPPORTED,
+                "the legacy system cannot delete entries",
+            )
+        self.legacy.put(self._key_for(ref), value)
+
+    def _native_enumerate(self, family: str) -> list[DataItemRef]:
+        binding = self.rid.binding(family)
+        if not binding.parameterized:
+            return [DataItemRef(family, ())]
+        prefix = self._prefix_for(family)
+        refs = []
+        for key in self.legacy.keys():
+            if key.startswith(prefix) and len(key) > len(prefix):
+                refs.append(DataItemRef(family, (key[len(prefix):],)))
+        return refs
+
+    def _setup_native_notify(self, family: str) -> None:
+        self._notify_families_by_prefix[self._prefix_for(family)] = family
+        if self._subscribed:
+            return
+        self._subscribed = True
+
+        def on_update(key: str, value: Any) -> None:
+            if self._current_spontaneous is None:
+                return  # CM-originated write; Ws -> N does not apply
+            ref = self._ref_for_key(key)
+            if ref is None:
+                return
+            self._deliver_notification(ref, value, self._current_spontaneous)
+
+        self.legacy.subscribe(on_update)

@@ -1,0 +1,86 @@
+"""The whois CM-Translator — lookup-only directory access.
+
+CM-RID locator keys per item family:
+
+- ``field`` — the directory-entry field holding the item's value (``phone``,
+  ``email``, ``address``, ...).
+
+Parameterized families use the rule parameter as the directory key; plain
+items fix it with ``key``.  Only read interfaces can be offered; updates
+happen through directory administration (modelled by
+``apply_spontaneous_write``, which performs an admin update) and are
+invisible to the CM until polled.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+from repro.core.items import MISSING, DataItemRef, Value
+from repro.cm.translator import CMTranslator
+from repro.ris.base import RISError, RISErrorCode
+from repro.ris.whois import WhoisDirectory
+
+
+class WhoisTranslator(CMTranslator):
+    """CM-Translator for :class:`~repro.ris.whois.WhoisDirectory`."""
+
+    kind = "whois"
+
+    def __init__(self, source, rid, service=None):
+        if not isinstance(source, WhoisDirectory):
+            raise ConfigurationError(
+                f"WhoisTranslator needs a WhoisDirectory, got "
+                f"{type(source).__name__}"
+            )
+        super().__init__(source, rid, service)
+        self.directory: WhoisDirectory = source
+
+    def _field_for(self, family: str) -> str:
+        binding = self.rid.binding(family)
+        field = binding.locator.get("field")
+        if field is None:
+            raise ConfigurationError(
+                f"whois binding for {family!r} needs a 'field'"
+            )
+        return field
+
+    def _key_for(self, ref: DataItemRef) -> str:
+        binding = self.rid.binding(ref.name)
+        if binding.parameterized:
+            return str(ref.args[0])
+        key = binding.locator.get("key")
+        if key is None:
+            raise ConfigurationError(
+                f"plain whois family {ref.name!r} needs a fixed 'key'"
+            )
+        return key
+
+    # -- native hooks ------------------------------------------------------------
+
+    def _native_read(self, ref: DataItemRef) -> Value:
+        try:
+            return self.directory.field(
+                self._key_for(ref), self._field_for(ref.name)
+            )
+        except RISError as error:
+            if error.code is RISErrorCode.NOT_FOUND:
+                return MISSING
+            raise
+
+    def _native_write(self, ref: DataItemRef, value: Value) -> None:
+        # Directory administration (the spontaneous path only).
+        key = self._key_for(ref)
+        if value is MISSING:
+            try:
+                self.directory.admin_remove(key)
+            except RISError as error:
+                if error.code is not RISErrorCode.NOT_FOUND:
+                    raise
+            return
+        self.directory.admin_update(key, **{self._field_for(ref.name): str(value)})
+
+    def _native_enumerate(self, family: str) -> list[DataItemRef]:
+        binding = self.rid.binding(family)
+        if not binding.parameterized:
+            return [DataItemRef(family, ())]
+        return [DataItemRef(family, (key,)) for key in self.directory.keys()]

@@ -1,0 +1,21 @@
+"""Distributed constraint types.
+
+The paper's scenarios cover copy constraints (Sections 3-4), inequality
+constraints (the Demarcation Protocol, Section 6.1), referential integrity
+(Section 6.2), and the Section 7.1 remark that complex arithmetic constraints
+are decomposed into distributed copies plus a local constraint.
+"""
+
+from repro.constraints.base import Constraint
+from repro.constraints.copy import CopyConstraint
+from repro.constraints.inequality import InequalityConstraint
+from repro.constraints.referential import ReferentialConstraint
+from repro.constraints.arithmetic import ArithmeticConstraint
+
+__all__ = [
+    "Constraint",
+    "CopyConstraint",
+    "InequalityConstraint",
+    "ReferentialConstraint",
+    "ArithmeticConstraint",
+]

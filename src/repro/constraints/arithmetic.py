@@ -1,0 +1,86 @@
+"""Arithmetic constraints and their decomposition (Section 7.1).
+
+The paper: "consider the constraint X = Y + Z, where X, Y, and Z are at
+three different sites.  A common way to manage this constraint is to have
+cached copies Yc and Zc of Y and Z at the site where X is.  Hence, we would
+have the constraints X = Yc + Zc, Yc = Y and Zc = Z.  Only the simple copy
+constraints are distributed."
+
+:meth:`ArithmeticConstraint.decompose` performs exactly that rewriting: it
+returns the distributed :class:`~repro.constraints.copy.CopyConstraint` list
+plus a :class:`LocalArithmeticCheck` describing the purely local residue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.base import Constraint
+from repro.constraints.copy import CopyConstraint
+
+
+@dataclass(frozen=True)
+class LocalArithmeticCheck:
+    """The local residue of a decomposed arithmetic constraint.
+
+    ``target = sum(cached operand families)``, all at ``site`` — enforceable
+    by the local database's own constraint facilities, outside the
+    distributed CM's scope.
+    """
+
+    site: str
+    target_family: str
+    cached_families: tuple[str, ...]
+
+    def formula(self) -> str:
+        """The local residue as text, e.g. 'X = Cached_Y + Cached_Z'."""
+        return f"{self.target_family} = " + " + ".join(self.cached_families)
+
+
+class ArithmeticConstraint(Constraint):
+    """``target = operand_1 + operand_2 + ...`` across sites."""
+
+    kind = "arithmetic"
+
+    def __init__(
+        self, target_family: str, operand_families: tuple[str, ...], name: str = ""
+    ):
+        if len(operand_families) < 2:
+            raise ValueError(
+                "an arithmetic constraint needs at least two operands "
+                "(use a copy constraint otherwise)"
+            )
+        super().__init__(
+            name or f"{target_family} = {' + '.join(operand_families)}"
+        )
+        self.target_family = target_family
+        self.operand_families = operand_families
+
+    def families(self) -> list[str]:
+        """Target plus operand families."""
+        return [self.target_family, *self.operand_families]
+
+    def decompose(
+        self, target_site: str
+    ) -> tuple[list[CopyConstraint], LocalArithmeticCheck]:
+        """Rewrite into distributed copies plus a local check at the target.
+
+        Each operand gets a cache family ``Cached_<operand>`` meant to be
+        registered at ``target_site``; the returned copy constraints keep
+        the caches fresh and the local check is what remains.
+        """
+        copies = []
+        cached = []
+        for family in self.operand_families:
+            cache_family = f"Cached_{family}"
+            cached.append(cache_family)
+            copies.append(
+                CopyConstraint(
+                    family,
+                    cache_family,
+                    name=f"{cache_family} = {family}",
+                )
+            )
+        return copies, LocalArithmeticCheck(
+            target_site, self.target_family, tuple(cached)
+        )

@@ -1,0 +1,30 @@
+"""Base class for distributed constraints."""
+
+from __future__ import annotations
+
+from repro.core.items import Locations
+
+
+class Constraint:
+    """A declared inter-site constraint.
+
+    Subclasses expose the item families involved; the manager uses
+    :meth:`sites` (via the locations registry) for failure bookkeeping and
+    the catalog uses :attr:`kind` to find applicable strategies.
+    """
+
+    kind: str = "abstract"
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def families(self) -> list[str]:
+        """The item families the constraint spans."""
+        raise NotImplementedError
+
+    def sites(self, locations: Locations) -> set[str]:
+        """The sites the constraint spans."""
+        return {locations.site_of(family) for family in self.families()}
+
+    def __str__(self) -> str:
+        return f"{self.kind} constraint {self.name!r}"

@@ -1,0 +1,37 @@
+"""Copy constraints: ``Y`` is a copy of ``X`` (Sections 3.3.1 and 4.2)."""
+
+from __future__ import annotations
+
+from repro.constraints.base import Constraint
+
+
+class CopyConstraint(Constraint):
+    """``src = dst`` with ``src`` the primary copy.
+
+    ``params`` names the constraint's parameters for parameterized families
+    (the paper's ``salary1(n) = salary2(n) for all n``); empty for plain
+    items like ``X = Y``.
+    """
+
+    kind = "copy"
+
+    def __init__(
+        self,
+        src_family: str,
+        dst_family: str,
+        params: tuple[str, ...] = (),
+        name: str = "",
+    ):
+        super().__init__(name or f"{src_family} = {dst_family}")
+        self.src_family = src_family
+        self.dst_family = dst_family
+        self.params = params
+
+    def families(self) -> list[str]:
+        """Source and destination families."""
+        return [self.src_family, self.dst_family]
+
+    @property
+    def parameterized(self) -> bool:
+        """Whether the constraint ranges over a parameter (e.g. n)."""
+        return bool(self.params)

@@ -1,0 +1,25 @@
+"""Inequality constraints: ``X <= Y`` across sites (Section 6.1)."""
+
+from __future__ import annotations
+
+from repro.constraints.base import Constraint
+
+
+class InequalityConstraint(Constraint):
+    """``x_family <= y_family`` over numeric items at different sites.
+
+    The canonical management strategy is the Demarcation Protocol
+    (:mod:`repro.protocols.demarcation`), which keeps the constraint valid
+    *at all times* using local limits — the strongest guarantee in the paper.
+    """
+
+    kind = "inequality"
+
+    def __init__(self, x_family: str, y_family: str, name: str = ""):
+        super().__init__(name or f"{x_family} <= {y_family}")
+        self.x_family = x_family
+        self.y_family = y_family
+
+    def families(self) -> list[str]:
+        """The two compared families."""
+        return [self.x_family, self.y_family]

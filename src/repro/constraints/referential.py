@@ -1,0 +1,34 @@
+"""Referential-integrity constraints across databases (Section 6.2)."""
+
+from __future__ import annotations
+
+from repro.constraints.base import Constraint
+from repro.core.timebase import Ticks, days
+
+
+class ReferentialConstraint(Constraint):
+    """Every ``parent_family(i)`` must have a ``child_family(i)``.
+
+    The paper's weakened form tolerates violations for up to a grace period
+    per parameter value (24 hours in the Section 6.2 example).
+    """
+
+    kind = "referential"
+
+    def __init__(
+        self,
+        parent_family: str,
+        child_family: str,
+        grace: Ticks = days(1),
+        name: str = "",
+    ):
+        super().__init__(
+            name or f"E({parent_family}(i)) => E({child_family}(i))"
+        )
+        self.parent_family = parent_family
+        self.child_family = child_family
+        self.grace = grace
+
+    def families(self) -> list[str]:
+        """Parent and child families."""
+        return [self.parent_family, self.child_family]

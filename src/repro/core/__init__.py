@@ -1,0 +1,74 @@
+"""The paper's formal framework: events, rules, interfaces, strategies,
+guarantees, and execution traces.
+
+See :mod:`repro` for the top-level public API and DESIGN.md for the mapping
+from paper sections to modules.
+"""
+
+from repro.core.items import MISSING, DataItemRef, Locations, item
+from repro.core.terms import WILDCARD, Const, ItemPattern, Var, pattern
+from repro.core.events import (
+    Event,
+    EventDesc,
+    EventKind,
+    notify_desc,
+    periodic_desc,
+    read_request_desc,
+    read_response_desc,
+    spontaneous_write_desc,
+    write_desc,
+    write_request_desc,
+)
+from repro.core.templates import FALSE_TEMPLATE, Template, instantiate, match_desc, template
+from repro.core.rules import RhsStep, Rule, RuleRole
+from repro.core.dsl import parse_condition, parse_event_template, parse_rule, parse_rules
+from repro.core.formula import FormulaChecker, GuaranteeFormula
+from repro.core.guarantee_dsl import parse_guarantee
+from repro.core.trace import ExecutionTrace, Timeline, validate_trace
+from repro.core.timebase import Ticks, days, hours, minutes, seconds, to_seconds
+
+__all__ = [
+    "MISSING",
+    "DataItemRef",
+    "Locations",
+    "item",
+    "WILDCARD",
+    "Const",
+    "ItemPattern",
+    "Var",
+    "pattern",
+    "Event",
+    "EventDesc",
+    "EventKind",
+    "notify_desc",
+    "periodic_desc",
+    "read_request_desc",
+    "read_response_desc",
+    "spontaneous_write_desc",
+    "write_desc",
+    "write_request_desc",
+    "FALSE_TEMPLATE",
+    "Template",
+    "instantiate",
+    "match_desc",
+    "template",
+    "RhsStep",
+    "Rule",
+    "RuleRole",
+    "parse_condition",
+    "parse_event_template",
+    "parse_rule",
+    "parse_rules",
+    "FormulaChecker",
+    "GuaranteeFormula",
+    "parse_guarantee",
+    "ExecutionTrace",
+    "Timeline",
+    "validate_trace",
+    "Ticks",
+    "days",
+    "hours",
+    "minutes",
+    "seconds",
+    "to_seconds",
+]

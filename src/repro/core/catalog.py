@@ -1,0 +1,505 @@
+"""The library of proven (interfaces, strategy) -> guarantees combinations.
+
+Section 4.1 of the paper: "During initialization, the CM-Shells query the
+CM-Translators about the local capabilities and services...  The CM then
+suggests strategies that are applicable to these interfaces, along with the
+associated guarantees."  This module is that menu: given a declared
+constraint and the interfaces actually offered for its item families, it
+returns every applicable strategy from the proven library, each paired with
+the guarantees the paper establishes for it (with metric bounds computed
+from the offered interface bounds).
+
+The correspondences encoded here are the paper's own results:
+
+==================  =====================================  ============================
+strategy            requires                               guarantees
+==================  =====================================  ============================
+propagation         src notify, dst write                  (1) follows, (2) leads*,
+                                                           (3) strictly follows,
+                                                           (4) metric follows
+cached propagation  as propagation                         same as propagation
+polling             src read, dst write                    (1), (3), (4) — **not** (2)
+monitor             src+dst notify (plain items)           Flag/Tb window (Section 6.3)
+eod-batch           src read + update-window, dst write    periodic copy (Section 6.4)
+eod-cleanup         parent read+write, child read          referential grace (Section 6.2)
+demarcation         both numeric, writable, local checks   X <= Y always (Section 6.1)
+==================  =====================================  ============================
+
+(*) leads additionally requires the notify interface to be unconditional —
+a conditional notify filters updates, so values can be missed, exactly why
+the paper distinguishes the two notify flavours.  The follows-family
+guarantees additionally require the destination to promise "no spontaneous
+writes": if local applications can scribble on the copy, no strategy can
+promise it only holds source values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.constraints import (
+    ArithmeticConstraint,
+    Constraint,
+    CopyConstraint,
+    InequalityConstraint,
+    ReferentialConstraint,
+)
+from repro.core.guarantees import (
+    Guarantee,
+    PeriodicCopyGuarantee,
+    ReferentialGuarantee,
+    follows,
+    leads,
+    strictly_follows,
+)
+from repro.core.guarantees.invariants import InvariantGuarantee
+from repro.core.guarantees.monitor import MonitorGuarantee
+from repro.core.interfaces import InterfaceKind, InterfaceSet
+from repro.core.items import DataItemRef, Locations
+from repro.core.strategies import (
+    StrategySpec,
+    cached_propagation,
+    eod_batch,
+    eod_cleanup,
+    monitor,
+    polling,
+    propagation,
+)
+from repro.core.timebase import (
+    Ticks,
+    clock_time,
+    minutes,
+    seconds,
+    to_seconds,
+)
+
+
+@dataclass
+class Suggestion:
+    """One applicable strategy with its proven guarantees."""
+
+    strategy: StrategySpec
+    guarantees: tuple[Guarantee, ...]
+    rationale: str
+
+    def __str__(self) -> str:
+        lines = [f"{self.strategy.name}: {self.rationale}"]
+        for guarantee in self.guarantees:
+            lines.append(f"  guarantees {guarantee}")
+        return "\n".join(lines)
+
+
+@dataclass
+class SuggestionContext:
+    """Everything the catalog consults: offered interfaces, item locations,
+    and operator options (rule delays, polling periods, app site, ...)."""
+
+    interfaces: InterfaceSet
+    locations: Locations
+    options: dict[str, Any] = field(default_factory=dict)
+
+    def option(self, key: str, default: Any) -> Any:
+        """An operator option with a default."""
+        return self.options.get(key, default)
+
+
+#: Extra slack added to computed metric bounds: covers shell processing and
+#: message transmission, which the DBA estimates in practice (Section 4.2.2).
+DEFAULT_MARGIN: Ticks = seconds(1)
+
+
+def suggest(constraint: Constraint, context: SuggestionContext) -> list[Suggestion]:
+    """All proven strategies applicable to a constraint, best first."""
+    if isinstance(constraint, CopyConstraint):
+        return _suggest_copy(constraint, context)
+    if isinstance(constraint, InequalityConstraint):
+        return _suggest_inequality(constraint, context)
+    if isinstance(constraint, ReferentialConstraint):
+        return _suggest_referential(constraint, context)
+    if isinstance(constraint, ArithmeticConstraint):
+        return _suggest_arithmetic(constraint, context)
+    return []
+
+
+# -- copy constraints --------------------------------------------------------------
+
+
+def _suggest_copy(
+    constraint: CopyConstraint, context: SuggestionContext
+) -> list[Suggestion]:
+    interfaces = context.interfaces
+    src, dst = constraint.src_family, constraint.dst_family
+    params = constraint.params
+    delay: Ticks = context.option("rule_delay", seconds(1))
+    suggestions: list[Suggestion] = []
+
+    dst_writable = interfaces.has(dst, InterfaceKind.WRITE)
+    dst_quiet = interfaces.has(dst, InterfaceKind.NO_SPONTANEOUS_WRITE)
+    src_notifies = interfaces.has(src, InterfaceKind.NOTIFY)
+    src_notifies_conditionally = interfaces.has(
+        src, InterfaceKind.CONDITIONAL_NOTIFY
+    )
+    src_readable = interfaces.has(src, InterfaceKind.READ)
+
+    if (src_notifies or src_notifies_conditionally) and dst_writable:
+        notify_kind = (
+            InterfaceKind.NOTIFY
+            if src_notifies
+            else InterfaceKind.CONDITIONAL_NOTIFY
+        )
+        kappa = (
+            interfaces.bound(src, notify_kind)
+            + delay
+            + interfaces.bound(dst, InterfaceKind.WRITE)
+            + DEFAULT_MARGIN
+        )
+        guarantees: list[Guarantee] = []
+        if dst_quiet:
+            guarantees.append(follows(src, dst))
+            guarantees.append(strictly_follows(src, dst))
+            if src_notifies:
+                # A *conditional* notify can filter updates, leaving the
+                # copy holding a stale value for arbitrarily long — so the
+                # metric bound (4) is only sound for unconditional notify,
+                # and so is leads (2).
+                guarantees.append(
+                    follows(src, dst, within_seconds=to_seconds(kappa))
+                )
+                guarantees.append(
+                    leads(src, dst, horizon_slack_seconds=to_seconds(kappa))
+                )
+        rationale = (
+            "source pushes notifications and destination accepts writes"
+            + ("" if dst_quiet else
+               " (no follows-family guarantees: the destination admits "
+               "spontaneous writes)")
+            + ("" if src_notifies else
+               " (no leads or metric guarantee: the notify interface is "
+               "conditional, so updates can be filtered and copies can stay "
+               "stale)")
+        )
+        suggestions.append(
+            Suggestion(
+                propagation(src, dst, delay, params),
+                tuple(guarantees),
+                rationale,
+            )
+        )
+        dst_site = context.locations.site_of(dst)
+        suggestions.append(
+            Suggestion(
+                cached_propagation(src, dst, delay, params, dst_site=dst_site),
+                tuple(guarantees),
+                rationale + "; cache suppresses redundant write requests",
+            )
+        )
+
+    if (
+        interfaces.has(src, InterfaceKind.PERIODIC_NOTIFY)
+        and dst_writable
+        and not (src_notifies or src_notifies_conditionally)
+    ):
+        spec = interfaces.get(src, InterfaceKind.PERIODIC_NOTIFY)
+        assert spec.period is not None
+        kappa = (
+            spec.period
+            + spec.bound
+            + delay
+            + interfaces.bound(dst, InterfaceKind.WRITE)
+            + DEFAULT_MARGIN
+        )
+        guarantees = []
+        if dst_quiet:
+            guarantees.extend(
+                (
+                    follows(src, dst),
+                    strictly_follows(src, dst),
+                    follows(src, dst, within_seconds=to_seconds(kappa)),
+                )
+            )
+        suggestions.append(
+            Suggestion(
+                propagation(src, dst, delay, params),
+                tuple(guarantees),
+                "the source pushes its current value periodically "
+                "(server-side polling): updates inside one period can be "
+                "missed, so the leads guarantee (2) is NOT offered",
+            )
+        )
+
+    if src_readable and dst_writable:
+        period: Ticks = context.option("polling_period", seconds(60))
+        kappa = (
+            period
+            + interfaces.bound(src, InterfaceKind.READ)
+            + delay
+            + interfaces.bound(dst, InterfaceKind.WRITE)
+            + DEFAULT_MARGIN
+        )
+        guarantees = []
+        if dst_quiet:
+            guarantees.extend(
+                (
+                    follows(src, dst),
+                    strictly_follows(src, dst),
+                    follows(src, dst, within_seconds=to_seconds(kappa)),
+                )
+            )
+        suggestions.append(
+            Suggestion(
+                polling(src, dst, period, delay, params),
+                tuple(guarantees),
+                "source is readable; polling misses updates that share a "
+                "polling interval, so the leads guarantee (2) is NOT offered",
+            )
+        )
+
+    if (
+        src_readable
+        and dst_writable
+        and interfaces.has(src, InterfaceKind.UPDATE_WINDOW)
+    ):
+        window = interfaces.get(src, InterfaceKind.UPDATE_WINDOW)
+        assert window.window_start is not None and window.window_end is not None
+        fire_at: Ticks = context.option("eod_fire_at", window.window_start)
+        settle: Ticks = context.option("eod_settle", minutes(15))
+        suggestions.append(
+            Suggestion(
+                eod_batch(src, dst, fire_at, delay, params),
+                (
+                    PeriodicCopyGuarantee(
+                        src, dst, fire_at + settle, window.window_end
+                    ),
+                ),
+                "source promises a daily no-update window; one batch "
+                "propagation per day yields a periodic guarantee",
+            )
+        )
+
+    if (
+        not params
+        and (src_notifies or src_notifies_conditionally)
+        and (
+            interfaces.has(dst, InterfaceKind.NOTIFY)
+            or interfaces.has(dst, InterfaceKind.CONDITIONAL_NOTIFY)
+        )
+        and not dst_writable
+    ):
+        suggestions.append(_monitor_suggestion(constraint, context, delay))
+
+    return suggestions
+
+
+def _monitor_suggestion(
+    constraint: CopyConstraint, context: SuggestionContext, delay: Ticks
+) -> Suggestion:
+    interfaces = context.interfaces
+    src, dst = constraint.src_family, constraint.dst_family
+    app_site: str = context.option(
+        "app_site", context.locations.site_of(dst)
+    )
+    strategy = monitor(src, dst, app_site, delay)
+
+    def notify_bound(family: str) -> Ticks:
+        if interfaces.has(family, InterfaceKind.NOTIFY):
+            return interfaces.bound(family, InterfaceKind.NOTIFY)
+        return interfaces.bound(family, InterfaceKind.CONDITIONAL_NOTIFY)
+
+    kappa = (
+        max(notify_bound(src), notify_bound(dst)) + delay + DEFAULT_MARGIN
+    )
+    guarantee = MonitorGuarantee(
+        DataItemRef(src),
+        DataItemRef(dst),
+        DataItemRef(strategy.metadata["flag_family"]),
+        DataItemRef(strategy.metadata["tb_family"]),
+        kappa,
+    )
+    return Suggestion(
+        strategy,
+        (guarantee,),
+        "neither item is writable by the CM; the constraint can only be "
+        "monitored via Flag/Tb auxiliary data",
+    )
+
+
+# -- inequality constraints ------------------------------------------------------------
+
+
+def _suggest_inequality(
+    constraint: InequalityConstraint, context: SuggestionContext
+) -> list[Suggestion]:
+    from repro.protocols.demarcation import SlackPolicy
+
+    x_family, y_family = constraint.x_family, constraint.y_family
+    x_ref, y_ref = DataItemRef(x_family), DataItemRef(y_family)
+    policy = context.option("demarcation_policy", SlackPolicy.SPLIT)
+    strategy = StrategySpec(
+        name=f"demarcation({x_family} <= {y_family})",
+        kind="demarcation",
+        description=(
+            "maintain local limits with safe-first limit-change handshakes"
+        ),
+        executor="native",
+        metadata={"policy": policy},
+    )
+    limit_x = DataItemRef(f"Limit_{x_family}")
+    limit_y = DataItemRef(f"Limit_{y_family}")
+    guarantees: tuple[Guarantee, ...] = (
+        InvariantGuarantee(
+            f"{x_family} <= {y_family} always",
+            [x_ref, y_ref],
+            lambda state: state[x_ref] <= state[y_ref],
+            f"({x_family} <= {y_family})@t for all t",
+        ),
+        InvariantGuarantee(
+            f"Limit_{x_family} <= Limit_{y_family} always",
+            [limit_x, limit_y],
+            lambda state: state[limit_x] <= state[limit_y],
+            f"(Limit_{x_family} <= Limit_{y_family})@t for all t",
+        ),
+    )
+    return [
+        Suggestion(
+            strategy,
+            guarantees,
+            "both items are numeric and locally constrainable; the "
+            "Demarcation Protocol keeps the inequality valid at all times",
+        )
+    ]
+
+
+# -- arithmetic constraints ---------------------------------------------------------------
+
+
+def _suggest_arithmetic(
+    constraint: ArithmeticConstraint, context: SuggestionContext
+) -> list[Suggestion]:
+    """The Section 7.1 decomposition: caches + local recompute.
+
+    Requires every operand to push notifications and the target to accept
+    writes.  Guarantees: per-operand follows/leads onto the caches, plus the
+    derived sum-follows on the target.
+    """
+    from repro.core.guarantees.arithmetic import SumFollowsGuarantee
+    from repro.core.strategies import arithmetic_maintenance
+
+    interfaces = context.interfaces
+    target = constraint.target_family
+    operands = constraint.operand_families
+    if not interfaces.has(target, InterfaceKind.WRITE):
+        return []
+    delay: Ticks = context.option("rule_delay", seconds(1))
+    target_site = context.locations.site_of(target)
+    all_notify = all(
+        interfaces.has(op, InterfaceKind.NOTIFY) for op in operands
+    )
+    all_read = all(
+        interfaces.has(op, InterfaceKind.READ) for op in operands
+    )
+    suggestions: list[Suggestion] = []
+
+    def cache_and_sum_guarantees(
+        caches, include_leads: bool, cache_kappa_of
+    ) -> list[Guarantee]:
+        guarantees: list[Guarantee] = []
+        for operand, cache in zip(operands, caches):
+            guarantees.append(follows(operand, cache))
+            if include_leads:
+                guarantees.append(
+                    leads(
+                        operand,
+                        cache,
+                        horizon_slack_seconds=to_seconds(
+                            cache_kappa_of(operand)
+                        ),
+                    )
+                )
+        sum_kappa = (
+            delay
+            + interfaces.bound(target, InterfaceKind.WRITE)
+            + DEFAULT_MARGIN
+        )
+        guarantees.append(
+            SumFollowsGuarantee(
+                DataItemRef(target),
+                [DataItemRef(cache) for cache in caches],
+                sum_kappa,
+            )
+        )
+        return guarantees
+
+    if all_notify:
+        strategy = arithmetic_maintenance(
+            target, operands, target_site, delay
+        )
+        caches = strategy.metadata["cache_families"]
+        guarantees = cache_and_sum_guarantees(
+            caches,
+            include_leads=True,
+            cache_kappa_of=lambda op: (
+                interfaces.bound(op, InterfaceKind.NOTIFY)
+                + delay
+                + DEFAULT_MARGIN
+            ),
+        )
+        suggestions.append(
+            Suggestion(
+                strategy,
+                tuple(guarantees),
+                "operands push notifications and the target accepts writes; "
+                "the constraint decomposes into cache copies plus a local "
+                "recompute (Section 7.1)",
+            )
+        )
+    if all_read:
+        period: Ticks = context.option("polling_period", seconds(60))
+        strategy = arithmetic_maintenance(
+            target, operands, target_site, delay,
+            transport="poll", period=period,
+        )
+        caches = strategy.metadata["cache_families"]
+        guarantees = cache_and_sum_guarantees(
+            caches, include_leads=False, cache_kappa_of=lambda op: 0
+        )
+        suggestions.append(
+            Suggestion(
+                strategy,
+                tuple(guarantees),
+                "operands are readable; caches are refreshed by polling "
+                "(operand values can be missed, so no per-cache leads "
+                "guarantee)",
+            )
+        )
+    return suggestions
+
+
+# -- referential constraints --------------------------------------------------------------
+
+
+def _suggest_referential(
+    constraint: ReferentialConstraint, context: SuggestionContext
+) -> list[Suggestion]:
+    interfaces = context.interfaces
+    parent, child = constraint.parent_family, constraint.child_family
+    suggestions: list[Suggestion] = []
+    delay: Ticks = context.option("rule_delay", seconds(1))
+    fire_at: Ticks = context.option("cleanup_fire_at", clock_time(23, 0))
+    parent_manageable = interfaces.has(parent, InterfaceKind.READ) and (
+        interfaces.has(parent, InterfaceKind.WRITE)
+    )
+    child_readable = interfaces.has(child, InterfaceKind.READ)
+    if parent_manageable and child_readable:
+        from repro.core.timebase import days
+
+        grace = constraint.grace + minutes(30)  # cleanup-run margin
+        suggestions.append(
+            Suggestion(
+                eod_cleanup(parent, child, fire_at, delay),
+                (ReferentialGuarantee(parent, child, grace),),
+                "the parent database permits deletions, so orphan parents "
+                "are removed by a daily cleanup (Section 6.2)",
+            )
+        )
+    return suggestions

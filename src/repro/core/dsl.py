@@ -1,0 +1,439 @@
+"""Text syntax for interface and strategy rules.
+
+The paper writes rules as ``E1 ∧ C ->δ E2``.  The toolkit's concrete syntax
+keeps that shape in ASCII::
+
+    N(salary1(n), b) -> [5] WR(salary2(n), b)
+    Ws(X, b) -> [0] FALSE
+    Ws(X, a, b) & abs(b - a) > a * 0.1 -> [2] N(X, b)
+    P(300) & X == b -> [0.5] N(X, b)
+    N(X, b) -> [5] (Cx != b) ? WR(Y, b), W(Cx, b)
+
+Elements:
+
+- Event templates ``KIND(item, values...)`` with ``KIND`` one of
+  ``W Ws WR RR R N P``; ``FALSE`` is the never-occurring event.
+- The first argument of an item-bearing event is the data item, possibly
+  parameterized (``salary1(n)``); remaining arguments are value terms:
+  variables (identifiers), literals, or the wildcard ``*``.
+- ``& C`` after the LHS event gives the left-hand condition.
+- ``[δ]`` gives the delay bound in (float) seconds.
+- The RHS is a comma-separated sequence of steps, each optionally guarded
+  with ``cond ?``.
+- Documents may contain several rules introduced by ``rule NAME:`` and
+  ``#``-comments.
+
+Identifiers in conditions resolve dynamically: bound rule variables first,
+then local data items (Section 3.2's shell-private data such as ``Cx``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.conditions import (
+    TRUE,
+    Binary,
+    Call,
+    Expr,
+    ItemRead,
+    Literal,
+    Name,
+    Unary,
+)
+from repro.core.errors import DslSyntaxError
+from repro.core.events import EventKind
+from repro.core.items import MISSING
+from repro.core.rules import RhsStep, Rule, RuleRole
+from repro.core.templates import FALSE_TEMPLATE, Template, template
+from repro.core.terms import WILDCARD, Const, ItemPattern, Term, Var
+from repro.core.timebase import seconds
+
+_EVENT_KINDS = {
+    "W": EventKind.WRITE,
+    "Ws": EventKind.SPONTANEOUS_WRITE,
+    "WR": EventKind.WRITE_REQUEST,
+    "RR": EventKind.READ_REQUEST,
+    "R": EventKind.READ_RESPONSE,
+    "N": EventKind.NOTIFY,
+    "P": EventKind.PERIODIC,
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t]+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<newline>\n)
+  | (?P<arrow>->)
+  | (?P<cmp><=|>=|==|!=|<|>)
+  | (?P<number>\d+\.\d+|\d+|\.\d+)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<sym>[()\[\],?&:*+\-/])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lex DSL text into tokens (whitespace and comments dropped)."""
+    tokens: list[Token] = []
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise DslSyntaxError(
+                f"unexpected character {text[pos]!r}",
+                line=line,
+                column=pos - line_start + 1,
+            )
+        kind = match.lastgroup or ""
+        value = match.group()
+        column = pos - line_start + 1
+        pos = match.end()
+        if kind == "newline":
+            tokens.append(Token("newline", value, line, column))
+            line += 1
+            line_start = pos
+            continue
+        if kind in ("ws", "comment"):
+            continue
+        tokens.append(Token(kind, value, line, column))
+    tokens.append(Token("eof", "", line, pos - line_start + 1))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    def peek(self, skip_newlines: bool = True) -> Token:
+        index = self.index
+        while skip_newlines and self.tokens[index].kind == "newline":
+            index += 1
+        return self.tokens[index]
+
+    def advance(self, skip_newlines: bool = True) -> Token:
+        while skip_newlines and self.tokens[self.index].kind == "newline":
+            self.index += 1
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.advance()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text if text is not None else kind
+            raise DslSyntaxError(
+                f"expected {wanted!r}, found {token.text!r}",
+                line=token.line,
+                column=token.column,
+            )
+        return token
+
+    def accept(self, kind: str, text: str | None = None) -> Optional[Token]:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    def error(self, message: str) -> DslSyntaxError:
+        token = self.peek()
+        return DslSyntaxError(message, line=token.line, column=token.column)
+
+    # -- literals and terms -----------------------------------------------
+
+    def parse_literal_value(self, token: Token):
+        if token.kind == "number":
+            text = token.text
+            return float(text) if "." in text else int(text)
+        if token.kind == "string":
+            return token.text[1:-1]
+        if token.kind == "ident":
+            if token.text == "true":
+                return True
+            if token.text == "false":
+                return False
+            if token.text == "MISSING":
+                return MISSING
+        raise DslSyntaxError(
+            f"expected a literal, found {token.text!r}",
+            line=token.line,
+            column=token.column,
+        )
+
+    def parse_term(self) -> Term:
+        """A term inside an event template: var, literal, or wildcard."""
+        token = self.peek()
+        if token.kind == "sym" and token.text == "*":
+            self.advance()
+            return WILDCARD
+        if token.kind == "ident" and token.text not in ("true", "false", "MISSING"):
+            self.advance()
+            return Var(token.text)
+        if token.kind == "sym" and token.text == "-":
+            self.advance()
+            number = self.expect("number")
+            value = self.parse_literal_value(number)
+            return Const(-value)
+        self.advance()
+        return Const(self.parse_literal_value(token))
+
+    def parse_item_pattern(self) -> ItemPattern:
+        name = self.expect("ident").text
+        args: list[Term] = []
+        if self.accept("sym", "("):
+            if not self.accept("sym", ")"):
+                args.append(self.parse_term())
+                while self.accept("sym", ","):
+                    args.append(self.parse_term())
+                self.expect("sym", ")")
+        return ItemPattern(name, tuple(args))
+
+    # -- event templates ---------------------------------------------------
+
+    def parse_event(self) -> Template:
+        token = self.expect("ident")
+        if token.text == "FALSE":
+            return FALSE_TEMPLATE
+        kind = _EVENT_KINDS.get(token.text)
+        if kind is None:
+            raise DslSyntaxError(
+                f"unknown event kind {token.text!r} "
+                f"(expected one of {sorted(_EVENT_KINDS)} or FALSE)",
+                line=token.line,
+                column=token.column,
+            )
+        self.expect("sym", "(")
+        if kind is EventKind.PERIODIC:
+            number = self.advance()
+            period_seconds = self.parse_literal_value(number)
+            self.expect("sym", ")")
+            return Template(kind, None, (Const(seconds(period_seconds)),))
+        item = self.parse_item_pattern()
+        values: list[Term] = []
+        while self.accept("sym", ","):
+            values.append(self.parse_term())
+        self.expect("sym", ")")
+        return template(kind, item, *values)
+
+    # -- condition expressions ----------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.accept("ident", "or"):
+            left = Binary("or", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_not()
+        while self.accept("ident", "and"):
+            left = Binary("and", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> Expr:
+        if self.accept("ident", "not"):
+            return Unary("not", self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expr:
+        left = self.parse_additive()
+        token = self.peek()
+        if token.kind == "cmp":
+            self.advance()
+            right = self.parse_additive()
+            return Binary(token.text, left, right)
+        return left
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == "sym" and token.text in ("+", "-"):
+                self.advance()
+                left = Binary(token.text, left, self.parse_multiplicative())
+            else:
+                return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_unary()
+        while True:
+            token = self.peek()
+            if token.kind == "sym" and token.text in ("*", "/"):
+                self.advance()
+                left = Binary(token.text, left, self.parse_unary())
+            else:
+                return left
+
+    def parse_unary(self) -> Expr:
+        if self.accept("sym", "-"):
+            return Unary("-", self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expr:
+        token = self.peek()
+        if token.kind == "sym" and token.text == "(":
+            self.advance()
+            inner = self.parse_expr()
+            self.expect("sym", ")")
+            return inner
+        if token.kind in ("number", "string"):
+            self.advance()
+            return Literal(self.parse_literal_value(token))
+        if token.kind == "ident":
+            if token.text in ("true", "false", "MISSING"):
+                self.advance()
+                return Literal(self.parse_literal_value(token))
+            name = self.advance().text
+            if self.peek(skip_newlines=False).kind == "sym" and (
+                self.peek(skip_newlines=False).text == "("
+            ):
+                self.advance()
+                args: list[Expr] = []
+                if not self.accept("sym", ")"):
+                    args.append(self.parse_expr())
+                    while self.accept("sym", ","):
+                        args.append(self.parse_expr())
+                    self.expect("sym", ")")
+                if name in ("abs", "exists"):
+                    return Call(name, tuple(args))
+                return ItemRead(ItemPattern(name, tuple(
+                    self._expr_to_term(a) for a in args)))
+            return Name(name)
+        raise self.error(f"expected an expression, found {token.text!r}")
+
+    def _expr_to_term(self, expr: Expr) -> Term:
+        if isinstance(expr, Name):
+            return Var(expr.name)
+        if isinstance(expr, Literal):
+            return Const(expr.value)
+        raise self.error(
+            "data-item arguments must be variables or literals"
+        )
+
+    # -- rules ---------------------------------------------------------------
+
+    def parse_rule_body(self, name: str, role: RuleRole) -> Rule:
+        source_start = self.peek()
+        lhs = self.parse_event()
+        condition: Expr = TRUE
+        if self.accept("sym", "&"):
+            condition = self.parse_expr()
+        self.expect("arrow")
+        self.expect("sym", "[")
+        number = self.advance()
+        delay_seconds = self.parse_literal_value(number)
+        self.expect("sym", "]")
+        steps: list[RhsStep] = []
+        steps.append(self.parse_step())
+        while self.accept("sym", ","):
+            steps.append(self.parse_step())
+        return Rule(
+            name=name,
+            lhs=lhs,
+            condition=condition,
+            delay=seconds(delay_seconds),
+            steps=tuple(steps),
+            role=role,
+            source=f"line {source_start.line}",
+        )
+
+    def parse_step(self) -> RhsStep:
+        # A step is either "event" or "cond ? event".  Both can start with an
+        # identifier, so try an expression first and backtrack if no '?'.
+        saved = self.index
+        try:
+            condition = self.parse_expr()
+        except DslSyntaxError:
+            self.index = saved
+            return RhsStep(template=self.parse_event())
+        if self.accept("sym", "?"):
+            return RhsStep(template=self.parse_event(), condition=condition)
+        self.index = saved
+        return RhsStep(template=self.parse_event())
+
+    def parse_document(self, role: RuleRole) -> list[Rule]:
+        rules: list[Rule] = []
+        counter = 0
+        while self.peek().kind != "eof":
+            if self.accept("ident", "rule"):
+                name = self.expect("ident").text
+                self.expect("sym", ":")
+            else:
+                counter += 1
+                name = f"rule_{counter}"
+            rules.append(self.parse_rule_body(name, role))
+        return rules
+
+
+def parse_rule(
+    text: str, name: str = "anonymous", role: RuleRole = RuleRole.STRATEGY
+) -> Rule:
+    """Parse one rule body, e.g. ``"N(X, b) -> [5] WR(Y, b)"``."""
+    parser = _Parser(tokenize(text))
+    rule = parser.parse_rule_body(name, role)
+    trailing = parser.peek()
+    if trailing.kind != "eof":
+        raise DslSyntaxError(
+            f"trailing input after rule: {trailing.text!r}",
+            line=trailing.line,
+            column=trailing.column,
+        )
+    return rule
+
+
+def parse_rules(text: str, role: RuleRole = RuleRole.STRATEGY) -> list[Rule]:
+    """Parse a document of rules, each optionally introduced by ``rule NAME:``."""
+    parser = _Parser(tokenize(text))
+    return parser.parse_document(role)
+
+
+def parse_condition(text: str) -> Expr:
+    """Parse a bare condition expression."""
+    parser = _Parser(tokenize(text))
+    expr = parser.parse_expr()
+    trailing = parser.peek()
+    if trailing.kind != "eof":
+        raise DslSyntaxError(
+            f"trailing input after expression: {trailing.text!r}",
+            line=trailing.line,
+            column=trailing.column,
+        )
+    return expr
+
+
+def parse_event_template(text: str) -> Template:
+    """Parse a bare event template, e.g. ``"N(salary1(n), b)"``."""
+    parser = _Parser(tokenize(text))
+    tmpl = parser.parse_event()
+    trailing = parser.peek()
+    if trailing.kind != "eof":
+        raise DslSyntaxError(
+            f"trailing input after event template: {trailing.text!r}",
+            line=trailing.line,
+            column=trailing.column,
+        )
+    return tmpl

@@ -1,0 +1,220 @@
+"""Text syntax for the guarantee language of Section 3.3.
+
+Paper formulas translate almost verbatim; times are written in seconds::
+
+    (Y = y)@t1 => (X = y)@t2 & t2 < t1                      guarantee (1)
+    (X = x)@t1 => (Y = x)@t2 & t2 > t1                      guarantee (2)
+    (Y = y1)@t1 & (Y = y2)@t2 & t1 < t2
+        => (X = y1)@t3 & (X = y2)@t4 & t3 < t4              guarantee (3)
+    (Y = y)@t1 => (X = y)@t2 & t1 - 6 < t2 & t2 < t1        guarantee (4)
+    E(project('e1'))@t1 => E(salary('e1'))@t2
+        & t2 >= t1 & t2 <= t1 + 86400                       Section 6.2 shape
+
+Conventions:
+
+- inside a state atom, the left identifier is the data item (optionally with
+  literal arguments) and the right side is a literal or a lower-case *value
+  variable*;
+- ``@tvar`` anchors an atom to a time variable; variables first appearing
+  left of ``=>`` are universal, fresh right-side ones existential (the
+  paper's implicit quantification);
+- ``E(item)@t`` / ``!E(item)@t`` are the existence predicate of Section 6.2;
+- bare comparisons between time expressions (``t2 < t1``,
+  ``t2 <= t1 + 86400``) are time constraints; numbers are seconds.
+
+The parser produces a :class:`~repro.core.formula.GuaranteeFormula` for the
+generic enumerative checker.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.errors import DslSyntaxError
+from repro.core.formula import (
+    ExistsAtom,
+    GuaranteeFormula,
+    StateAtom,
+    TimeConstraint,
+    TimeExpr,
+)
+from repro.core.items import DataItemRef, Value
+from repro.core.timebase import seconds
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<implies>=>)
+  | (?P<cmp><=|>=|==|!=|<|>|=)
+  | (?P<number>\d+\.\d+|\d+|\.\d+)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<sym>[()@&!,+\-])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise DslSyntaxError(
+                f"unexpected character {text[pos]!r} in guarantee",
+                column=pos + 1,
+            )
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind != "ws":
+            tokens.append(_Token(kind, value, pos))
+        pos = match.end()
+    tokens.append(_Token("eof", "", pos))
+    return tokens
+
+
+class _GuaranteeParser:
+    def __init__(self, tokens: list[_Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    def peek(self, ahead: int = 0) -> _Token:
+        return self.tokens[min(self.index + ahead, len(self.tokens) - 1)]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def accept(self, kind: str, text: str | None = None) -> Optional[_Token]:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self.advance()
+        if token.kind != kind or (text is not None and token.text != text):
+            raise DslSyntaxError(
+                f"expected {text or kind!r}, found {token.text!r}",
+                column=token.position + 1,
+            )
+        return token
+
+    # -- pieces ----------------------------------------------------------------
+
+    def parse_literal(self, token: _Token) -> Value:
+        if token.kind == "number":
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.kind == "string":
+            return token.text[1:-1]
+        if token.kind == "ident" and token.text in ("true", "false"):
+            return token.text == "true"
+        raise DslSyntaxError(
+            f"expected a literal, found {token.text!r}",
+            column=token.position + 1,
+        )
+
+    def parse_itemref(self) -> DataItemRef:
+        name = self.expect("ident").text
+        args: list[Value] = []
+        if self.accept("sym", "("):
+            if not self.accept("sym", ")"):
+                args.append(self.parse_literal(self.advance()))
+                while self.accept("sym", ","):
+                    args.append(self.parse_literal(self.advance()))
+                self.expect("sym", ")")
+        return DataItemRef(name, tuple(args))
+
+    def parse_time_expr(self) -> TimeExpr:
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            return TimeExpr(None, seconds(self.parse_literal(token)))
+        name = self.expect("ident").text
+        offset = 0
+        sign_token = self.peek()
+        if sign_token.kind == "sym" and sign_token.text in ("+", "-"):
+            self.advance()
+            number = self.expect("number")
+            magnitude = seconds(self.parse_literal(number))
+            offset = magnitude if sign_token.text == "+" else -magnitude
+        return TimeExpr(name, offset)
+
+    def parse_state_atom(self) -> StateAtom:
+        self.expect("sym", "(")
+        item = self.parse_itemref()
+        op = self.expect("cmp").text
+        value_token = self.advance()
+        value_var: Optional[str] = None
+        value_const: Value = None
+        if value_token.kind == "ident" and value_token.text[0].islower() and (
+            value_token.text not in ("true", "false")
+        ):
+            value_var = value_token.text
+        else:
+            value_const = self.parse_literal(value_token)
+        self.expect("sym", ")")
+        self.expect("sym", "@")
+        at = self.expect("ident").text
+        return StateAtom(item, op, value_var, value_const, at)
+
+    def parse_exists_atom(self, negated: bool) -> ExistsAtom:
+        self.expect("ident", "E")
+        self.expect("sym", "(")
+        item = self.parse_itemref()
+        self.expect("sym", ")")
+        self.expect("sym", "@")
+        at = self.expect("ident").text
+        return ExistsAtom(item, at, negated)
+
+    def parse_atom(self):
+        token = self.peek()
+        if token.kind == "sym" and token.text == "!":
+            self.advance()
+            return self.parse_exists_atom(negated=True)
+        if token.kind == "ident" and token.text == "E" and (
+            self.peek(1).kind == "sym" and self.peek(1).text == "("
+        ):
+            return self.parse_exists_atom(negated=False)
+        if token.kind == "sym" and token.text == "(":
+            return self.parse_state_atom()
+        # otherwise: a time constraint
+        left = self.parse_time_expr()
+        op = self.expect("cmp").text
+        right = self.parse_time_expr()
+        return TimeConstraint(left, op, right)
+
+    def parse_clause(self) -> tuple:
+        atoms = [self.parse_atom()]
+        while self.accept("sym", "&"):
+            atoms.append(self.parse_atom())
+        return tuple(atoms)
+
+    def parse_formula(self) -> GuaranteeFormula:
+        lhs = self.parse_clause()
+        self.expect("implies")
+        rhs = self.parse_clause()
+        trailing = self.peek()
+        if trailing.kind != "eof":
+            raise DslSyntaxError(
+                f"trailing input after guarantee: {trailing.text!r}",
+                column=trailing.position + 1,
+            )
+        return GuaranteeFormula(lhs, rhs)
+
+
+def parse_guarantee(text: str) -> GuaranteeFormula:
+    """Parse a paper-style guarantee formula."""
+    return _GuaranteeParser(_tokenize(text)).parse_formula()

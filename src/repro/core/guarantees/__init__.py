@@ -1,0 +1,69 @@
+"""Guarantees: weakened-consistency statements and their trace checkers.
+
+Section 3.3 of the paper defines guarantees as temporal-logic statements over
+event occurrences and data predicates.  This package provides:
+
+- a :class:`~repro.core.guarantees.base.Guarantee` object per guarantee
+  *family* in the paper, each carrying its paper-style formula and a rigorous
+  checker that evaluates the guarantee over a recorded
+  :class:`~repro.core.trace.ExecutionTrace`;
+- uniform :class:`~repro.core.guarantees.base.GuaranteeReport` results with
+  counterexamples and measured statistics (e.g. the smallest κ for which the
+  metric variant holds).
+
+Families implemented (paper anchor in parentheses):
+
+- ``follows(X, Y)`` — "Y follows X", guarantee (1); with ``within=κ`` the
+  metric variant, guarantee (4).
+- ``leads(X, Y)`` — "X leads Y", guarantee (2); optional metric bound.
+- ``strictly_follows(X, Y)`` — "Y strictly follows X", guarantee (3).
+- ``invariant(...)`` — unconditional predicates such as the Demarcation
+  Protocol's ``X <= Y`` (Section 6.1).
+- ``referential_within(...)`` — existence dependencies with a grace period
+  (Section 6.2).
+- ``monitor_window(...)`` — the Flag/Tb auxiliary-data guarantee
+  (Section 6.3).
+- ``periodic(...)`` — constraints valid during daily windows (Section 6.4).
+"""
+
+from repro.core.guarantees.base import Guarantee, GuaranteeReport
+from repro.core.guarantees.copy import (
+    FollowsGuarantee,
+    LeadsGuarantee,
+    StrictlyFollowsGuarantee,
+    follows,
+    leads,
+    strictly_follows,
+)
+from repro.core.guarantees.invariants import (
+    InvariantGuarantee,
+    PeriodicCopyGuarantee,
+    PeriodicGuarantee,
+    invariant,
+    periodic,
+)
+from repro.core.guarantees.referential import (
+    ReferentialGuarantee,
+    referential_within,
+)
+from repro.core.guarantees.monitor import MonitorGuarantee, monitor_window
+
+__all__ = [
+    "Guarantee",
+    "GuaranteeReport",
+    "FollowsGuarantee",
+    "LeadsGuarantee",
+    "StrictlyFollowsGuarantee",
+    "follows",
+    "leads",
+    "strictly_follows",
+    "InvariantGuarantee",
+    "PeriodicCopyGuarantee",
+    "PeriodicGuarantee",
+    "invariant",
+    "periodic",
+    "ReferentialGuarantee",
+    "referential_within",
+    "MonitorGuarantee",
+    "monitor_window",
+]

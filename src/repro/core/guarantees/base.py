@@ -1,0 +1,95 @@
+"""Guarantee base class, reports, and family-pairing helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.items import DataItemRef
+from repro.core.trace import ExecutionTrace
+
+
+@dataclass
+class GuaranteeReport:
+    """The result of checking one guarantee over one trace.
+
+    ``valid`` is the verdict over everything that could be decided;
+    ``inconclusive`` counts obligations whose deadline lies beyond the trace
+    horizon (they neither support nor refute the guarantee).
+    ``stats`` carries measured quantities the experiments report, such as the
+    smallest metric bound that would have held.
+    """
+
+    guarantee: str
+    valid: bool
+    checked_instances: int = 0
+    counterexamples: list[str] = field(default_factory=list)
+    inconclusive: int = 0
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    def merge(self, other: "GuaranteeReport") -> None:
+        """Fold another (per-instance) report into this aggregate."""
+        self.valid = self.valid and other.valid
+        self.checked_instances += other.checked_instances
+        self.counterexamples.extend(other.counterexamples)
+        self.inconclusive += other.inconclusive
+        for key, value in other.stats.items():
+            if key in self.stats and isinstance(value, (int, float)):
+                self.stats[key] = max(self.stats[key], value)
+            else:
+                self.stats[key] = value
+
+    def __str__(self) -> str:
+        verdict = "VALID" if self.valid else "VIOLATED"
+        extra = f", {self.inconclusive} inconclusive" if self.inconclusive else ""
+        return (
+            f"{self.guarantee}: {verdict} "
+            f"({self.checked_instances} instance(s){extra})"
+        )
+
+
+class Guarantee:
+    """A guarantee: a named, formula-carrying, trace-checkable statement.
+
+    Subclasses implement :meth:`check`.  ``formula`` is the paper-style
+    rendering shown to users; ``metric`` distinguishes guarantees that state
+    explicit time bounds (Section 3.3) — the distinction matters for failure
+    handling (Section 5: metric failures invalidate only metric guarantees).
+    """
+
+    def __init__(self, name: str, formula: str, metric: bool) -> None:
+        self.name = name
+        self.formula = formula
+        self.metric = metric
+
+    def check(self, trace: ExecutionTrace) -> GuaranteeReport:
+        """Evaluate the guarantee over a recorded trace."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        kind = "metric" if self.metric else "non-metric"
+        return f"{self.name} ({kind}): {self.formula}"
+
+
+def paired_refs(
+    trace: ExecutionTrace, x_family: str, y_family: str
+) -> list[tuple[DataItemRef, DataItemRef]]:
+    """Instantiate a parameterized copy guarantee over a trace.
+
+    For plain items (no parameters) this returns the single pair
+    ``(X, Y)``.  For parameterized families it pairs ``x_family(args)`` with
+    ``y_family(args)`` for every argument tuple seen in the trace on either
+    side — quantification over data is achieved through parameterized data
+    names, as in Section 3.3 of the paper.
+    """
+    arg_tuples: set[tuple] = set()
+    for ref in trace.refs_of_family(x_family):
+        arg_tuples.add(ref.args)
+    for ref in trace.refs_of_family(y_family):
+        arg_tuples.add(ref.args)
+    if not arg_tuples:
+        arg_tuples.add(())
+    return [
+        (DataItemRef(x_family, args), DataItemRef(y_family, args))
+        for args in sorted(arg_tuples, key=lambda a: tuple(map(str, a)))
+    ]

@@ -1,0 +1,381 @@
+"""The copy-constraint guarantee family of Section 3.3.1.
+
+Given a copy constraint ``X = Y`` with ``X`` the primary:
+
+- guarantee (1), *Y follows X*::
+
+      (Y = y)@t1  =>  (X = y)@t2 ∧ (t2 < t1)
+
+- guarantee (2), *X leads Y*::
+
+      (X = x)@t1  =>  (Y = x)@t2 ∧ (t2 > t1)
+
+- guarantee (3), *Y strictly follows X*::
+
+      (Y = y1)@t1 ∧ (Y = y2)@t2 ∧ (t1 < t2)
+          =>  (X = y1)@t3 ∧ (X = y2)@t4 ∧ (t3 < t4)
+
+- guarantee (4), the metric form of (1)::
+
+      (Y = y)@t1  =>  (X = y)@t2 ∧ (t1 - κ < t2 < t1)
+
+Checking is exact over the piecewise-constant timelines the trace provides:
+each maximal constant segment of a timeline is one family of universally
+quantified instantiations, and witness existence reduces to interval-set
+coverage (see the module docstring of :mod:`repro.core.intervals`).
+
+Two boundary conventions, both documented behaviours:
+
+- **Seeded origins.**  Values both items hold at time 0 (database initial
+  loads) are treated as held "since before the trace", so a seeded agreement
+  does not violate the strict ``t2 < t1`` requirement.
+- **Open obligations.**  An obligation whose witness may still legitimately
+  arrive after the end of the run (e.g. "X leads Y" for a value X acquired
+  just before the horizon) is counted as *inconclusive*, not as a violation.
+  The ``horizon_slack`` parameter sets how close to the horizon an obligation
+  must be to be excused; for metric variants the bound itself is used.
+"""
+
+from __future__ import annotations
+
+from repro.core.guarantees.base import Guarantee, GuaranteeReport, paired_refs
+from repro.core.intervals import Interval, IntervalSet
+from repro.core.items import MISSING, DataItemRef
+from repro.core.timebase import Ticks, to_seconds
+from repro.core.trace import ExecutionTrace, Timeline, TimelineSegment
+
+
+def _value_segments(timeline: Timeline) -> list[TimelineSegment]:
+    """Segments with real (non-MISSING) values."""
+    return [s for s in timeline.segments() if s.value is not MISSING]
+
+
+class FollowsGuarantee(Guarantee):
+    """Guarantee (1) "Y follows X", or its metric form (4) when ``within``
+    is given: Y never holds a value X did not previously hold (within κ)."""
+
+    def __init__(
+        self, x_family: str, y_family: str, within: Ticks | None = None
+    ) -> None:
+        self.x_family = x_family
+        self.y_family = y_family
+        self.within = within
+        if within is None:
+            formula = (
+                f"({y_family} = y)@t1 => ({x_family} = y)@t2 ∧ (t2 < t1)"
+            )
+            name = f"follows({x_family} -> {y_family})"
+        else:
+            formula = (
+                f"({y_family} = y)@t1 => ({x_family} = y)@t2 "
+                f"∧ (t1 - {to_seconds(within):g}s < t2 < t1)"
+            )
+            name = f"follows({x_family} -> {y_family}, κ={to_seconds(within):g}s)"
+        super().__init__(name, formula, metric=within is not None)
+
+    def check(self, trace: ExecutionTrace) -> GuaranteeReport:
+        report = GuaranteeReport(self.name, valid=True)
+        for x_ref, y_ref in paired_refs(trace, self.x_family, self.y_family):
+            report.merge(self._check_pair(trace, x_ref, y_ref))
+        return report
+
+    def _check_pair(
+        self, trace: ExecutionTrace, x_ref: DataItemRef, y_ref: DataItemRef
+    ) -> GuaranteeReport:
+        report = GuaranteeReport(self.name, valid=True, checked_instances=1)
+        x_timeline = trace.timeline(x_ref)
+        y_timeline = trace.timeline(y_ref)
+        x_segments = _value_segments(x_timeline)
+        max_lag: Ticks = 0
+        for segment in _value_segments(y_timeline):
+            witnesses = [u for u in x_segments if u.value == segment.value]
+            if self.within is None:
+                ok, lag = self._check_nonmetric(segment, witnesses)
+            else:
+                ok, lag = self._check_metric(segment, witnesses)
+            if not ok:
+                report.valid = False
+                report.counterexamples.append(
+                    f"{y_ref} held {segment.value!r} during "
+                    f"[{segment.start}, {segment.end}) without a prior "
+                    f"{'(recent enough) ' if self.within else ''}"
+                    f"{x_ref} = {segment.value!r}"
+                )
+            elif lag is not None:
+                max_lag = max(max_lag, lag)
+        report.stats["max_lag_ticks"] = max_lag
+        report.stats["max_lag_seconds"] = to_seconds(max_lag)
+        return report
+
+    def _check_nonmetric(
+        self, segment: TimelineSegment, witnesses: list[TimelineSegment]
+    ) -> tuple[bool, Ticks | None]:
+        best_lag: Ticks | None = None
+        for witness in witnesses:
+            strictly_before = witness.start < segment.start
+            seeded_origin = witness.start == 0 and segment.start == 0
+            if strictly_before or seeded_origin:
+                lag = segment.start - witness.start
+                if best_lag is None or lag < best_lag:
+                    best_lag = lag
+        return best_lag is not None, best_lag
+
+    def _check_metric(
+        self, segment: TimelineSegment, witnesses: list[TimelineSegment]
+    ) -> tuple[bool, Ticks | None]:
+        assert self.within is not None
+        allowed: list[Interval] = []
+        for witness in witnesses:
+            # t2 must satisfy t1 - κ < t2 < t1 with t2 in [c, d); such a t2
+            # exists iff c + 1 <= t1 <= d + κ - 2, i.e. t1 in [c+1, d+κ-1).
+            # A witness held since time 0 also covers t1 = 0 (seeded origin).
+            start = witness.start + 1 if witness.start > 0 else 0
+            allowed.append(Interval(start, witness.end + self.within - 1))
+        uncovered = IntervalSet(allowed).uncovered(
+            Interval(segment.start, segment.end)
+        )
+        if uncovered:
+            return False, None
+        best_lag = min(
+            (segment.start - w.start for w in witnesses
+             if w.start <= segment.start),
+            default=None,
+        )
+        return True, best_lag
+
+
+class LeadsGuarantee(Guarantee):
+    """Guarantee (2) "X leads Y": no value taken by X is missed by Y.
+
+    With ``within``, additionally requires Y to take the value within κ of
+    *every* instant at which X holds it.
+    """
+
+    def __init__(
+        self,
+        x_family: str,
+        y_family: str,
+        within: Ticks | None = None,
+        horizon_slack: Ticks = 0,
+    ) -> None:
+        self.x_family = x_family
+        self.y_family = y_family
+        self.within = within
+        self.horizon_slack = horizon_slack
+        if within is None:
+            formula = (
+                f"({x_family} = x)@t1 => ({y_family} = x)@t2 ∧ (t2 > t1)"
+            )
+            name = f"leads({x_family} -> {y_family})"
+        else:
+            formula = (
+                f"({x_family} = x)@t1 => ({y_family} = x)@t2 "
+                f"∧ (t1 < t2 < t1 + {to_seconds(within):g}s)"
+            )
+            name = f"leads({x_family} -> {y_family}, κ={to_seconds(within):g}s)"
+        super().__init__(name, formula, metric=within is not None)
+
+    def check(self, trace: ExecutionTrace) -> GuaranteeReport:
+        report = GuaranteeReport(self.name, valid=True)
+        for x_ref, y_ref in paired_refs(trace, self.x_family, self.y_family):
+            report.merge(self._check_pair(trace, x_ref, y_ref))
+        return report
+
+    def _check_pair(
+        self, trace: ExecutionTrace, x_ref: DataItemRef, y_ref: DataItemRef
+    ) -> GuaranteeReport:
+        report = GuaranteeReport(self.name, valid=True, checked_instances=1)
+        x_timeline = trace.timeline(x_ref)
+        y_timeline = trace.timeline(y_ref)
+        y_segments = _value_segments(y_timeline)
+        horizon = trace.horizon
+        missed = 0
+        total = 0
+        exempt = 0
+        max_delay: Ticks = 0
+        for segment in _value_segments(x_timeline):
+            if segment.start == 0:
+                # A value held since time 0 predates constraint management
+                # (a seeded initial load); "X leads Y" quantifies over the
+                # values X *takes* during the managed execution.  Notify-
+                # based strategies only see changes, so prior history is
+                # exempt — mirroring the seeded-origin rule in `follows`.
+                exempt += 1
+                continue
+            total += 1
+            witnesses = [v for v in y_segments if v.value == segment.value]
+            if self.within is None:
+                verdict, delay = self._check_nonmetric(segment, witnesses, horizon)
+            else:
+                verdict, delay = self._check_metric(segment, witnesses, horizon)
+            if verdict == "violated":
+                missed += 1
+                report.valid = False
+                report.counterexamples.append(
+                    f"{x_ref} took {segment.value!r} at {segment.start} but "
+                    f"{y_ref} never{' (in time)' if self.within else ''} "
+                    f"reflected it"
+                )
+            elif verdict == "inconclusive":
+                report.inconclusive += 1
+            elif delay is not None:
+                max_delay = max(max_delay, delay)
+        report.stats["values_taken"] = total
+        report.stats["values_missed"] = missed
+        report.stats["values_exempt_seeded"] = exempt
+        report.stats["max_propagation_delay_ticks"] = max_delay
+        report.stats["max_propagation_delay_seconds"] = to_seconds(max_delay)
+        return report
+
+    def _check_nonmetric(
+        self,
+        segment: TimelineSegment,
+        witnesses: list[TimelineSegment],
+        horizon: Ticks,
+    ) -> tuple[str, Ticks | None]:
+        # A witness interval [e, f) provides t2 > t1 for every t1 < f - 1; a
+        # witness still live at the horizon covers every t1 (the value remains
+        # reflected).  Obligations t1 within horizon_slack of the horizon are
+        # inconclusive: their witness could still legally arrive after the run.
+        covered_until: Ticks = 0
+        delay: Ticks | None = None
+        for witness in witnesses:
+            extent = (
+                segment.end if witness.end >= horizon else witness.end - 1
+            )
+            if extent > covered_until:
+                covered_until = extent
+                delay = max(0, witness.start - segment.start)
+        due_end = min(segment.end, horizon - self.horizon_slack + 1)
+        if covered_until >= due_end:
+            return "ok", delay
+        if due_end <= segment.start:
+            return "inconclusive", None
+        return "violated", None
+
+    def _check_metric(
+        self,
+        segment: TimelineSegment,
+        witnesses: list[TimelineSegment],
+        horizon: Ticks,
+    ) -> tuple[str, Ticks | None]:
+        assert self.within is not None
+        allowed: list[Interval] = []
+        for witness in witnesses:
+            # t2 in [e, f) with t1 < t2 < t1 + κ exists iff
+            # e - κ < t1 < f - 1  =>  valid t1 set [e - κ + 1, f - 1).
+            allowed.append(
+                Interval(max(0, witness.start - self.within + 1), witness.end - 1)
+            )
+        # Obligations due strictly within the horizon only.
+        due_end = min(segment.end, horizon - self.within + 1)
+        if due_end <= segment.start:
+            return "inconclusive", None
+        uncovered = IntervalSet(allowed).uncovered(
+            Interval(segment.start, due_end)
+        )
+        if uncovered:
+            return "violated", None
+        delay = min(
+            (max(0, w.start - segment.start) for w in witnesses),
+            default=0,
+        )
+        return "ok", delay
+
+
+class StrictlyFollowsGuarantee(Guarantee):
+    """Guarantee (3) "Y strictly follows X": Y sees X's values in X's order."""
+
+    def __init__(self, x_family: str, y_family: str) -> None:
+        self.x_family = x_family
+        self.y_family = y_family
+        formula = (
+            f"({y_family} = y1)@t1 ∧ ({y_family} = y2)@t2 ∧ (t1 < t2) => "
+            f"({x_family} = y1)@t3 ∧ ({x_family} = y2)@t4 ∧ (t3 < t4)"
+        )
+        super().__init__(
+            f"strictly_follows({x_family} -> {y_family})", formula, metric=False
+        )
+
+    def check(self, trace: ExecutionTrace) -> GuaranteeReport:
+        report = GuaranteeReport(self.name, valid=True)
+        for x_ref, y_ref in paired_refs(trace, self.x_family, self.y_family):
+            report.merge(self._check_pair(trace, x_ref, y_ref))
+        return report
+
+    def _check_pair(
+        self, trace: ExecutionTrace, x_ref: DataItemRef, y_ref: DataItemRef
+    ) -> GuaranteeReport:
+        report = GuaranteeReport(self.name, valid=True, checked_instances=1)
+        x_segments = _value_segments(trace.timeline(x_ref))
+        y_segments = _value_segments(trace.timeline(y_ref))
+        first_start: dict[object, Ticks] = {}
+        last_end: dict[object, Ticks] = {}
+        for segment in x_segments:
+            key = segment.value
+            if key not in first_start:
+                first_start[key] = segment.start
+            last_end[key] = max(last_end.get(key, 0), segment.end)
+        checked_pairs: set[tuple[object, object]] = set()
+        for index, earlier in enumerate(y_segments):
+            for later in y_segments[index:]:
+                if later is earlier and later.length < 2:
+                    continue  # no two distinct instants in a 1-tick segment
+                pair = (earlier.value, later.value)
+                if pair in checked_pairs:
+                    continue
+                checked_pairs.add(pair)
+                if not self._witness_order(
+                    earlier.value, later.value, first_start, last_end
+                ):
+                    report.valid = False
+                    report.counterexamples.append(
+                        f"{y_ref} held {earlier.value!r} then {later.value!r} "
+                        f"but {x_ref} never held them in that order"
+                    )
+        report.stats["ordered_pairs_checked"] = len(checked_pairs)
+        return report
+
+    @staticmethod
+    def _witness_order(
+        y1: object,
+        y2: object,
+        first_start: dict[object, Ticks],
+        last_end: dict[object, Ticks],
+    ) -> bool:
+        if y1 not in first_start or y2 not in first_start:
+            return False
+        # t3 in an X=y1 segment and t4 > t3 in an X=y2 segment exist iff the
+        # earliest moment X held y1 (first_start[y1]) precedes the last moment
+        # X held y2 (last_end[y2] - 1, half-open intervals).
+        return first_start[y1] < last_end[y2] - 1
+
+
+def follows(
+    x_family: str, y_family: str, within_seconds: float | None = None
+) -> FollowsGuarantee:
+    """Guarantee (1), or the metric guarantee (4) when ``within_seconds``."""
+    from repro.core.timebase import seconds
+
+    within = seconds(within_seconds) if within_seconds is not None else None
+    return FollowsGuarantee(x_family, y_family, within)
+
+
+def leads(
+    x_family: str,
+    y_family: str,
+    within_seconds: float | None = None,
+    horizon_slack_seconds: float = 0.0,
+) -> LeadsGuarantee:
+    """Guarantee (2), optionally with a metric bound."""
+    from repro.core.timebase import seconds
+
+    within = seconds(within_seconds) if within_seconds is not None else None
+    return LeadsGuarantee(
+        x_family, y_family, within, seconds(horizon_slack_seconds)
+    )
+
+
+def strictly_follows(x_family: str, y_family: str) -> StrictlyFollowsGuarantee:
+    """Guarantee (3)."""
+    return StrictlyFollowsGuarantee(x_family, y_family)

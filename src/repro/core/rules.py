@@ -1,0 +1,195 @@
+"""Rules: the unified statement form of the framework (Appendix A.1).
+
+The general rule form is::
+
+    E0 ∧ C0  ->[δ]  C1 ? E1, C2 ? E2, ..., Ck ? Ek
+
+If an event matching template ``E0`` occurs at time ``t`` and ``C0`` holds at
+``t`` (over the event's bindings and data local to ``E0``'s site), then there
+exist times ``t ≤ t1 < t2 < ... < tk ≤ t + δ`` such that at each ``ti`` the
+condition ``Ci`` is evaluated (over data local to the RHS site) and, if true,
+an event matching ``Ei`` (grounded with the LHS matching interpretation)
+occurs at ``ti``.
+
+Both *interface statements* (promises made by a database, Section 3.1) and
+*strategy statements* (algorithms run by the CM, Section 3.2) are rules of
+this form; they differ in who is responsible for making the RHS happen.  All
+RHS events of one rule share a site (the paper's footnote 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.core.conditions import TRUE, Binary, Expr, Name
+from repro.core.errors import SpecError
+from repro.core.events import EventKind
+from repro.core.items import Locations
+from repro.core.templates import FALSE_TEMPLATE, Template
+from repro.core.timebase import Ticks, to_seconds
+
+
+#: Variables the rule engine binds implicitly when firing a rule: ``now`` is
+#: the firing time in ticks (used e.g. by the monitor strategy to stamp
+#: ``Tb``, Section 6.3).
+IMPLICIT_VARIABLES = frozenset({"now"})
+
+
+class RuleRole(Enum):
+    """Who is responsible for honouring the rule."""
+
+    #: A promise made by a database about its own behaviour (Section 3.1).
+    INTERFACE = "interface"
+    #: An algorithm executed by the constraint manager (Section 3.2).
+    STRATEGY = "strategy"
+
+
+@dataclass(frozen=True)
+class RhsStep:
+    """One ``Ci ? Ei`` element of a rule's right-hand side."""
+
+    template: Template
+    condition: Expr = TRUE
+
+    def __str__(self) -> str:
+        if self.condition is TRUE:
+            return str(self.template)
+        return f"({self.condition}) ? {self.template}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A rule statement.
+
+    ``lhs_site`` is normally derived from the LHS template's item family via
+    the :class:`~repro.core.items.Locations` registry; it must be given
+    explicitly for item-less LHS templates (periodic events ``P(p)``), since
+    a periodic event "occurs" at whichever shell runs the timer.
+    """
+
+    name: str
+    lhs: Template
+    delay: Ticks
+    steps: tuple[RhsStep, ...]
+    condition: Expr = TRUE
+    role: RuleRole = RuleRole.STRATEGY
+    lhs_site: Optional[str] = None
+    source: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise SpecError(f"rule {self.name!r}: negative delay {self.delay}")
+        if not self.steps:
+            raise SpecError(f"rule {self.name!r}: empty right-hand side")
+        if self.lhs.kind is EventKind.FALSE:
+            raise SpecError(
+                f"rule {self.name!r}: the false event cannot appear on a LHS"
+            )
+        lhs_vars = (
+            self.lhs.variables()
+            | {name for name, __ in self.binders}
+            | IMPLICIT_VARIABLES
+        )
+        for step in self.steps:
+            if step.template.kind is EventKind.FALSE:
+                continue
+            if step.template.kind is EventKind.READ_REQUEST:
+                # A read request with unbound parameters is an *enumerating
+                # read*: the shell expands it over all current instances of
+                # the family (how parameterized polling and daily scans work).
+                continue
+            unbound = step.template.variables() - lhs_vars
+            if unbound:
+                raise SpecError(
+                    f"rule {self.name!r}: RHS template {step.template} uses "
+                    f"variables not bound on the LHS: {sorted(unbound)}"
+                )
+
+    @property
+    def binders(self) -> tuple[tuple[str, Expr], ...]:
+        """Variables bound by equalities in the LHS condition.
+
+        The paper's periodic-notify interface ``P(300) ∧ (X = b) -> N(X, b)``
+        uses its condition to *capture* the current value of ``X`` into the
+        parameter ``b``.  Any top-level conjunct of the LHS condition of the
+        form ``v == expr`` (or ``expr == v``) where ``v`` is a lower-case
+        name not bound by the LHS template is such a binder: evaluating the
+        rule first computes ``expr`` and binds ``v`` to the result.
+        """
+        lhs_vars = self.lhs.variables()
+        binders: list[tuple[str, Expr]] = []
+
+        def walk(expr: Expr) -> None:
+            if isinstance(expr, Binary) and expr.op == "and":
+                walk(expr.left)
+                walk(expr.right)
+                return
+            if isinstance(expr, Binary) and expr.op == "==":
+                for var_side, value_side in (
+                    (expr.left, expr.right),
+                    (expr.right, expr.left),
+                ):
+                    if (
+                        isinstance(var_side, Name)
+                        and var_side.name[0].islower()
+                        and var_side.name not in lhs_vars
+                    ):
+                        binders.append((var_side.name, value_side))
+                        return
+
+        walk(self.condition)
+        return tuple(binders)
+
+    @property
+    def is_prohibition(self) -> bool:
+        """True for rules of the form ``E -> FALSE`` (e.g. the
+        "no spontaneous writes" interface): the LHS event must never occur."""
+        return all(s.template is FALSE_TEMPLATE or s.template.kind is EventKind.FALSE
+                   for s in self.steps)
+
+    def resolve_lhs_site(self, locations: Locations) -> str:
+        """The site whose CM-Shell executes this rule (Section 4.1)."""
+        if self.lhs_site is not None:
+            return self.lhs_site
+        family = self.lhs.item_family
+        if family is None:
+            raise SpecError(
+                f"rule {self.name!r}: LHS {self.lhs} has no item; an explicit "
+                f"lhs_site is required (e.g. for periodic events)"
+            )
+        return locations.site_of(family)
+
+    def resolve_rhs_site(self, locations: Locations) -> Optional[str]:
+        """The common site of the RHS events, or ``None`` for prohibitions.
+
+        Raises :class:`SpecError` if the RHS events span sites, which the
+        formalism forbids (footnote 7).
+        """
+        sites: set[str] = set()
+        for step in self.steps:
+            if step.template.kind is EventKind.FALSE:
+                continue
+            family = step.template.item_family
+            if family is None:
+                raise SpecError(
+                    f"rule {self.name!r}: RHS template {step.template} has no "
+                    f"item; cannot resolve its site"
+                )
+            sites.add(locations.site_of(family))
+        if not sites:
+            return None
+        if len(sites) > 1:
+            raise SpecError(
+                f"rule {self.name!r}: RHS events span multiple sites "
+                f"{sorted(sites)}; all RHS events must share a site"
+            )
+        return next(iter(sites))
+
+    def __str__(self) -> str:
+        lhs = str(self.lhs)
+        if self.condition is not TRUE:
+            lhs = f"{lhs} & {self.condition}"
+        rhs = ", ".join(str(s) for s in self.steps)
+        return f"{lhs} -> [{to_seconds(self.delay):g}] {rhs}"

@@ -1,0 +1,150 @@
+"""Event templates and matching interpretations (Appendix A.1).
+
+A template is an event descriptor in which components may be parameterized
+(variables) or wild-carded.  ``W_s(X, b)`` denotes the set of spontaneous
+write descriptors to ``X`` with any new value; the paper treats it as
+shorthand for ``W_s(X, *, b)``, and so does :func:`template`.
+
+An event *matches* a template when there is an interpretation of the
+template's variables whose substitution yields the event's descriptor; that
+interpretation is the *matching interpretation* ``mi(E, T)`` used to carry
+bindings from a rule's left-hand side to its right-hand side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.events import EventDesc, EventKind
+from repro.core.items import DataItemRef
+from repro.core.terms import (
+    WILDCARD,
+    Bindings,
+    Const,
+    ItemPattern,
+    Term,
+    Var,
+    ground_item,
+    ground_term,
+    match_item,
+    match_term,
+)
+
+
+@dataclass(frozen=True)
+class Template:
+    """An event template: kind, item pattern, and value terms.
+
+    The false template ``F`` (:data:`FALSE_TEMPLATE`) matches no event; it is
+    used on rule right-hand sides to state prohibitions such as the
+    "no spontaneous writes" interface.
+    """
+
+    kind: EventKind
+    item: Optional[ItemPattern]
+    values: tuple[Term, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind is EventKind.FALSE:
+            return
+        if self.kind.takes_item and self.item is None:
+            raise ValueError(f"{self.kind.value} template requires an item pattern")
+        if not self.kind.takes_item and self.item is not None:
+            raise ValueError(f"{self.kind.value} template takes no item pattern")
+        if len(self.values) != self.kind.value_arity:
+            raise ValueError(
+                f"{self.kind.value} takes {self.kind.value_arity} value term(s), "
+                f"got {len(self.values)}"
+            )
+
+    def __str__(self) -> str:
+        if self.kind is EventKind.FALSE:
+            return "FALSE"
+        if self.kind is EventKind.PERIODIC and isinstance(
+            self.values[0], Const
+        ):
+            from repro.core.timebase import to_seconds
+
+            return f"P({to_seconds(self.values[0].value):g})"
+        parts: list[str] = []
+        if self.item is not None:
+            parts.append(str(self.item))
+        parts.extend(str(v) for v in self.values)
+        return f"{self.kind.value}({', '.join(parts)})"
+
+    @property
+    def item_family(self) -> Optional[str]:
+        """The item family name the template mentions, if any."""
+        return self.item.name if self.item is not None else None
+
+    def variables(self) -> set[str]:
+        """All variable names appearing anywhere in the template."""
+        found: set[str] = set()
+        if self.item is not None:
+            found |= self.item.variables()
+        for term in self.values:
+            if isinstance(term, Var):
+                found.add(term.name)
+        return found
+
+
+#: The template that matches no event (the paper's special event ``F``).
+FALSE_TEMPLATE = Template(EventKind.FALSE, None, ())
+
+
+def _coerce_term(value: object) -> Term:
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, str):
+        return Var(value)
+    return Const(value)
+
+
+def template(kind: EventKind, item: ItemPattern | None, *values: object) -> Template:
+    """Build a template; bare strings become variables, other values constants.
+
+    For ``Ws`` the paper's two-argument shorthand is honoured: a single value
+    term is treated as the *new* value with a wildcard old value.
+    """
+    terms = tuple(_coerce_term(v) for v in values)
+    if kind is EventKind.SPONTANEOUS_WRITE and len(terms) == 1:
+        terms = (WILDCARD, terms[0])
+    return Template(kind, item, terms)
+
+
+def match_desc(tmpl: Template, desc: EventDesc) -> Optional[Bindings]:
+    """Match a ground descriptor against a template.
+
+    Returns the matching interpretation (bindings dict) or ``None``.  The
+    returned dict is fresh; callers may extend it.
+    """
+    if tmpl.kind is EventKind.FALSE:
+        return None
+    if tmpl.kind is not desc.kind:
+        return None
+    bindings: Bindings = {}
+    if tmpl.item is not None:
+        assert desc.item is not None  # enforced by EventDesc invariant
+        if not match_item(tmpl.item, desc.item, bindings):
+            return None
+    for term, value in zip(tmpl.values, desc.values):
+        if not match_term(term, value, bindings):
+            return None
+    return bindings
+
+
+def instantiate(tmpl: Template, bindings: Bindings) -> EventDesc:
+    """Ground a template with bindings, yielding an event descriptor.
+
+    All variables must be bound (the paper's semantics pass the matching
+    interpretation of the LHS to the RHS; RHS-only variables in templates are
+    not supported — they would denote nondeterministic values).
+    """
+    if tmpl.kind is EventKind.FALSE:
+        raise ValueError("the false template cannot be instantiated")
+    ref: Optional[DataItemRef] = None
+    if tmpl.item is not None:
+        ref = ground_item(tmpl.item, bindings)
+    values = tuple(ground_term(term, bindings) for term in tmpl.values)
+    return EventDesc(tmpl.kind, ref, values)

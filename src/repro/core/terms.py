@@ -1,0 +1,175 @@
+"""The term language shared by event templates, conditions, and guarantees.
+
+Following the paper's convention, *parameters* (lower-case letters like ``b``
+and ``n`` in ``N(salary1(n), b)``) are variables of the rule language, whereas
+*data items* refer to actual data.  A term is one of:
+
+- :class:`Var` — a rule variable, bound by matching.
+- :class:`Const` — a literal value.
+- :data:`WILDCARD` — matches anything, binds nothing (the paper's ``*``).
+- :class:`ItemPattern` — a possibly-parameterized data-item name whose
+  arguments are themselves terms, e.g. ``salary1(n)``.
+
+``match_term`` implements one-sided unification of a term against a concrete
+value, producing/extending a *matching interpretation* (Appendix A.1): a
+mapping from variable names to values.  ``ground_term`` substitutes bindings
+to produce a concrete value or :class:`~repro.core.items.DataItemRef`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.errors import BindingError
+from repro.core.items import DataItemRef, Value
+
+Bindings = dict[str, Value]
+
+
+class Term:
+    """Base class for terms.  Use the concrete subclasses below."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    """A rule variable (paper: lower-case parameter like ``b`` or ``n``)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Term):
+    """A literal constant."""
+
+    value: Value
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+class _WildcardTerm(Term):
+    """Matches any value and binds nothing (the paper's ``*``)."""
+
+    _instance: "_WildcardTerm | None" = None
+
+    def __new__(cls) -> "_WildcardTerm":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __str__(self) -> str:
+        return "*"
+
+    def __repr__(self) -> str:
+        return "WILDCARD"
+
+
+#: The anonymous wildcard term.
+WILDCARD = _WildcardTerm()
+
+
+@dataclass(frozen=True)
+class ItemPattern:
+    """A data-item name with term arguments, e.g. ``salary1(n)``.
+
+    With no arguments this is a plain item like ``X``.  An ``ItemPattern``
+    whose arguments are all constants grounds to a specific
+    :class:`DataItemRef`; with variables it denotes a parameterized family
+    (Section 3.1.1).
+    """
+
+    name: str
+    args: tuple[Term, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.name
+        rendered = ", ".join(str(a) for a in self.args)
+        return f"{self.name}({rendered})"
+
+    @property
+    def is_ground(self) -> bool:
+        """True when every argument is a constant."""
+        return all(isinstance(a, Const) for a in self.args)
+
+    def variables(self) -> set[str]:
+        """Names of all variables appearing in the arguments."""
+        found: set[str] = set()
+        for arg in self.args:
+            if isinstance(arg, Var):
+                found.add(arg.name)
+        return found
+
+
+def pattern(name: str, *args: Any) -> ItemPattern:
+    """Convenience constructor; bare strings become variables.
+
+    ``pattern('salary1', 'n')`` is the paper's ``salary1(n)``.  Pass
+    :class:`Const` explicitly for literal arguments.
+    """
+    terms: list[Term] = []
+    for arg in args:
+        if isinstance(arg, Term):
+            terms.append(arg)
+        elif isinstance(arg, str):
+            terms.append(Var(arg))
+        else:
+            terms.append(Const(arg))
+    return ItemPattern(name, tuple(terms))
+
+
+def match_term(term: Term, value: Value, bindings: Bindings) -> bool:
+    """Match ``term`` against a concrete ``value``, extending ``bindings``.
+
+    Returns ``True`` on success.  ``bindings`` is extended in place; on a
+    ``False`` return, it may contain partial additions, so callers should
+    match against a scratch copy (as :func:`repro.core.templates.match_desc`
+    does).
+    """
+    if term is WILDCARD:
+        return True
+    if isinstance(term, Const):
+        return term.value == value
+    if isinstance(term, Var):
+        if term.name in bindings:
+            return bindings[term.name] == value
+        bindings[term.name] = value
+        return True
+    raise TypeError(f"not a matchable term: {term!r}")
+
+
+def match_item(pattern_: ItemPattern, ref: DataItemRef, bindings: Bindings) -> bool:
+    """Match an item pattern against a ground item reference."""
+    if pattern_.name != ref.name:
+        return False
+    if len(pattern_.args) != len(ref.args):
+        return False
+    for term, value in zip(pattern_.args, ref.args):
+        if not match_term(term, value, bindings):
+            return False
+    return True
+
+
+def ground_term(term: Term, bindings: Bindings) -> Value:
+    """Substitute ``bindings`` into ``term``, yielding a concrete value."""
+    if term is WILDCARD:
+        raise BindingError("cannot ground a wildcard term")
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, Var):
+        if term.name not in bindings:
+            raise BindingError(f"unbound variable: {term.name}")
+        return bindings[term.name]
+    raise TypeError(f"not a groundable term: {term!r}")
+
+
+def ground_item(pattern_: ItemPattern, bindings: Bindings) -> DataItemRef:
+    """Substitute ``bindings`` into an item pattern, yielding a ground ref."""
+    args = tuple(ground_term(term, bindings) for term in pattern_.args)
+    return DataItemRef(pattern_.name, args)

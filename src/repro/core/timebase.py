@@ -1,0 +1,93 @@
+"""Virtual time base for the constraint-management framework.
+
+The paper states all interface and strategy rules with explicit delay bounds
+("within delta seconds").  To make those bounds exact and the simulation fully
+deterministic, the library represents time internally as **integer
+microseconds** of virtual time.  The public API accepts and returns float
+seconds; conversion helpers live here so no other module hand-rolls the
+arithmetic.
+
+The module also defines a few calendar helpers used by the periodic-guarantee
+scenario of Section 6.4 (banking days with an update window), based on a
+simulated day that starts at virtual time 0 = midnight of day 0.
+"""
+
+from __future__ import annotations
+
+MICROSECONDS_PER_SECOND = 1_000_000
+SECONDS_PER_MINUTE = 60
+SECONDS_PER_HOUR = 3600
+SECONDS_PER_DAY = 86_400
+
+#: One simulated day, in ticks.
+DAY = SECONDS_PER_DAY * MICROSECONDS_PER_SECOND
+#: One simulated hour, in ticks.
+HOUR = SECONDS_PER_HOUR * MICROSECONDS_PER_SECOND
+#: One simulated minute, in ticks.
+MINUTE = SECONDS_PER_MINUTE * MICROSECONDS_PER_SECOND
+
+# A "tick" is one microsecond of virtual time.
+Ticks = int
+
+
+def seconds(value: float) -> Ticks:
+    """Convert float seconds to integer ticks (microseconds).
+
+    Rounds to the nearest tick, so ``seconds(0.1)`` is exactly ``100_000``.
+    """
+    return round(value * MICROSECONDS_PER_SECOND)
+
+
+def minutes(value: float) -> Ticks:
+    """Convert minutes to ticks."""
+    return seconds(value * SECONDS_PER_MINUTE)
+
+
+def hours(value: float) -> Ticks:
+    """Convert hours to ticks."""
+    return seconds(value * SECONDS_PER_HOUR)
+
+
+def days(value: float) -> Ticks:
+    """Convert days to ticks."""
+    return seconds(value * SECONDS_PER_DAY)
+
+
+def to_seconds(ticks: Ticks) -> float:
+    """Convert ticks back to float seconds (for reporting)."""
+    return ticks / MICROSECONDS_PER_SECOND
+
+
+def time_of_day(ticks: Ticks) -> Ticks:
+    """Ticks elapsed since the most recent simulated midnight."""
+    return ticks % DAY
+
+
+def day_number(ticks: Ticks) -> int:
+    """The simulated day index containing ``ticks`` (day 0 starts at 0)."""
+    return ticks // DAY
+
+
+def clock_time(hour: int, minute: int = 0, second: int = 0) -> Ticks:
+    """Ticks-since-midnight for a wall-clock time like 17:15.
+
+    Used to express windows such as "no updates between 5 p.m. and 8 a.m."
+    from the Section 6.4 banking scenario.
+    """
+    if not 0 <= hour < 24:
+        raise ValueError(f"hour out of range: {hour}")
+    if not 0 <= minute < 60:
+        raise ValueError(f"minute out of range: {minute}")
+    if not 0 <= second < 60:
+        raise ValueError(f"second out of range: {second}")
+    return hours(hour) + minutes(minute) + seconds(second)
+
+
+def format_ticks(ticks: Ticks) -> str:
+    """Human-readable rendering, e.g. ``'d1 17:15:00.250000'``."""
+    day = day_number(ticks)
+    rem = time_of_day(ticks)
+    hour, rem = divmod(rem, HOUR)
+    minute, rem = divmod(rem, MINUTE)
+    second, micros = divmod(rem, MICROSECONDS_PER_SECOND)
+    return f"d{day} {hour:02d}:{minute:02d}:{second:02d}.{micros:06d}"

@@ -1,0 +1,447 @@
+"""Execution traces and the valid-execution properties of Appendix A.2.
+
+Every constraint-relevant event in a scenario is recorded, in time order, in
+an :class:`ExecutionTrace`.  The trace maintains the running interpretation
+(state of the traced items) so each recorded event carries correct ``old`` /
+``new`` interpretations, derives per-item value *timelines* for the guarantee
+checker, and can be validated against the seven properties that define a
+valid execution in the paper's Appendix A.2.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.core.errors import TraceError
+from repro.core.events import Event, EventDesc, EventKind
+from repro.core.interpretations import Interpretation
+from repro.core.items import MISSING, DataItemRef, Value
+from repro.core.rules import Rule
+from repro.core.templates import Template, match_desc
+from repro.core.terms import Bindings
+from repro.core.timebase import Ticks
+
+
+@dataclass(frozen=True)
+class TimelineSegment:
+    """A maximal interval during which an item held one value.
+
+    The segment covers ``[start, end)``; the final segment of a timeline has
+    ``end`` equal to the trace horizon.
+    """
+
+    start: Ticks
+    end: Ticks
+    value: Value
+
+    def covers(self, time: Ticks) -> bool:
+        """Whether the (half-open) segment contains ``time``."""
+        return self.start <= time < self.end
+
+    @property
+    def length(self) -> Ticks:
+        """Duration of the segment in ticks."""
+        return max(0, self.end - self.start)
+
+
+class Timeline:
+    """The piecewise-constant value history of one data item.
+
+    Built from a trace: the item starts at its seeded value (or MISSING) and
+    changes at each write event.  Queries are binary searches.
+    """
+
+    def __init__(self, changes: list[tuple[Ticks, Value]], horizon: Ticks):
+        if not changes or changes[0][0] != 0:
+            changes = [(0, MISSING)] + list(changes)
+        # Collapse simultaneous changes (the last write at an instant wins),
+        # then drop no-op changes so segments are maximal.  Two passes: a
+        # same-instant overwrite can re-create an adjacent duplicate that
+        # the first pass already let through.
+        collapsed: list[tuple[Ticks, Value]] = []
+        for time, value in changes:
+            if collapsed and collapsed[-1][0] == time:
+                collapsed[-1] = (time, value)
+            else:
+                collapsed.append((time, value))
+        deduped: list[tuple[Ticks, Value]] = []
+        for time, value in collapsed:
+            if not deduped or deduped[-1][1] != value:
+                deduped.append((time, value))
+        self._times = [time for time, _ in deduped]
+        self._values = [value for _, value in deduped]
+        self.horizon = max(horizon, self._times[-1])
+
+    def value_at(self, time: Ticks) -> Value:
+        """The item's value at virtual time ``time``."""
+        if time < 0:
+            return MISSING
+        index = bisect_right(self._times, time) - 1
+        return self._values[index]
+
+    def segments(self) -> Iterator[TimelineSegment]:
+        """All maximal constant segments, in time order."""
+        for index, start in enumerate(self._times):
+            end = (
+                self._times[index + 1]
+                if index + 1 < len(self._times)
+                else self.horizon
+            )
+            if end > start:
+                yield TimelineSegment(start, end, self._values[index])
+
+    def segments_with_value(self, value: Value) -> Iterator[TimelineSegment]:
+        """Maximal segments during which the item held ``value``."""
+        for segment in self.segments():
+            if segment.value == value:
+                yield segment
+
+    def change_points(self) -> list[tuple[Ticks, Value]]:
+        """The (time, new value) change list, starting at time 0."""
+        return list(zip(self._times, self._values))
+
+    def distinct_values(self) -> list[Value]:
+        """Values taken over the trace, in order of first acquisition."""
+        seen: list[Value] = []
+        for value in self._values:
+            if value not in seen:
+                seen.append(value)
+        return seen
+
+
+@dataclass
+class Violation:
+    """One valid-execution property violation found by the validator."""
+
+    property_number: int
+    message: str
+    event: Optional[Event] = None
+
+    def __str__(self) -> str:
+        prefix = f"property {self.property_number}: {self.message}"
+        if self.event is not None:
+            prefix += f" (event {self.event})"
+        return prefix
+
+
+class ExecutionTrace:
+    """The recorded event sequence of one scenario run.
+
+    The trace owns the authoritative interpretation of the traced items:
+    callers record *what happened* (site + descriptor + provenance) and the
+    trace computes the ``old``/``new`` interpretations, which guarantees
+    valid-execution properties 2 and 3 by construction — the validator then
+    re-checks them independently.
+    """
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+        self._current: dict[DataItemRef, Value] = {}
+        self._seeded: dict[DataItemRef, Value] = {}
+        self.horizon: Ticks = 0
+        self._timeline_cache: dict[DataItemRef, tuple[int, Timeline]] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def seed(self, ref: DataItemRef, value: Value) -> None:
+        """Set an item's initial (time-0) value without recording an event.
+
+        Must be called before any event is recorded.
+        """
+        if self._events:
+            raise TraceError("cannot seed a trace after events were recorded")
+        self._current[ref] = value
+        self._seeded[ref] = value
+
+    def record(
+        self,
+        time: Ticks,
+        site: str,
+        desc: EventDesc,
+        rule: Rule | None = None,
+        trigger: Event | None = None,
+    ) -> Event:
+        """Record one event, computing its interpretations."""
+        if self._events and time < self._events[-1].time:
+            raise TraceError(
+                f"event at {time} recorded after event at {self._events[-1].time}"
+            )
+        old = Interpretation(self._current)
+        if desc.kind.is_write:
+            assert desc.item is not None
+            if desc.kind is EventKind.WRITE:
+                self._current[desc.item] = desc.values[0]
+            else:
+                self._current[desc.item] = desc.values[1]
+        new = Interpretation(self._current)
+        event = Event(
+            time=time,
+            site=site,
+            desc=desc,
+            old=old,
+            new=new,
+            rule=rule,
+            trigger=trigger,
+        )
+        self._events.append(event)
+        self.horizon = max(self.horizon, time)
+        return event
+
+    def close(self, horizon: Ticks) -> None:
+        """Extend the trace horizon to the end-of-run time."""
+        self.horizon = max(self.horizon, horizon)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def events(self) -> list[Event]:
+        """All recorded events, in order (do not mutate)."""
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events_matching(self, tmpl: Template) -> Iterator[tuple[Event, Bindings]]:
+        """All (event, matching interpretation) pairs for a template."""
+        for event in self._events:
+            bindings = match_desc(tmpl, event.desc)
+            if bindings is not None:
+                yield event, bindings
+
+    def events_of_kind(self, kind: EventKind) -> Iterator[Event]:
+        """All events with the given descriptor kind."""
+        return (e for e in self._events if e.desc.kind is kind)
+
+    def writes_to(self, ref: DataItemRef) -> Iterator[Event]:
+        """All (generated or spontaneous) writes to ``ref``, in order."""
+        for event in self._events:
+            if event.desc.kind.is_write and event.desc.item == ref:
+                yield event
+
+    def timeline(self, ref: DataItemRef) -> Timeline:
+        """The value history of ``ref`` over this trace."""
+        cached = self._timeline_cache.get(ref)
+        if cached is not None and cached[0] == len(self._events):
+            return cached[1]
+        changes: list[tuple[Ticks, Value]] = [(0, self._seeded.get(ref, MISSING))]
+        for event in self.writes_to(ref):
+            changes.append((event.time, event.written_value))
+        timeline = Timeline(changes, self.horizon)
+        self._timeline_cache[ref] = (len(self._events), timeline)
+        return timeline
+
+    def value_at(self, ref: DataItemRef, time: Ticks) -> Value:
+        """Value of ``ref`` at ``time`` (MISSING before any seed/write)."""
+        return self.timeline(ref).value_at(time)
+
+    def current_value(self, ref: DataItemRef) -> Value:
+        """Value of ``ref`` right now — O(1), no timeline construction."""
+        return self._current.get(ref, MISSING)
+
+    def refs_of_family(self, family: str) -> list[DataItemRef]:
+        """All ground item refs of a parameterized family seen in the trace."""
+        refs: set[DataItemRef] = set()
+        for ref in self._seeded:
+            if ref.name == family:
+                refs.add(ref)
+        for event in self._events:
+            ref = event.desc.item
+            if ref is not None and ref.name == family:
+                refs.add(ref)
+        return sorted(refs, key=lambda r: (r.name, tuple(map(str, r.args))))
+
+
+def validate_trace(trace: ExecutionTrace, rules: list[Rule]) -> list[Violation]:
+    """Check the seven valid-execution properties of Appendix A.2.
+
+    Properties 1-5 are checked exactly.  Property 6 (rule liveness) is checked
+    for every LHS match whose RHS steps carry the trivial condition; steps
+    with non-trivial conditions depend on local shell state at firing time,
+    which the trace does not retain, so a missing event for such a step is
+    not reported (it may legitimately have been suppressed by its condition).
+    Property 7 (in-order processing of related rules) is checked exactly over
+    the recorded generated events.
+    """
+    violations: list[Violation] = []
+    events = trace.events
+
+    # Property 1: nondecreasing time.
+    for previous, current in zip(events, events[1:]):
+        if current.time < previous.time:
+            violations.append(Violation(1, "events out of time order", current))
+
+    # Property 2: write events transform interpretations correctly.
+    for event in events:
+        if event.desc.kind.is_write:
+            ref = event.desc.item
+            assert ref is not None
+            expected = event.old.updated(ref, event.written_value)
+            if event.new != expected:
+                violations.append(
+                    Violation(2, "write event has inconsistent new state", event)
+                )
+        else:
+            if event.new != event.old:
+                violations.append(
+                    Violation(2, "non-write event changed the state", event)
+                )
+
+    # Property 3: interpretations chain.
+    for previous, current in zip(events, events[1:]):
+        if current.old != previous.new:
+            violations.append(
+                Violation(3, "old state does not chain from previous event", current)
+            )
+
+    # Property 4: spontaneous events carry no provenance.
+    for event in events:
+        spontaneous_kind = event.desc.kind in (
+            EventKind.SPONTANEOUS_WRITE,
+            EventKind.PERIODIC,
+        )
+        if spontaneous_kind and (event.rule is not None or event.trigger is not None):
+            violations.append(
+                Violation(4, "spontaneous event carries rule/trigger", event)
+            )
+
+    # Property 5: generated events have consistent provenance.
+    for event in events:
+        if event.rule is None:
+            continue
+        if event.trigger is None:
+            violations.append(Violation(5, "generated event lacks a trigger", event))
+            continue
+        rule = event.rule
+        bindings = match_desc(rule.lhs, event.trigger.desc)
+        if bindings is None:
+            violations.append(
+                Violation(5, "trigger does not match the rule's LHS", event)
+            )
+            continue
+        if not _desc_matches_some_step(rule, event.desc, bindings):
+            violations.append(
+                Violation(
+                    5, "event is not an instantiation of any RHS template", event
+                )
+            )
+        if event.trigger.time > event.time:
+            violations.append(Violation(5, "event precedes its trigger", event))
+        if event.time > event.trigger.time + rule.delay:
+            violations.append(
+                Violation(5, "event exceeds its rule's delay bound", event)
+            )
+
+    # Property 6: rule liveness for unconditional steps.
+    violations.extend(_check_liveness(trace, rules))
+
+    # Property 7: related rules fire in order.
+    violations.extend(_check_in_order(trace))
+
+    return violations
+
+
+def _desc_matches_some_step(rule: Rule, desc: EventDesc, bindings: Bindings) -> bool:
+    """Whether ``desc`` instantiates an RHS template under extended bindings."""
+    for step in rule.steps:
+        if step.template.kind is EventKind.FALSE:
+            continue
+        extended = match_desc(step.template, desc)
+        if extended is None:
+            continue
+        consistent = all(
+            extended.get(name, value) == value for name, value in bindings.items()
+            if name in extended
+        )
+        if consistent:
+            return True
+    return False
+
+
+def _check_liveness(trace: ExecutionTrace, rules: list[Rule]) -> list[Violation]:
+    from repro.core.conditions import TRUE  # local import to avoid cycle noise
+
+    violations: list[Violation] = []
+    for rule in rules:
+        if rule.is_prohibition:
+            for event, __ in trace.events_matching(rule.lhs):
+                violations.append(
+                    Violation(
+                        6,
+                        f"rule {rule.name!r} prohibits this event",
+                        event,
+                    )
+                )
+            continue
+        if rule.condition is not TRUE:
+            # The LHS condition read local data we no longer have; skip.
+            continue
+        for event, bindings in trace.events_matching(rule.lhs):
+            deadline = event.time + rule.delay
+            if deadline > trace.horizon:
+                continue  # obligation not yet due at end of trace
+            previous_time = event.time
+            for step in rule.steps:
+                if step.condition is not TRUE:
+                    break  # later steps' timing depends on this one; stop here
+                found = _find_generated(
+                    trace, rule, event, step.template, previous_time, deadline
+                )
+                if found is None:
+                    violations.append(
+                        Violation(
+                            6,
+                            f"rule {rule.name!r}: no {step.template} within "
+                            f"delay after trigger",
+                            event,
+                        )
+                    )
+                    break
+                previous_time = found.time
+    return violations
+
+
+def _find_generated(
+    trace: ExecutionTrace,
+    rule: Rule,
+    trigger: Event,
+    tmpl: Template,
+    not_before: Ticks,
+    deadline: Ticks,
+) -> Event | None:
+    for event in trace.events:
+        if event.time < not_before or event.time > deadline:
+            continue
+        if event.rule is rule and event.trigger is trigger:
+            if match_desc(tmpl, event.desc) is not None:
+                return event
+    return None
+
+
+def _check_in_order(trace: ExecutionTrace) -> list[Violation]:
+    """Property 7: if two generated events come from *related* rules (same
+    LHS site, same RHS site), their order must match their triggers' order."""
+    violations: list[Violation] = []
+    generated = [e for e in trace.events if e.rule is not None and e.trigger is not None]
+    by_sites: dict[tuple[str, str], list[Event]] = {}
+    for event in generated:
+        key = (event.trigger.site, event.site)
+        by_sites.setdefault(key, []).append(event)
+    for group in by_sites.values():
+        for index, first in enumerate(group):
+            for second in group[index + 1:]:
+                t1, t3 = first.trigger.time, second.trigger.time
+                t2, t4 = first.time, second.time
+                if t1 == t3 or t2 == t4:
+                    continue
+                if (t1 < t3) != (t2 < t4):
+                    violations.append(
+                        Violation(
+                            7,
+                            "related rules fired out of order "
+                            f"(triggers at {t1} vs {t3}, events at {t2} vs {t4})",
+                            second,
+                        )
+                    )
+    return violations

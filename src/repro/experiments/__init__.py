@@ -1,0 +1,29 @@
+"""The experiment harness reproducing the paper's claims.
+
+The paper's evaluation is qualitative (its claims are guarantee-validity
+statements per scenario); each module here turns one claim into a
+quantitative, checkable experiment.  See DESIGN.md's experiment index for
+the mapping to paper sections, and ``python -m repro.experiments.runner``
+for the command-line entry point.
+
+- :mod:`repro.experiments.e1_propagation` — §4.2: notify→write propagation
+  validates guarantees (1)-(4).
+- :mod:`repro.experiments.e2_polling` — §4.2.3: polling keeps (1)(3)(4) but
+  loses (2); missed updates vs polling period.
+- :mod:`repro.experiments.e3_caching` — §3.2 fn.3: cached propagation
+  suppresses redundant writes.
+- :mod:`repro.experiments.e4_demarcation` — §6.1: X ≤ Y always; slack
+  policies compared.
+- :mod:`repro.experiments.e5_referential` — §6.2: 24-hour violation windows
+  under daily cleanup.
+- :mod:`repro.experiments.e6_monitor` — §6.3: Flag/Tb soundness vs κ.
+- :mod:`repro.experiments.e7_periodic` — §6.4: nightly consistency windows.
+- :mod:`repro.experiments.e8_failures` — §5: metric vs logical failure
+  semantics.
+- :mod:`repro.experiments.e9_reconfig` — §4.2.3/§4.3: interface changes need
+  only specification changes.
+- :mod:`repro.experiments.e10_scale` — §4.3/§7.2: scaling sites and
+  constraints without global coordination.
+- :mod:`repro.experiments.ablations` — in-order delivery ablation and other
+  design-choice checks.
+"""

@@ -1,0 +1,104 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments.runner            # run everything
+    python -m repro.experiments.runner e2 e4      # run selected experiments
+    python -m repro.experiments.runner --list     # show what exists
+
+Each experiment prints its claim, a REPRODUCED / NOT REPRODUCED verdict, and
+the table of measured rows (the reproduction's analogue of the paper's
+evaluation output).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import (
+    ablations,
+    e1_propagation,
+    e2_polling,
+    e3_caching,
+    e4_demarcation,
+    e5_referential,
+    e6_monitor,
+    e7_periodic,
+    e8_failures,
+    e9_reconfig,
+    e10_scale,
+    e11_arithmetic,
+)
+from repro.experiments.common import ExperimentResult
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[], object]]] = {
+    "e1": ("propagation strategy (Section 4.2)", e1_propagation.run),
+    "e2": ("polling strategy (Section 4.2.3)", e2_polling.run),
+    "e3": ("cached propagation (Section 3.2 fn. 3)", e3_caching.run),
+    "e4": ("demarcation protocol (Section 6.1)", e4_demarcation.run),
+    "e5": ("referential integrity (Section 6.2)", e5_referential.run),
+    "e6": ("monitor strategy (Section 6.3)", e6_monitor.run),
+    "e7": ("periodic guarantees (Section 6.4)", e7_periodic.run),
+    "e8": ("failure handling (Section 5)", e8_failures.run),
+    "e9": ("reconfiguration cost (Sections 4.2.3, 4.3)", e9_reconfig.run),
+    "e10": ("scale-out (Sections 4.3, 7.2)", e10_scale.run),
+    "e11": ("arithmetic decomposition (Section 7.1)", e11_arithmetic.run),
+    "ablation-order": (
+        "in-order delivery ablation (Appendix A)",
+        ablations.run_in_order_ablation,
+    ),
+    "ablation-echo": (
+        "trigger-echo suppression ablation",
+        ablations.run_echo_ablation,
+    ),
+    "ablation-skew": (
+        "clock-skew margins ablation (Section 7.2)",
+        ablations.run_clock_skew_ablation,
+    ),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the selected experiments; exit 1 if any claim fails to reproduce."""
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="Reproduce the paper's per-scenario claims.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (default: all)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiments and exit"
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        for key, (description, __) in EXPERIMENTS.items():
+            print(f"{key:15s} {description}")
+        return 0
+    selected = args.experiments or list(EXPERIMENTS)
+    unknown = [key for key in selected if key not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}", file=sys.stderr)
+        return 2
+    failures = 0
+    for key in selected:
+        __, run = EXPERIMENTS[key]
+        result = run()
+        assert isinstance(result, ExperimentResult)
+        print(result.render())
+        print()
+        if not result.claim_holds:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) did NOT reproduce", file=sys.stderr)
+        return 1
+    print(f"all {len(selected)} experiment(s) reproduced")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

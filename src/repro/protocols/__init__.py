@@ -1,0 +1,13 @@
+"""Programmed (non-rule) constraint-management protocols.
+
+Currently one member: the Demarcation Protocol of Barbara & Garcia-Molina,
+which the paper uses as its complex-scenario case study (Section 6.1).
+"""
+
+from repro.protocols.demarcation import (
+    DemarcationAgent,
+    DemarcationProtocol,
+    SlackPolicy,
+)
+
+__all__ = ["DemarcationAgent", "DemarcationProtocol", "SlackPolicy"]

@@ -1,0 +1,98 @@
+"""Common vocabulary for raw information sources.
+
+Each RIS advertises a set of :class:`Capability` flags describing what its
+native interface can do; CM-Translators consult these when deciding which
+CM-Interfaces they can offer (Section 4.1: during initialization the
+CM-Shells query the CM-Translators about local capabilities).
+
+Errors raised by a RIS carry an errno-like :class:`RISErrorCode`.  The
+CM-Translator maps these codes to the paper's failure classes (Section 5):
+transient codes become *metric* failures, permanent codes become *logical*
+failures.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, Flag, auto
+
+
+class Capability(Flag):
+    """What a source's native interface supports."""
+
+    NONE = 0
+    #: Values can be read on demand.
+    READ = auto()
+    #: Values can be written on demand.
+    WRITE = auto()
+    #: Records can be created and deleted.
+    INSERT_DELETE = auto()
+    #: The source can push update notifications (e.g. via triggers).
+    NOTIFY = auto()
+    #: The source evaluates predicates locally (conditional notification).
+    LOCAL_CONDITIONS = auto()
+    #: The source has a local constraint manager that can enforce local
+    #: predicates (required by the Demarcation Protocol, Section 6.1).
+    LOCAL_CONSTRAINTS = auto()
+    #: The source supports local transactions (atomic multi-item updates).
+    TRANSACTIONS = auto()
+
+
+class RISErrorCode(Enum):
+    """Errno-like error codes surfaced by raw sources.
+
+    ``transient`` codes indicate the operation may succeed if retried (the
+    translator classifies these as metric failures); non-transient codes
+    indicate the interface contract is broken (logical failures).
+    """
+
+    #: The source is overloaded or briefly unavailable (transient).
+    BUSY = "busy"
+    #: The operation timed out (transient).
+    TIMEOUT = "timeout"
+    #: The source has crashed / is unreachable (permanent until reset).
+    UNAVAILABLE = "unavailable"
+    #: The named object does not exist.
+    NOT_FOUND = "not-found"
+    #: Input was malformed (bad query, wrong type).
+    INVALID_REQUEST = "invalid-request"
+    #: A local integrity constraint rejected the operation.
+    CONSTRAINT_VIOLATION = "constraint-violation"
+    #: The operation is not supported by this source at all.
+    UNSUPPORTED = "unsupported"
+
+    @property
+    def transient(self) -> bool:
+        """Whether retrying could help (drives metric-vs-logical mapping)."""
+        return self in (RISErrorCode.BUSY, RISErrorCode.TIMEOUT)
+
+
+class RISError(Exception):
+    """Base error for all raw-information-source failures."""
+
+    def __init__(self, code: RISErrorCode, message: str):
+        super().__init__(f"[{code.value}] {message}")
+        self.code = code
+        self.message = message
+
+
+class RawInformationSource:
+    """Base class for raw sources.
+
+    Concrete sources expose their own native APIs (SQL strings, file paths,
+    lookup keys, ...); this base class only fixes the capability survey and a
+    display name.  The heterogeneity is the point: nothing above the
+    CM-Translator layer ever sees these native APIs.
+    """
+
+    #: Human-readable kind, e.g. "relational", "flat-file".
+    kind: str = "abstract"
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def capabilities(self) -> Capability:
+        """The capability flags of this source's native interface."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

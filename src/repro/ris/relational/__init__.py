@@ -1,0 +1,44 @@
+"""A from-scratch mini relational DBMS.
+
+This is the reproduction's stand-in for the Sybase/Oracle servers of the
+paper: the CM-Translator for relational sources (Section 4.2.1) speaks SQL to
+it, declares triggers on it to implement Notify Interfaces, and maps its
+error codes to metric/logical failures.
+
+Features (the subset the constraint-management toolkit exercises):
+
+- DDL: ``CREATE TABLE``, ``DROP TABLE``, ``CREATE INDEX``.
+- DML: ``INSERT``, ``UPDATE``, ``DELETE`` with ``WHERE`` predicates and
+  ``?`` parameter placeholders.
+- Queries: ``SELECT`` with projection, expressions, ``WHERE``, ``ORDER BY``,
+  ``LIMIT``, and the aggregates ``COUNT/MIN/MAX/SUM``.
+- Row triggers: ``AFTER INSERT / UPDATE [OF col] / DELETE`` firing host
+  callbacks with old/new rows (how notify interfaces are implemented).
+- Primary-key and unique constraints backed by hash indexes; secondary
+  hash/ordered indexes chosen automatically for equality predicates.
+- Local transactions with rollback (undo logging) — the facility the
+  Demarcation Protocol relies on for local-constraint enforcement.
+
+Public entry point: :class:`~repro.ris.relational.database.RelationalDatabase`.
+"""
+
+from repro.ris.relational.database import RelationalDatabase, ResultSet
+from repro.ris.relational.errors import (
+    CatalogError,
+    ConstraintViolationError,
+    SqlError,
+    SqlSyntaxError,
+    TransactionError,
+)
+from repro.ris.relational.triggers import TriggerEvent
+
+__all__ = [
+    "RelationalDatabase",
+    "ResultSet",
+    "SqlError",
+    "SqlSyntaxError",
+    "CatalogError",
+    "ConstraintViolationError",
+    "TransactionError",
+    "TriggerEvent",
+]

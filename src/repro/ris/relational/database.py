@@ -1,0 +1,270 @@
+"""The relational database facade: the RISI the translator talks to.
+
+:class:`RelationalDatabase` exposes one native entry point, :meth:`execute`,
+taking SQL text plus ``?`` parameters, like a real server's wire protocol.
+Everything the CM-Translator does — reads, writes, trigger declaration for
+notify interfaces — goes through it.
+
+Failure injection: :meth:`set_available` / :meth:`set_busy` flip the server
+into the paper's logical / metric failure modes, making ``execute`` raise
+:class:`DatabaseUnavailableError` / :class:`DatabaseBusyError` so translators
+can exercise their error-classification path (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.ris.base import Capability, RawInformationSource
+from repro.ris.relational.ast import (
+    BeginTransaction,
+    CommitTransaction,
+    CreateIndex,
+    CreateTable,
+    CreateTrigger,
+    Delete,
+    DropTable,
+    DropTrigger,
+    Insert,
+    RollbackTransaction,
+    Select,
+    Update,
+)
+from repro.ris.relational.errors import (
+    CatalogError,
+    ConstraintViolationError,
+    DatabaseBusyError,
+    DatabaseUnavailableError,
+)
+from repro.ris.relational.executor import (
+    evaluate_expr,
+    matching_rows,
+    run_select,
+)
+from repro.ris.relational.parser import parse_sql
+from repro.ris.relational.storage import Catalog, Row, Table
+from repro.ris.relational.transactions import TransactionManager
+from repro.ris.relational.triggers import TriggerCallback, TriggerManager
+
+
+@dataclass
+class ResultSet:
+    """The result of one statement: rows for SELECTs, rowcount for DML."""
+
+    columns: list[str] = field(default_factory=list)
+    rows: list[tuple[Any, ...]] = field(default_factory=list)
+    rowcount: int = 0
+
+    def first(self) -> Optional[tuple[Any, ...]]:
+        """The first row, or None."""
+        return self.rows[0] if self.rows else None
+
+    def scalar(self) -> Any:
+        """The single value of a single-row, single-column result."""
+        first = self.first()
+        return first[0] if first else None
+
+
+class RelationalDatabase(RawInformationSource):
+    """A complete (mini) SQL database server."""
+
+    kind = "relational"
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.catalog = Catalog()
+        self.triggers = TriggerManager()
+        self.transactions = TransactionManager()
+        self._available = True
+        self._busy = False
+        self.statements_executed = 0
+
+    def capabilities(self) -> Capability:
+        """Everything: the richest source in the federation."""
+        return (
+            Capability.READ
+            | Capability.WRITE
+            | Capability.INSERT_DELETE
+            | Capability.NOTIFY
+            | Capability.LOCAL_CONDITIONS
+            | Capability.LOCAL_CONSTRAINTS
+            | Capability.TRANSACTIONS
+        )
+
+    # -- failure injection -------------------------------------------------
+
+    def set_available(self, available: bool) -> None:
+        """Simulate a server crash / recovery (logical failure)."""
+        self._available = available
+
+    def set_busy(self, busy: bool) -> None:
+        """Simulate overload: requests fail with a transient BUSY error."""
+        self._busy = busy
+
+    # -- the native interface ------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        """Parse and run one SQL statement."""
+        if not self._available:
+            raise DatabaseUnavailableError(f"{self.name} is down")
+        if self._busy:
+            raise DatabaseBusyError(f"{self.name} is overloaded")
+        self.statements_executed += 1
+        statement = parse_sql(sql)
+        if isinstance(statement, Select):
+            table = self.catalog.table(statement.table)
+            columns, rows = run_select(table, statement, params)
+            return ResultSet(columns=columns, rows=rows, rowcount=len(rows))
+        if isinstance(statement, Insert):
+            return self._run_insert(statement, params)
+        if isinstance(statement, Update):
+            return self._run_update(statement, params)
+        if isinstance(statement, Delete):
+            return self._run_delete(statement, params)
+        if isinstance(statement, CreateTable):
+            self.catalog.create_table(
+                statement.name, statement.columns, statement.checks
+            )
+            return ResultSet()
+        if isinstance(statement, DropTable):
+            self.catalog.drop_table(statement.name)
+            return ResultSet()
+        if isinstance(statement, CreateIndex):
+            table = self.catalog.table(statement.table)
+            if statement.unique:
+                table.add_hash_index(statement.column, unique=True)
+            else:
+                table.add_hash_index(statement.column)
+                table.add_ordered_index(statement.column)
+            return ResultSet()
+        if isinstance(statement, CreateTrigger):
+            self.catalog.table(statement.table)  # validate the table exists
+            self.triggers.create(
+                statement.name,
+                statement.operation,
+                statement.table,
+                statement.column,
+            )
+            return ResultSet()
+        if isinstance(statement, DropTrigger):
+            self.triggers.drop(statement.name)
+            return ResultSet()
+        if isinstance(statement, BeginTransaction):
+            self.transactions.begin()
+            return ResultSet()
+        if isinstance(statement, CommitTransaction):
+            for trigger, event in self.transactions.commit():
+                if trigger.callback is not None:
+                    trigger.callback(event)
+            return ResultSet()
+        if isinstance(statement, RollbackTransaction):
+            self.transactions.rollback()
+            return ResultSet()
+        raise CatalogError(f"unsupported statement: {statement!r}")
+
+    def set_trigger_callback(self, name: str, callback: TriggerCallback) -> None:
+        """Attach the host-language body of a declared trigger."""
+        self.triggers.set_callback(name, callback)
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> list[tuple[Any, ...]]:
+        """Convenience: execute a SELECT and return its rows."""
+        return self.execute(sql, params).rows
+
+    # -- DML internals --------------------------------------------------------
+
+    def _check_constraints(self, table: Table, row: Row) -> None:
+        for check in table.checks:
+            if not evaluate_expr(check, row, ()):
+                raise ConstraintViolationError(
+                    f"CHECK constraint failed on {table.name!r}"
+                )
+
+    def _fire_or_defer(
+        self, table: str, operation: str, old_row, new_row, assigned=None
+    ) -> None:
+        pairs = self.triggers.events_for(
+            table, operation, old_row, new_row, assigned
+        )
+        transaction = self.transactions.current
+        for trigger, event in pairs:
+            if transaction is not None:
+                transaction.defer_trigger(trigger, event)
+            elif trigger.callback is not None:
+                trigger.callback(event)
+
+    def _run_insert(self, statement: Insert, params: Sequence[Any]) -> ResultSet:
+        table = self.catalog.table(statement.table)
+        inserted = 0
+        for value_row in statement.rows:
+            if statement.columns:
+                if len(statement.columns) != len(value_row):
+                    raise CatalogError(
+                        f"INSERT has {len(statement.columns)} column(s) but "
+                        f"{len(value_row)} value(s)"
+                    )
+                names = statement.columns
+            else:
+                names = tuple(table.column_names)
+                if len(names) != len(value_row):
+                    raise CatalogError(
+                        f"INSERT needs {len(names)} value(s), got {len(value_row)}"
+                    )
+            values = {
+                name: evaluate_expr(expr, {}, params)
+                for name, expr in zip(names, value_row)
+            }
+            full_row = {name: values.get(name) for name in table.column_names}
+            self._check_constraints(table, full_row)
+            rowid = table.insert_row(values)
+            inserted += 1
+            transaction = self.transactions.current
+            if transaction is not None:
+                transaction.log_undo(
+                    lambda t=table, rid=rowid: t.delete_row(rid)
+                )
+            self._fire_or_defer(
+                statement.table, "INSERT", None, table.rows[rowid]
+            )
+        return ResultSet(rowcount=inserted)
+
+    def _run_update(self, statement: Update, params: Sequence[Any]) -> ResultSet:
+        table = self.catalog.table(statement.table)
+        matched = matching_rows(table, statement.where, params)
+        updated = 0
+        for rowid, row in matched:
+            changes = {
+                name: evaluate_expr(expr, row, params)
+                for name, expr in statement.assignments
+            }
+            candidate = dict(row)
+            candidate.update(changes)
+            self._check_constraints(table, candidate)
+            old, new = table.update_row(rowid, changes)
+            updated += 1
+            transaction = self.transactions.current
+            if transaction is not None:
+                undo_changes = {name: old[name] for name in changes}
+                transaction.log_undo(
+                    lambda t=table, rid=rowid, c=undo_changes: t.update_row(rid, c)
+                )
+            self._fire_or_defer(
+                statement.table, "UPDATE", old, new,
+                {name for name, __ in statement.assignments},
+            )
+        return ResultSet(rowcount=updated)
+
+    def _run_delete(self, statement: Delete, params: Sequence[Any]) -> ResultSet:
+        table = self.catalog.table(statement.table)
+        matched = matching_rows(table, statement.where, params)
+        deleted = 0
+        for rowid, __ in matched:
+            old = table.delete_row(rowid)
+            deleted += 1
+            transaction = self.transactions.current
+            if transaction is not None:
+                transaction.log_undo(
+                    lambda t=table, rid=rowid, r=old: t.restore_row(rid, r)
+                )
+            self._fire_or_defer(statement.table, "DELETE", old, None)
+        return ResultSet(rowcount=deleted)

@@ -1,0 +1,124 @@
+"""Row triggers: the hook CM-Translators use to build Notify Interfaces.
+
+Section 4.2.1 of the paper: "a CM-Translator supporting a Notify Interface
+for a Sybase RIS may need to declare triggers on the underlying database."
+Our engine supports ``AFTER INSERT / UPDATE [OF column] / DELETE`` row
+triggers whose bodies are host-language callbacks.
+
+Trigger events fire after the statement completes in autocommit mode; inside
+an explicit transaction they are queued and delivered on COMMIT (and dropped
+on ROLLBACK), so observers never see effects of undone work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.ris.relational.errors import CatalogError
+
+Row = dict[str, Any]
+
+
+@dataclass(frozen=True)
+class TriggerEvent:
+    """What a fired trigger reports to its callback."""
+
+    trigger_name: str
+    table: str
+    operation: str  # INSERT | UPDATE | DELETE
+    old_row: Optional[Row]
+    new_row: Optional[Row]
+
+
+TriggerCallback = Callable[[TriggerEvent], None]
+
+
+@dataclass
+class TriggerDef:
+    """One declared trigger (callback may be attached later)."""
+
+    name: str
+    operation: str
+    table: str
+    column: Optional[str]
+    callback: Optional[TriggerCallback] = None
+
+
+class TriggerManager:
+    """Registry and dispatcher for row triggers."""
+
+    def __init__(self) -> None:
+        self._triggers: dict[str, TriggerDef] = {}
+
+    def create(
+        self, name: str, operation: str, table: str, column: Optional[str]
+    ) -> TriggerDef:
+        """Declare a trigger; CatalogError on duplicate names."""
+        if name in self._triggers:
+            raise CatalogError(f"trigger {name!r} already exists")
+        trigger = TriggerDef(name, operation, table, column)
+        self._triggers[name] = trigger
+        return trigger
+
+    def drop(self, name: str) -> None:
+        """Remove a trigger by name."""
+        if name not in self._triggers:
+            raise CatalogError(f"no such trigger: {name!r}")
+        del self._triggers[name]
+
+    def set_callback(self, name: str, callback: TriggerCallback) -> None:
+        """Attach the host-language body to a declared trigger."""
+        trigger = self._triggers.get(name)
+        if trigger is None:
+            raise CatalogError(f"no such trigger: {name!r}")
+        trigger.callback = callback
+
+    def triggers_for(self, table: str) -> list[TriggerDef]:
+        """All triggers declared on a table."""
+        return [t for t in self._triggers.values() if t.table == table]
+
+    def names(self) -> list[str]:
+        """All trigger names."""
+        return list(self._triggers)
+
+    def events_for(
+        self,
+        table: str,
+        operation: str,
+        old_row: Optional[Row],
+        new_row: Optional[Row],
+        assigned_columns: Optional[set[str]] = None,
+    ) -> list[tuple[TriggerDef, TriggerEvent]]:
+        """Matching (trigger, event) pairs for one row change.
+
+        ``UPDATE OF col`` follows real-DBMS semantics: it fires when the
+        column is *assigned* in the SET clause, even if the new value equals
+        the old one — which is why redundant updates still generate
+        notifications, and why the paper's CM-side cache (Section 3.2) is
+        worth having.
+        """
+        matched: list[tuple[TriggerDef, TriggerEvent]] = []
+        for trigger in self._triggers.values():
+            if trigger.table != table or trigger.operation != operation:
+                continue
+            if (
+                trigger.operation == "UPDATE"
+                and trigger.column is not None
+                and assigned_columns is not None
+                and trigger.column not in assigned_columns
+            ):
+                continue  # UPDATE OF col: that column was not assigned
+            matched.append(
+                (
+                    trigger,
+                    TriggerEvent(
+                        trigger_name=trigger.name,
+                        table=table,
+                        operation=operation,
+                        old_row=dict(old_row) if old_row is not None else None,
+                        new_row=dict(new_row) if new_row is not None else None,
+                    ),
+                )
+            )
+        return matched

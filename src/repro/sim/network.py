@@ -1,0 +1,176 @@
+"""Simulated network: sites, channels, latency models, in-order delivery.
+
+The paper assumes a reliable network (its footnote 4) and, crucially, its
+Appendix A property 7 assumes **in-order message delivery between sites and
+in-order processing at each site** — a requirement the authors note was
+*discovered* while proving the "Y strictly follows X" guarantee.  The
+:class:`Network` enforces per-channel FIFO by never scheduling a delivery
+earlier than the previous delivery on the same (source, destination) channel.
+Setting ``in_order=False`` disables that clamp, which the ablation experiment
+uses to demonstrate guarantee (3) breaking.
+
+Latency models are pluggable and draw from a dedicated RNG stream so that
+workload changes never perturb network timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.timebase import Ticks, seconds
+from repro.sim.failures import FailurePlan
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Simulator
+
+
+class LatencyModel:
+    """Base class: produces a one-way message latency in ticks."""
+
+    def sample(self, rng) -> Ticks:
+        """Return a latency sample.  Subclasses must override."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedLatency(LatencyModel):
+    """Constant latency (useful for exact delay-bound reasoning in tests)."""
+
+    latency: Ticks
+
+    def sample(self, rng) -> Ticks:
+        return self.latency
+
+
+@dataclass(frozen=True)
+class UniformLatency(LatencyModel):
+    """Uniform latency in ``[low, high]`` ticks."""
+
+    low: Ticks
+    high: Ticks
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ValueError(f"low > high: {self.low} > {self.high}")
+
+    def sample(self, rng) -> Ticks:
+        return rng.randint(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class ExponentialLatency(LatencyModel):
+    """``base + Exp(mean_extra)`` latency, a common WAN-ish shape."""
+
+    base: Ticks
+    mean_extra: Ticks
+
+    def sample(self, rng) -> Ticks:
+        return self.base + round(rng.expovariate(1.0 / self.mean_extra))
+
+
+@dataclass
+class Message:
+    """A message in flight between two sites."""
+
+    src: str
+    dst: str
+    payload: Any
+    sent_at: Ticks
+    deliver_at: Ticks
+
+
+@dataclass
+class _SiteEntry:
+    handler: Callable[[Message], None]
+
+
+class Network:
+    """Sites plus per-channel FIFO message delivery.
+
+    Sites register a single inbound handler.  Sending is fire-and-forget; the
+    network samples a latency, applies any metric-failure slowdown of the
+    *sending* site, clamps for FIFO, and schedules the delivery.  Messages to
+    or from a logically-failed site are dropped (the site is dead).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng_registry: RngRegistry | None = None,
+        default_latency: LatencyModel | None = None,
+        failure_plan: FailurePlan | None = None,
+        in_order: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.rngs = rng_registry or RngRegistry()
+        self.default_latency = default_latency or FixedLatency(seconds(0.01))
+        self.failure_plan = failure_plan or FailurePlan()
+        self.in_order = in_order
+        self._sites: dict[str, _SiteEntry] = {}
+        self._channel_latency: dict[tuple[str, str], LatencyModel] = {}
+        self._last_delivery: dict[tuple[str, str], Ticks] = {}
+        self.messages_sent = 0
+        self.messages_dropped = 0
+
+    def register_site(self, site: str, handler: Callable[[Message], None]) -> None:
+        """Register ``site`` with its inbound-message handler."""
+        if site in self._sites:
+            raise ValueError(f"site already registered: {site}")
+        self._sites[site] = _SiteEntry(handler=handler)
+
+    def has_site(self, site: str) -> bool:
+        """Whether ``site`` is registered."""
+        return site in self._sites
+
+    @property
+    def sites(self) -> list[str]:
+        """Registered site names, in registration order."""
+        return list(self._sites)
+
+    def set_channel_latency(self, src: str, dst: str, model: LatencyModel) -> None:
+        """Override the latency model for the (src, dst) channel."""
+        self._channel_latency[(src, dst)] = model
+
+    def _latency_for(self, src: str, dst: str) -> Ticks:
+        model = self._channel_latency.get((src, dst), self.default_latency)
+        rng = self.rngs.stream(f"net:{src}->{dst}")
+        return model.sample(rng)
+
+    def send(self, src: str, dst: str, payload: Any) -> Message | None:
+        """Send ``payload`` from ``src`` to ``dst``.
+
+        Returns the in-flight :class:`Message`, or ``None`` if it was dropped
+        because either endpoint is logically failed at send time.  Local
+        (same-site) sends still go through the queue with zero base latency so
+        that processing stays strictly event-ordered.
+        """
+        if src not in self._sites:
+            raise ValueError(f"unknown source site: {src}")
+        if dst not in self._sites:
+            raise ValueError(f"unknown destination site: {dst}")
+        now = self.sim.now
+        self.messages_sent += 1
+        if self.failure_plan.logically_failed(src, now) or (
+            self.failure_plan.logically_failed(dst, now)
+        ):
+            self.messages_dropped += 1
+            return None
+        latency = 0 if src == dst else self._latency_for(src, dst)
+        slowdown = self.failure_plan.slowdown_at(src, now)
+        latency = round(latency * slowdown)
+        deliver_at = now + latency
+        channel = (src, dst)
+        if self.in_order:
+            deliver_at = max(deliver_at, self._last_delivery.get(channel, 0))
+        self._last_delivery[channel] = deliver_at
+        message = Message(
+            src=src, dst=dst, payload=payload, sent_at=now, deliver_at=deliver_at
+        )
+        self.sim.at(deliver_at, lambda: self._deliver(message))
+        return message
+
+    def _deliver(self, message: Message) -> None:
+        if self.failure_plan.logically_failed(message.dst, self.sim.now):
+            self.messages_dropped += 1
+            return
+        self._sites[message.dst].handler(message)

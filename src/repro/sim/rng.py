@@ -1,0 +1,32 @@
+"""Named, seeded random streams.
+
+Workload generators, latency models, and failure plans each draw from their
+own stream so that, e.g., changing the update workload does not perturb
+network latencies.  Streams are derived deterministically from a master seed
+and a stream name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def derive_seed(master_seed: int, name: str) -> int:
+    """Derive a 64-bit stream seed from a master seed and a stream name."""
+    digest = hashlib.sha256(f"{master_seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RngRegistry:
+    """Factory and cache of named :class:`random.Random` streams."""
+
+    def __init__(self, master_seed: int = 0) -> None:
+        self.master_seed = master_seed
+        self._streams: dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        if name not in self._streams:
+            self._streams[name] = random.Random(derive_seed(self.master_seed, name))
+        return self._streams[name]

@@ -1,0 +1,124 @@
+"""The discrete-event scheduler and virtual clock.
+
+A single :class:`Simulator` drives everything in a scenario: raw information
+sources, CM-Translators, CM-Shells, workload generators, and applications all
+schedule callbacks on it.  Time is integer microseconds
+(:mod:`repro.core.timebase`), and ties are broken by insertion order, so runs
+are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.timebase import Ticks, to_seconds
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A pending callback in the simulator's queue.
+
+    Instances are returned by :meth:`Simulator.at` / :meth:`Simulator.after`
+    and can be cancelled.  Ordering is (time, sequence number), which makes
+    simultaneous events run in the order they were scheduled.
+    """
+
+    time: Ticks
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op if already run)."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Deterministic discrete-event loop with an integer-microsecond clock."""
+
+    def __init__(self) -> None:
+        self._now: Ticks = 0
+        self._queue: list[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> Ticks:
+        """Current virtual time in ticks."""
+        return self._now
+
+    @property
+    def now_seconds(self) -> float:
+        """Current virtual time in float seconds (reporting convenience)."""
+        return to_seconds(self._now)
+
+    def at(self, time: Ticks, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``callback`` to run at absolute virtual time ``time``.
+
+        Scheduling in the past is an error: the framework's rules only ever
+        produce future (or simultaneous) events.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time} ticks; current time is {self._now}"
+            )
+        event = ScheduledEvent(time=time, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def after(self, delay: Ticks, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``callback`` to run ``delay`` ticks from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.at(self._now + delay, callback)
+
+    def stop(self) -> None:
+        """Stop the run loop after the currently executing callback."""
+        self._stopped = True
+
+    def peek(self) -> Ticks | None:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns ``False`` if none remained."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Ticks | None = None) -> None:
+        """Run events until the queue drains or virtual time passes ``until``.
+
+        When ``until`` is given, the clock is advanced to exactly ``until`` at
+        the end of the run even if the last event fired earlier, so that
+        "state at end of run" queries are well defined.
+        """
+        if self._running:
+            raise RuntimeError("simulator is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        try:
+            while not self._stopped:
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False

@@ -1,0 +1,53 @@
+"""The personnel workload of the paper's running example (Section 4.2).
+
+A company's San Francisco branch updates employee salaries in its local
+database; headquarters in New York keeps copies.  The workload populates an
+employee roster and then streams salary updates (per-employee random walks,
+Poisson arrivals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cm.manager import ConstraintManager
+from repro.core.timebase import Ticks
+from repro.workloads.generators import UpdateStream, random_walk
+
+
+@dataclass
+class PersonnelWorkload:
+    """Roster setup plus a salary-update stream."""
+
+    cm: ConstraintManager
+    family: str = "salary1"
+    employee_count: int = 20
+    rate: float = 1.0  # updates per simulated second across the roster
+    duration: Ticks = 0
+    start: Ticks = 0
+    employees: list[str] = field(init=False)
+    stream: UpdateStream = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.employees = [f"e{i:03d}" for i in range(1, self.employee_count + 1)]
+        rng = self.cm.scenario.rngs.stream(f"personnel:{self.family}")
+        # Initial roster load: everyone gets a starting salary at time 0;
+        # these are spontaneous writes too (the databases pre-exist the CM).
+        for employee in self.employees:
+            salary = round(rng.uniform(50_000, 150_000), 2)
+            self.cm.scenario.sim.at(
+                self.start,
+                lambda e=employee, s=salary: self.cm.spontaneous_write(
+                    self.family, (e,), s
+                ),
+            )
+        self.stream = UpdateStream(
+            self.cm,
+            self.family,
+            self.employees,
+            rate=self.rate,
+            duration=self.duration,
+            value_model=random_walk(step=2_000.0, start=100_000.0),
+            start=self.start,
+            stream_name=f"personnel-updates:{self.family}",
+        )

@@ -1,0 +1,63 @@
+"""Small scenario scaffolding for CM-layer unit tests."""
+
+from __future__ import annotations
+
+from repro.cm import CMRID, ConstraintManager, Scenario
+from repro.cm.translator import ServiceModel
+from repro.core.interfaces import InterfaceKind
+from repro.core.timebase import seconds
+from repro.ris.relational import RelationalDatabase
+
+#: Deterministic service model (no jitter) for exact-time assertions.
+EXACT_SERVICE = ServiceModel(
+    read=seconds(0.02), write=seconds(0.03), notify=seconds(0.05), jitter=0.0
+)
+
+
+def two_site_relational(
+    seed: int = 0,
+    offer_notify: bool = True,
+    in_order: bool = True,
+    failure_plan=None,
+):
+    """A minimal sf/ny pair with salary1/salary2 relational bindings."""
+    scenario = Scenario(seed=seed, in_order=in_order, failure_plan=failure_plan)
+    cm = ConstraintManager(scenario)
+    cm.add_site("sf")
+    cm.add_site("ny")
+
+    branch = RelationalDatabase("branch")
+    branch.execute(
+        "CREATE TABLE employees (empid TEXT PRIMARY KEY, salary REAL)"
+    )
+    rid_a = CMRID("relational", "branch").bind(
+        "salary1",
+        params=("n",),
+        table="employees",
+        key_column="empid",
+        value_column="salary",
+    )
+    if offer_notify:
+        rid_a.offer("salary1", InterfaceKind.NOTIFY, bound_seconds=2.0)
+    rid_a.offer("salary1", InterfaceKind.READ, bound_seconds=1.0)
+    translator_a = cm.add_source("sf", branch, rid_a, EXACT_SERVICE)
+
+    hq = RelationalDatabase("hq")
+    hq.execute(
+        "CREATE TABLE employees (empid TEXT PRIMARY KEY, salary REAL)"
+    )
+    rid_b = (
+        CMRID("relational", "hq")
+        .bind(
+            "salary2",
+            params=("n",),
+            table="employees",
+            key_column="empid",
+            value_column="salary",
+        )
+        .offer("salary2", InterfaceKind.WRITE, bound_seconds=2.0)
+        .offer("salary2", InterfaceKind.READ, bound_seconds=1.0)
+        .offer("salary2", InterfaceKind.NO_SPONTANEOUS_WRITE)
+    )
+    translator_b = cm.add_source("ny", hq, rid_b, EXACT_SERVICE)
+    return cm, branch, hq, translator_a, translator_b

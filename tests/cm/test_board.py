@@ -1,0 +1,83 @@
+"""Tests for the guarantee-status board (Section 5 semantics)."""
+
+from repro.cm.failures import FailureNotice
+from repro.cm.guarantee_status import GuaranteeStatusBoard
+from repro.core.guarantees import follows
+from repro.core.timebase import seconds
+from repro.sim.failures import FailureKind
+
+
+def notice(site, kind, time, recovered=False):
+    return FailureNotice(
+        site=site,
+        source_name="db",
+        kind=kind,
+        time=time,
+        detail="test",
+        recovered=recovered,
+    )
+
+
+class TestBoard:
+    def build(self):
+        board = GuaranteeStatusBoard()
+        metric = follows("X", "Y", within_seconds=5)
+        nonmetric = follows("X", "Y")
+        board.register(metric, {"a", "b"})
+        board.register(nonmetric, {"a", "b"})
+        other = follows("P", "Q")
+        board.register(other, {"c"})
+        return board, metric, nonmetric, other
+
+    def test_initially_valid(self):
+        board, metric, nonmetric, other = self.build()
+        assert board.is_valid(metric)
+        assert board.is_valid(nonmetric)
+
+    def test_metric_failure_hits_metric_guarantees_only(self):
+        board, metric, nonmetric, other = self.build()
+        board.on_notice(notice("a", FailureKind.METRIC, seconds(10)))
+        assert not board.is_valid(metric)
+        assert board.is_valid(nonmetric)
+        assert board.is_valid(other)  # different site
+
+    def test_metric_recovery_restores(self):
+        board, metric, __, ___ = self.build()
+        board.on_notice(notice("a", FailureKind.METRIC, seconds(10)))
+        board.on_notice(
+            notice("a", FailureKind.METRIC, seconds(20), recovered=True)
+        )
+        assert board.is_valid(metric)
+        intervals = board.invalid_intervals(metric, seconds(100))
+        assert intervals.total_length == seconds(10)
+
+    def test_logical_failure_hits_everything_until_reset(self):
+        board, metric, nonmetric, __ = self.build()
+        board.on_notice(notice("b", FailureKind.LOGICAL, seconds(10)))
+        assert not board.is_valid(metric)
+        assert not board.is_valid(nonmetric)
+        # A 'recovered' notice does NOT clear a logical failure...
+        board.on_notice(
+            notice("b", FailureKind.LOGICAL, seconds(20), recovered=True)
+        )
+        assert not board.is_valid(nonmetric)
+        # ...only an operator reset does (Section 5).
+        board.reset_site("b", seconds(30))
+        assert board.is_valid(nonmetric)
+        intervals = board.invalid_intervals(nonmetric, seconds(100))
+        assert intervals.total_length == seconds(20)
+
+    def test_open_interval_extends_to_horizon(self):
+        board, metric, __, ___ = self.build()
+        board.on_notice(notice("a", FailureKind.METRIC, seconds(10)))
+        intervals = board.invalid_intervals(metric, seconds(50))
+        assert intervals.total_length == seconds(40)
+
+    def test_duplicate_failures_do_not_stack(self):
+        board, metric, __, ___ = self.build()
+        board.on_notice(notice("a", FailureKind.METRIC, seconds(10)))
+        board.on_notice(notice("a", FailureKind.METRIC, seconds(15)))
+        board.on_notice(
+            notice("a", FailureKind.METRIC, seconds(20), recovered=True)
+        )
+        assert board.is_valid(metric)

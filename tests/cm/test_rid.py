@@ -1,0 +1,90 @@
+"""Tests for CM-RID configuration."""
+
+import pytest
+
+from repro.cm.rid import CMRID, InterfaceOffer, ItemBinding
+from repro.core.errors import ConfigurationError
+from repro.core.interfaces import InterfaceKind
+from repro.core.timebase import clock_time, seconds
+
+
+def sample_rid() -> CMRID:
+    return (
+        CMRID("relational", "branch", protocol={"server": "db1", "port": 4100})
+        .bind(
+            "salary1",
+            params=("n",),
+            table="employees",
+            key_column="empid",
+            value_column="salary",
+        )
+        .offer("salary1", InterfaceKind.NOTIFY, bound_seconds=2.0)
+        .offer("salary1", InterfaceKind.READ, bound_seconds=1.0)
+        .bind("budget", table="totals", key_column="k", value_column="v",
+              key="budget")
+        .offer(
+            "budget",
+            InterfaceKind.UPDATE_WINDOW,
+            window=(clock_time(17), clock_time(8)),
+        )
+        .offer(
+            "budget",
+            InterfaceKind.CONDITIONAL_NOTIFY,
+            bound_seconds=3.0,
+            condition="abs(b - a) > a * 0.1",
+        )
+    )
+
+
+class TestBuilding:
+    def test_duplicate_binding_rejected(self):
+        rid = sample_rid()
+        with pytest.raises(ConfigurationError):
+            rid.bind("salary1", table="x", key_column="k", value_column="v")
+
+    def test_offer_for_unbound_family_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CMRID("relational", "x").offer("ghost", InterfaceKind.READ)
+
+    def test_interface_set_materializes_rules(self):
+        interfaces = sample_rid().interface_set()
+        assert interfaces.has("salary1", InterfaceKind.NOTIFY)
+        assert interfaces.bound("salary1", InterfaceKind.NOTIFY) == seconds(2)
+        window = interfaces.get("budget", InterfaceKind.UPDATE_WINDOW)
+        assert window.window_start == clock_time(17)
+
+    def test_conditional_notify_requires_condition(self):
+        rid = CMRID("relational", "x").bind(
+            "f", table="t", key_column="k", value_column="v"
+        )
+        rid.offers["f"] = [InterfaceOffer(InterfaceKind.CONDITIONAL_NOTIFY)]
+        with pytest.raises(ConfigurationError):
+            rid.interface_set()
+
+    def test_update_window_requires_window(self):
+        rid = CMRID("relational", "x").bind(
+            "f", table="t", key_column="k", value_column="v"
+        )
+        rid.offers["f"] = [InterfaceOffer(InterfaceKind.UPDATE_WINDOW)]
+        with pytest.raises(ConfigurationError):
+            rid.interface_set()
+
+    def test_binding_lookup_errors(self):
+        with pytest.raises(ConfigurationError):
+            sample_rid().binding("ghost")
+
+
+class TestDictRoundTrip:
+    def test_roundtrip_preserves_everything(self):
+        rid = sample_rid()
+        restored = CMRID.from_dict(rid.to_dict())
+        assert restored.to_dict() == rid.to_dict()
+        assert restored.source_kind == "relational"
+        assert restored.protocol == {"server": "db1", "port": 4100}
+        interfaces = restored.interface_set()
+        assert interfaces.has("budget", InterfaceKind.CONDITIONAL_NOTIFY)
+        assert (
+            interfaces.get("budget", InterfaceKind.UPDATE_WINDOW).window_end
+            == clock_time(8)
+        )
+        assert restored.binding("salary1").params == ("n",)

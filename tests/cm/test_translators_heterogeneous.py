@@ -1,0 +1,287 @@
+"""Tests for the non-relational translators: the heterogeneity layer."""
+
+import pytest
+
+from repro.cm import CMRID, ConstraintManager, Scenario
+from repro.cm.translators import translator_for
+from repro.cm.translators.file import decode_value, encode_value
+from repro.core.errors import UnsupportedOperationError
+from repro.core.events import EventKind
+from repro.core.interfaces import InterfaceKind
+from repro.core.items import MISSING, DataItemRef
+from repro.core.timebase import seconds
+from repro.ris.bibliodb import BibRecord, BiblioDatabase
+from repro.ris.filestore import FlatFileStore
+from repro.ris.legacy import LegacySystem
+from repro.ris.objectstore import ObjectStore
+from repro.ris.whois import WhoisDirectory
+
+
+def single_site(source, rid):
+    scenario = Scenario()
+    cm = ConstraintManager(scenario)
+    cm.add_site("here")
+    translator = cm.add_source("here", source, rid)
+    return cm, translator
+
+
+class TestValueEncoding:
+    @pytest.mark.parametrize(
+        "value", [42, -7, 3.5, True, False, "text", "tabs\\here"]
+    )
+    def test_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_untagged_content_reads_as_string(self):
+        assert decode_value("plain") == "plain"
+
+
+class TestFileTranslator:
+    def build(self):
+        store = FlatFileStore("fs")
+        rid = (
+            CMRID("flat-file", "fs")
+            .bind("phone", params=("n",), path="/data/phones")
+            .offer("phone", InterfaceKind.READ, bound_seconds=1.0)
+            .offer("phone", InterfaceKind.WRITE, bound_seconds=1.0)
+        )
+        return single_site(store, rid), store
+
+    def test_write_then_read_roundtrip(self):
+        (cm, translator), store = self.build()
+        ref = DataItemRef("phone", ("ada",))
+        cm.scenario.sim.at(
+            seconds(1), lambda: translator.request_write(ref, "555-1234")
+        )
+        cm.run(until=seconds(5))
+        assert translator._native_read(ref) == "555-1234"
+        assert "ada" in store.read_file("/data/phones")
+
+    def test_missing_record_reads_as_missing(self):
+        (cm, translator), __ = self.build()
+        assert translator._native_read(
+            DataItemRef("phone", ("ghost",))
+        ) is MISSING
+
+    def test_delete_via_missing(self):
+        (cm, translator), store = self.build()
+        ref = DataItemRef("phone", ("ada",))
+        translator._native_write(ref, "555")
+        translator._native_write(ref, MISSING)
+        assert translator._native_read(ref) is MISSING
+
+    def test_enumerate(self):
+        (cm, translator), __ = self.build()
+        translator._native_write(DataItemRef("phone", ("a",)), "1")
+        translator._native_write(DataItemRef("phone", ("b",)), "2")
+        refs = translator.enumerate_refs("phone")
+        assert [r.args[0] for r in refs] == ["a", "b"]
+
+    def test_no_notify_possible(self):
+        (cm, translator), __ = self.build()
+        with pytest.raises(UnsupportedOperationError):
+            translator.setup_notify("phone")
+
+
+class TestObjectTranslator:
+    def build(self, offer_notify=True):
+        store = ObjectStore("oo")
+        store.define_class("Person", {"login": "str", "email": "str"})
+        rid = CMRID("object", "oo").bind(
+            "email",
+            params=("n",),
+            class_name="Person",
+            attribute="email",
+            key_attribute="login",
+        )
+        if offer_notify:
+            rid.offer("email", InterfaceKind.NOTIFY, bound_seconds=1.0)
+        rid.offer("email", InterfaceKind.READ, bound_seconds=1.0)
+        rid.offer("email", InterfaceKind.WRITE, bound_seconds=1.0)
+        return single_site(store, rid), store
+
+    def test_read_by_key_attribute(self):
+        (cm, translator), store = self.build()
+        store.create("Person", {"login": "ada", "email": "ada@x"})
+        assert translator._native_read(DataItemRef("email", ("ada",))) == "ada@x"
+
+    def test_write_creates_object_when_absent(self):
+        (cm, translator), store = self.build()
+        translator._native_write(DataItemRef("email", ("bob",)), "bob@x")
+        assert store.find("Person", "login", "bob")
+
+    def test_write_missing_deletes_object(self):
+        (cm, translator), store = self.build()
+        store.create("Person", {"login": "ada", "email": "a@x"})
+        translator._native_write(DataItemRef("email", ("ada",)), MISSING)
+        assert not store.find("Person", "login", "ada")
+
+    def test_spontaneous_update_notifies(self):
+        (cm, translator), store = self.build()
+        store.create("Person", {"login": "ada", "email": "a@x"})
+        translator.setup_notify("email")
+        cm.scenario.sim.at(
+            seconds(1),
+            lambda: cm.spontaneous_write("email", ("ada",), "new@x"),
+        )
+        cm.run(until=seconds(5))
+        notifies = [
+            e for e in cm.scenario.trace.events
+            if e.desc.kind is EventKind.NOTIFY
+        ]
+        assert len(notifies) == 1
+        assert notifies[0].desc.values == ("new@x",)
+
+    def test_other_attribute_updates_do_not_notify(self):
+        (cm, translator), store = self.build()
+        oid = store.create("Person", {"login": "ada", "email": "a@x"})
+        translator.setup_notify("email")
+
+        def rename():
+            translator._current_spontaneous = object()
+            try:
+                store.write_attr(oid, "login", "ada2")
+            finally:
+                translator._current_spontaneous = None
+
+        cm.scenario.sim.at(seconds(1), rename)
+        cm.run(until=seconds(5))
+        assert not [
+            e for e in cm.scenario.trace.events
+            if e.desc.kind is EventKind.NOTIFY
+        ]
+
+
+class TestBiblioTranslator:
+    def build(self):
+        biblio = BiblioDatabase("lib")
+        biblio.ingest(BibRecord("r1", "Toolkit", ("widom",), 1996, "ICDE"))
+        rid = (
+            CMRID("bibliographic", "lib")
+            .bind("paper", params=("i",), field="title")
+            .bind("paper_exists", params=("i",), exists="yes")
+            .offer("paper", InterfaceKind.READ, bound_seconds=1.0)
+            .offer("paper_exists", InterfaceKind.READ, bound_seconds=1.0)
+        )
+        return single_site(biblio, rid), biblio
+
+    def test_field_read(self):
+        (cm, translator), __ = self.build()
+        assert translator._native_read(DataItemRef("paper", ("r1",))) == "Toolkit"
+
+    def test_exists_read(self):
+        (cm, translator), __ = self.build()
+        assert translator._native_read(
+            DataItemRef("paper_exists", ("r1",))
+        ) is True
+        assert translator._native_read(
+            DataItemRef("paper_exists", ("nope",))
+        ) is MISSING
+
+    def test_feed_side_write(self):
+        (cm, translator), biblio = self.build()
+        translator._native_write(DataItemRef("paper", ("r2",)), "New Paper")
+        assert biblio.exists("r2")
+        translator._native_write(DataItemRef("paper", ("r2",)), MISSING)
+        assert not biblio.exists("r2")
+
+    def test_enumerate(self):
+        (cm, translator), __ = self.build()
+        refs = translator.enumerate_refs("paper")
+        assert [r.args[0] for r in refs] == ["r1"]
+
+
+class TestWhoisTranslator:
+    def build(self):
+        whois = WhoisDirectory("w")
+        whois.admin_update("ada", phone="555")
+        rid = (
+            CMRID("whois", "w")
+            .bind("phone", params=("n",), field="phone")
+            .offer("phone", InterfaceKind.READ, bound_seconds=1.0)
+        )
+        return single_site(whois, rid), whois
+
+    def test_read(self):
+        (cm, translator), __ = self.build()
+        assert translator._native_read(DataItemRef("phone", ("ada",))) == "555"
+
+    def test_missing(self):
+        (cm, translator), __ = self.build()
+        assert translator._native_read(
+            DataItemRef("phone", ("ghost",))
+        ) is MISSING
+
+    def test_spontaneous_write_is_admin_update(self):
+        (cm, translator), whois = self.build()
+        cm.scenario.sim.at(
+            seconds(1), lambda: cm.spontaneous_write("phone", ("ada",), "999")
+        )
+        cm.run(until=seconds(2))
+        assert whois.field("ada", "phone") == "999"
+
+
+class TestLegacyTranslator:
+    def build(self):
+        legacy = LegacySystem("old")
+        rid = (
+            CMRID("legacy", "old")
+            .bind("quote", params=("n",), key_prefix="q:")
+            .offer("quote", InterfaceKind.NOTIFY, bound_seconds=1.0)
+            .offer("quote", InterfaceKind.READ, bound_seconds=1.0)
+        )
+        return single_site(legacy, rid), legacy
+
+    def test_notify_flows(self):
+        (cm, translator), __ = self.build()
+        translator.setup_notify("quote")
+        cm.scenario.sim.at(
+            seconds(1), lambda: cm.spontaneous_write("quote", ("ibm",), 42)
+        )
+        cm.run(until=seconds(5))
+        notifies = [
+            e for e in cm.scenario.trace.events
+            if e.desc.kind is EventKind.NOTIFY
+        ]
+        assert len(notifies) == 1
+        assert notifies[0].desc.item == DataItemRef("quote", ("ibm",))
+
+    def test_key_prefix_filtering(self):
+        (cm, translator), legacy = self.build()
+        translator.setup_notify("quote")
+
+        def unrelated_write():
+            translator._current_spontaneous = object()
+            try:
+                legacy.put("other:key", 1)
+            finally:
+                translator._current_spontaneous = None
+
+        cm.scenario.sim.at(seconds(1), unrelated_write)
+        cm.run(until=seconds(5))
+        assert not [
+            e for e in cm.scenario.trace.events
+            if e.desc.kind is EventKind.NOTIFY
+        ]
+
+    def test_registry_dispatch(self):
+        legacy = LegacySystem("old")
+        rid = CMRID("legacy", "old").bind("q", key_prefix="q:")
+        translator = translator_for(legacy, rid)
+        from repro.cm.translators.legacy import LegacyTranslator
+
+        assert isinstance(translator, LegacyTranslator)
+
+    def test_registry_rejects_unknown_kind(self):
+        rid = CMRID("hologram", "h")
+        with pytest.raises(ValueError):
+            translator_for(LegacySystem("h"), rid)
+
+    def test_kind_mismatch_rejected(self):
+        from repro.core.errors import ConfigurationError
+
+        rid = CMRID("relational", "old").bind(
+            "q", table="t", key_column="k", value_column="v"
+        )
+        with pytest.raises(ConfigurationError):
+            translator_for(LegacySystem("old"), rid)

@@ -1,0 +1,61 @@
+"""Tests for the one-call verification facade."""
+
+from cm_helpers import two_site_relational
+
+from repro.cm.verify import verify
+from repro.constraints import CopyConstraint
+from repro.core.timebase import seconds
+from repro.sim.failures import FailureKind, FailurePlan, FailureWindow
+
+
+def install_and_drive(cm, updates=((1, 10.0), (5, 20.0))):
+    constraint = cm.declare(
+        CopyConstraint("salary1", "salary2", params=("n",))
+    )
+    cm.install(constraint, cm.suggest(constraint)[0])
+    for at, value in updates:
+        cm.scenario.sim.at(
+            seconds(at),
+            lambda v=value: cm.spontaneous_write("salary1", ("e1",), v),
+        )
+    cm.run(until=seconds(60))
+
+
+class TestVerify:
+    def test_clean_run_verifies_ok(self):
+        cm, *_ = two_site_relational()
+        install_and_drive(cm)
+        report = verify(cm)
+        assert report.ok, report.render()
+        assert report.guarantee_reports
+        assert "OK" in report.render()
+
+    def test_silent_failure_is_surfaced_as_a_gap(self):
+        plan = FailurePlan()
+        plan.add(
+            FailureWindow(
+                site="sf",
+                kind=FailureKind.SILENT_NOTIFY_LOSS,
+                start=seconds(0),
+                end=seconds(30),
+                drop_probability=1.0,
+            )
+        )
+        cm, *_ = two_site_relational(failure_plan=plan)
+        install_and_drive(cm, updates=((1, 10.0), (5, 20.0), (40, 30.0)))
+        report = verify(cm)
+        assert not report.ok
+        # The board was never told anything went wrong...
+        assert any("leads(" in name for name in report.silent_gaps)
+        assert "SILENT GAP" in report.render()
+
+    def test_detected_failure_is_not_a_silent_gap(self):
+        cm, __, hq, *_ = two_site_relational()
+        cm.scenario.sim.at(seconds(3), lambda: hq.set_available(False))
+        cm.scenario.sim.at(seconds(8), lambda: hq.set_available(True))
+        install_and_drive(cm)
+        report = verify(cm)
+        # Guarantees are refuted, but the board knows (logical failure was
+        # detected), so this is not a *silent* gap.
+        assert not report.guarantees_ok
+        assert report.silent_gaps == []

@@ -1,0 +1,52 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import reset_event_sequence
+from repro.core.items import DataItemRef
+from repro.core.trace import ExecutionTrace
+
+
+@pytest.fixture(autouse=True)
+def _fresh_event_numbering():
+    """Keep event sequence numbers independent across tests."""
+    reset_event_sequence()
+    yield
+
+
+@pytest.fixture
+def trace() -> ExecutionTrace:
+    return ExecutionTrace()
+
+
+def make_timeline_trace(
+    histories: dict[str, list[tuple[int, object]]], horizon: int
+) -> ExecutionTrace:
+    """Build a trace whose item timelines follow the given change lists.
+
+    ``histories`` maps item names to ``[(time_ticks, value), ...]``; a change
+    at time 0 becomes a seed, later changes become spontaneous writes.  All
+    changes across items are recorded in global time order, as a real
+    execution would.
+    """
+    from repro.core.events import spontaneous_write_desc
+    from repro.core.items import MISSING
+
+    trace = ExecutionTrace()
+    changes: list[tuple[int, str, object]] = []
+    for name, history in histories.items():
+        for time, value in history:
+            if time == 0:
+                trace.seed(DataItemRef(name), value)
+            else:
+                changes.append((time, name, value))
+    for time, name, value in sorted(changes, key=lambda c: c[0]):
+        ref = DataItemRef(name)
+        old = trace.current_value(ref)
+        trace.record(
+            time, "site", spontaneous_write_desc(ref, old, value)
+        )
+    trace.close(horizon)
+    return trace

@@ -1,0 +1,165 @@
+"""Tests for the proven-combinations catalog (strategy suggestion)."""
+
+import pytest
+
+from repro.constraints import (
+    CopyConstraint,
+    InequalityConstraint,
+    ReferentialConstraint,
+)
+from repro.core.catalog import SuggestionContext, suggest
+from repro.core.interfaces import (
+    InterfaceKind,
+    InterfaceSet,
+    conditional_notify_interface,
+    no_spontaneous_write_interface,
+    notify_interface,
+    read_interface,
+    update_window_interface,
+    write_interface,
+)
+from repro.core.dsl import parse_condition
+from repro.core.items import Locations
+from repro.core.timebase import clock_time, seconds
+
+
+def make_context(*specs, options=None) -> SuggestionContext:
+    interfaces = InterfaceSet()
+    for spec in specs:
+        interfaces.add(spec)
+    locations = Locations()
+    for family, site in (
+        ("X", "a"), ("Y", "b"), ("P", "a"), ("C", "b"),
+    ):
+        locations.register(family, site)
+    return SuggestionContext(interfaces, locations, options or {})
+
+
+def kinds(suggestions):
+    return [s.strategy.kind for s in suggestions]
+
+
+def guarantee_names(suggestion):
+    return [g.name for g in suggestion.guarantees]
+
+
+class TestCopySuggestions:
+    def test_notify_plus_write_offers_propagation_with_all_guarantees(self):
+        context = make_context(
+            notify_interface("X", seconds(2)),
+            write_interface("Y", seconds(2)),
+            no_spontaneous_write_interface("Y"),
+        )
+        suggestions = suggest(CopyConstraint("X", "Y"), context)
+        assert "propagation" in kinds(suggestions)
+        prop = next(s for s in suggestions if s.strategy.kind == "propagation")
+        names = guarantee_names(prop)
+        assert any(n.startswith("follows(") and "κ" not in n for n in names)
+        assert any(n.startswith("leads(") for n in names)
+        assert any(n.startswith("strictly_follows(") for n in names)
+        assert any("κ=" in n for n in names)
+
+    def test_conditional_notify_drops_leads(self):
+        context = make_context(
+            conditional_notify_interface(
+                "X", seconds(2), parse_condition("abs(b - a) > 10")
+            ),
+            write_interface("Y", seconds(2)),
+            no_spontaneous_write_interface("Y"),
+        )
+        suggestions = suggest(CopyConstraint("X", "Y"), context)
+        prop = next(s for s in suggestions if s.strategy.kind == "propagation")
+        names = guarantee_names(prop)
+        assert not any(n.startswith("leads(") for n in names)
+        # Filtered updates can leave the copy stale for arbitrarily long, so
+        # the metric follows bound must be withheld as well.
+        assert not any("κ=" in n for n in names)
+        assert any(n.startswith("follows(") for n in names)
+
+    def test_spontaneously_writable_destination_drops_follows_family(self):
+        context = make_context(
+            notify_interface("X", seconds(2)),
+            write_interface("Y", seconds(2)),
+            # no no-spontaneous-write promise for Y
+        )
+        suggestions = suggest(CopyConstraint("X", "Y"), context)
+        prop = next(s for s in suggestions if s.strategy.kind == "propagation")
+        assert not any(
+            n.startswith("follows(") for n in guarantee_names(prop)
+        )
+
+    def test_polling_never_offers_leads(self):
+        context = make_context(
+            read_interface("X", seconds(1)),
+            write_interface("Y", seconds(2)),
+            no_spontaneous_write_interface("Y"),
+        )
+        suggestions = suggest(CopyConstraint("X", "Y"), context)
+        assert kinds(suggestions) == ["polling"]
+        assert not any(
+            n.startswith("leads(") for n in guarantee_names(suggestions[0])
+        )
+
+    def test_polling_kappa_includes_period(self):
+        context = make_context(
+            read_interface("X", seconds(1)),
+            write_interface("Y", seconds(2)),
+            no_spontaneous_write_interface("Y"),
+            options={"polling_period": seconds(60), "rule_delay": seconds(1)},
+        )
+        suggestions = suggest(CopyConstraint("X", "Y"), context)
+        metric = next(
+            n for n in guarantee_names(suggestions[0]) if "κ=" in n
+        )
+        assert "65s" in metric  # 60 + 1 + 1 + 2 + 1 margin
+
+    def test_notify_only_both_sides_offers_monitor(self):
+        context = make_context(
+            notify_interface("X", seconds(1)),
+            notify_interface("Y", seconds(1)),
+        )
+        suggestions = suggest(CopyConstraint("X", "Y"), context)
+        assert kinds(suggestions) == ["monitor"]
+
+    def test_update_window_offers_eod_batch(self):
+        context = make_context(
+            read_interface("X", seconds(1)),
+            update_window_interface("X", clock_time(17), clock_time(8)),
+            write_interface("Y", seconds(2)),
+            no_spontaneous_write_interface("Y"),
+        )
+        suggestions = suggest(CopyConstraint("X", "Y"), context)
+        assert "eod-batch" in kinds(suggestions)
+
+    def test_nothing_applicable_returns_empty(self):
+        context = make_context(read_interface("X", seconds(1)))
+        assert suggest(CopyConstraint("X", "Y"), context) == []
+
+
+class TestOtherConstraints:
+    def test_inequality_offers_demarcation(self):
+        context = make_context(
+            read_interface("X", seconds(1)),
+            write_interface("X", seconds(1)),
+            read_interface("Y", seconds(1)),
+            write_interface("Y", seconds(1)),
+        )
+        suggestions = suggest(InequalityConstraint("X", "Y"), context)
+        assert kinds(suggestions) == ["demarcation"]
+        assert len(suggestions[0].guarantees) == 2  # value + limit invariants
+
+    def test_referential_offers_cleanup_when_parent_writable(self):
+        context = make_context(
+            read_interface("P", seconds(1)),
+            write_interface("P", seconds(1)),
+            read_interface("C", seconds(1)),
+        )
+        suggestions = suggest(ReferentialConstraint("P", "C"), context)
+        assert kinds(suggestions) == ["eod-cleanup"]
+
+    def test_referential_unenforceable_without_parent_write(self):
+        context = make_context(
+            read_interface("P", seconds(1)),
+            read_interface("C", seconds(1)),
+        )
+        assert suggest(ReferentialConstraint("P", "C"), context) == []

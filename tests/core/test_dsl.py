@@ -1,0 +1,141 @@
+"""Unit tests for the rule DSL parser."""
+
+import pytest
+
+from repro.core.conditions import Binary, Call, ItemRead, Literal, Name
+from repro.core.dsl import (
+    parse_condition,
+    parse_event_template,
+    parse_rule,
+    parse_rules,
+    tokenize,
+)
+from repro.core.errors import DslSyntaxError
+from repro.core.events import EventKind
+from repro.core.items import MISSING
+from repro.core.terms import WILDCARD, Const, Var
+from repro.core.timebase import seconds
+
+
+class TestTokenizer:
+    def test_positions_reported(self):
+        tokens = tokenize("N(X, b)\nWR(Y, b)")
+        wr = next(t for t in tokens if t.text == "WR")
+        assert wr.line == 2 and wr.column == 1
+
+    def test_unknown_character_raises_with_position(self):
+        with pytest.raises(DslSyntaxError) as excinfo:
+            tokenize("N(X, b) @ 5")
+        assert excinfo.value.column == 9
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("# hello\nN(X, b)")
+        assert tokens[0].kind in ("newline", "ident")
+
+
+class TestEventTemplates:
+    def test_all_kinds_parse(self):
+        cases = {
+            "W(X, b)": EventKind.WRITE,
+            "Ws(X, b)": EventKind.SPONTANEOUS_WRITE,
+            "WR(X, b)": EventKind.WRITE_REQUEST,
+            "RR(X)": EventKind.READ_REQUEST,
+            "R(X, b)": EventKind.READ_RESPONSE,
+            "N(X, b)": EventKind.NOTIFY,
+            "P(300)": EventKind.PERIODIC,
+        }
+        for text, kind in cases.items():
+            assert parse_event_template(text).kind is kind
+
+    def test_periodic_period_converted_to_ticks(self):
+        tmpl = parse_event_template("P(300)")
+        assert tmpl.values[0] == Const(seconds(300))
+
+    def test_parameterized_item(self):
+        tmpl = parse_event_template("N(salary1(n), b)")
+        assert tmpl.item.args == (Var("n"),)
+
+    def test_wildcard_value(self):
+        tmpl = parse_event_template("W(X, *)")
+        assert tmpl.values[0] is WILDCARD
+
+    def test_literal_values(self):
+        tmpl = parse_event_template("W(X, 5)")
+        assert tmpl.values[0] == Const(5)
+        tmpl = parse_event_template("W(X, 'abc')")
+        assert tmpl.values[0] == Const("abc")
+        tmpl = parse_event_template("W(X, MISSING)")
+        assert tmpl.values[0] == Const(MISSING)
+        tmpl = parse_event_template("W(X, -2)")
+        assert tmpl.values[0] == Const(-2)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DslSyntaxError):
+            parse_event_template("Q(X, b)")
+
+
+class TestConditions:
+    def test_precedence(self):
+        expr = parse_condition("a + b * 2 > 4 and not c == 1")
+        assert isinstance(expr, Binary) and expr.op == "and"
+
+    def test_paper_conditional_notify(self):
+        expr = parse_condition("abs(b - a) > a * 0.1")
+        assert isinstance(expr, Binary) and expr.op == ">"
+        assert isinstance(expr.left, Call)
+
+    def test_item_read_with_args(self):
+        expr = parse_condition("cache(n) != b")
+        assert isinstance(expr.left, ItemRead)
+
+    def test_exists_call(self):
+        expr = parse_condition("exists(project(i))")
+        assert isinstance(expr, Call) and expr.func == "exists"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(DslSyntaxError):
+            parse_condition("a > 1 b")
+
+
+class TestRules:
+    def test_delay_is_seconds(self):
+        rule = parse_rule("N(X, b) -> [2.5] WR(Y, b)")
+        assert rule.delay == seconds(2.5)
+
+    def test_lhs_condition(self):
+        rule = parse_rule("Ws(X, a, b) & abs(b - a) > 10 -> [1] N(X, b)")
+        assert isinstance(rule.condition, Binary)
+
+    def test_conditional_steps_in_sequence(self):
+        rule = parse_rule("N(X, b) -> [5] (Cx != b) ? WR(Y, b), W(Cx, b)")
+        assert len(rule.steps) == 2
+        assert isinstance(rule.steps[0].condition, Binary)
+        assert rule.steps[1].condition is not None
+
+    def test_false_rhs(self):
+        rule = parse_rule("Ws(X, b) -> [0] FALSE")
+        assert rule.is_prohibition
+
+    def test_document_with_named_rules(self):
+        rules = parse_rules(
+            """
+            # the Section 4.2.3 polling strategy
+            rule poll:
+                P(60) -> [1] RR(X)
+            rule forward:
+                R(X, b) -> [5] WR(Y, b)
+            """
+        )
+        assert [r.name for r in rules] == ["poll", "forward"]
+
+    def test_document_with_anonymous_rules(self):
+        rules = parse_rules("N(X, b) -> [1] WR(Y, b)\nN(Y, b) -> [1] WR(Z, b)")
+        assert len(rules) == 2
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(DslSyntaxError):
+            parse_rule("N(X, b) -> [1] WR(Y, b) extra")
+
+    def test_missing_delay_rejected(self):
+        with pytest.raises(DslSyntaxError):
+            parse_rule("N(X, b) -> WR(Y, b)")

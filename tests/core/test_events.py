@@ -1,0 +1,84 @@
+"""Unit tests for events and descriptors."""
+
+import pytest
+
+from repro.core.events import (
+    Event,
+    EventDesc,
+    EventKind,
+    notify_desc,
+    periodic_desc,
+    read_request_desc,
+    read_response_desc,
+    spontaneous_write_desc,
+    write_desc,
+    write_request_desc,
+)
+from repro.core.interpretations import EMPTY_INTERPRETATION, Interpretation
+from repro.core.items import item
+
+
+class TestDescriptors:
+    def test_write_desc(self):
+        desc = write_desc(item("X"), 5)
+        assert desc.kind is EventKind.WRITE
+        assert str(desc) == "W(X, 5)"
+
+    def test_spontaneous_write_carries_old_and_new(self):
+        desc = spontaneous_write_desc(item("X"), 1, 2)
+        assert desc.values == (1, 2)
+
+    def test_read_request_has_no_values(self):
+        assert read_request_desc(item("X")).values == ()
+
+    def test_periodic_takes_no_item(self):
+        desc = periodic_desc(300)
+        assert desc.item is None and desc.values == (300,)
+
+    def test_item_kind_requires_item(self):
+        with pytest.raises(ValueError):
+            EventDesc(EventKind.NOTIFY, None, (1,))
+
+    def test_periodic_rejects_item(self):
+        with pytest.raises(ValueError):
+            EventDesc(EventKind.PERIODIC, item("X"), (1,))
+
+    def test_wrong_value_arity_rejected(self):
+        with pytest.raises(ValueError):
+            EventDesc(EventKind.WRITE, item("X"), (1, 2))
+
+
+class TestEvent:
+    def _event(self, desc, **kwargs):
+        return Event(
+            time=10,
+            site="a",
+            desc=desc,
+            old=EMPTY_INTERPRETATION,
+            new=EMPTY_INTERPRETATION,
+            **kwargs,
+        )
+
+    def test_sequence_numbers_increase(self):
+        first = self._event(notify_desc(item("X"), 1))
+        second = self._event(notify_desc(item("X"), 2))
+        assert second.seq > first.seq
+
+    def test_spontaneous_when_no_rule(self):
+        event = self._event(spontaneous_write_desc(item("X"), 0, 1))
+        assert event.is_spontaneous
+
+    def test_written_value_for_both_write_kinds(self):
+        w = self._event(write_desc(item("X"), 7))
+        ws = self._event(spontaneous_write_desc(item("X"), 1, 9))
+        assert w.written_value == 7
+        assert ws.written_value == 9
+
+    def test_written_value_rejects_non_writes(self):
+        event = self._event(read_response_desc(item("X"), 7))
+        with pytest.raises(ValueError):
+            __ = event.written_value
+
+    def test_str_mentions_site_and_descriptor(self):
+        event = self._event(write_request_desc(item("X"), 3))
+        assert "@a" in str(event) and "WR(X, 3)" in str(event)

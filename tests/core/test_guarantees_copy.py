@@ -1,0 +1,261 @@
+"""Unit and property tests for the copy-constraint guarantee checkers.
+
+Uses hand-constructed timelines (via the conftest helper) so each boundary
+convention of Section 3.3.1's guarantees is pinned exactly, plus a
+hypothesis model test: a simulated perfect propagation must always satisfy
+follows/leads/strictly-follows, and value corruption must break follows.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.guarantees import follows, leads, strictly_follows
+from repro.core.timebase import seconds
+
+from conftest import make_timeline_trace
+
+S = seconds  # brevity: S(3) = 3 virtual seconds in ticks
+
+
+class TestFollows:
+    def test_valid_propagation(self):
+        trace = make_timeline_trace(
+            {
+                "X": [(S(1), "a"), (S(10), "b")],
+                "Y": [(S(2), "a"), (S(11), "b")],
+            },
+            horizon=S(20),
+        )
+        assert follows("X", "Y").check(trace).valid
+
+    def test_y_invents_value(self):
+        trace = make_timeline_trace(
+            {"X": [(S(1), "a")], "Y": [(S(2), "zz")]}, horizon=S(10)
+        )
+        report = follows("X", "Y").check(trace)
+        assert not report.valid
+        assert "zz" in report.counterexamples[0]
+
+    def test_y_takes_value_before_x(self):
+        trace = make_timeline_trace(
+            {"X": [(S(5), "a")], "Y": [(S(2), "a")]}, horizon=S(10)
+        )
+        assert not follows("X", "Y").check(trace).valid
+
+    def test_seeded_agreement_is_allowed(self):
+        trace = make_timeline_trace(
+            {"X": [(0, "init")], "Y": [(0, "init")]}, horizon=S(10)
+        )
+        assert follows("X", "Y").check(trace).valid
+
+    def test_simultaneous_acquisition_violates_strictness(self):
+        trace = make_timeline_trace(
+            {"X": [(S(3), "a")], "Y": [(S(3), "a")]}, horizon=S(10)
+        )
+        assert not follows("X", "Y").check(trace).valid
+
+    def test_parameterized_families_pair_by_args(self):
+        from repro.core.events import spontaneous_write_desc
+        from repro.core.items import MISSING, DataItemRef
+        from repro.core.trace import ExecutionTrace
+
+        trace = ExecutionTrace()
+        trace.record(
+            S(1), "a",
+            spontaneous_write_desc(DataItemRef("X", ("k1",)), MISSING, 5),
+        )
+        trace.record(
+            S(2), "b",
+            spontaneous_write_desc(DataItemRef("Y", ("k1",)), MISSING, 5),
+        )
+        trace.record(
+            S(3), "b",
+            spontaneous_write_desc(DataItemRef("Y", ("k2",)), MISSING, 9),
+        )
+        trace.close(S(10))
+        report = follows("X", "Y").check(trace)
+        assert report.checked_instances == 2
+        assert not report.valid  # Y(k2) holds 9, X(k2) never did
+
+    def test_lag_statistic(self):
+        trace = make_timeline_trace(
+            {"X": [(S(1), "a")], "Y": [(S(4), "a")]}, horizon=S(10)
+        )
+        report = follows("X", "Y").check(trace)
+        assert report.stats["max_lag_seconds"] == 3.0
+
+
+class TestMetricFollows:
+    def test_fresh_enough_witness(self):
+        trace = make_timeline_trace(
+            {
+                "X": [(S(1), "a"), (S(5), "b")],
+                "Y": [(S(2), "a"), (S(6), "b")],
+            },
+            horizon=S(20),
+        )
+        assert follows("X", "Y", within_seconds=3).check(trace).valid
+
+    def test_stale_value_violates(self):
+        # X moves on at t=5; Y still holds "a" at t=20, far beyond kappa.
+        trace = make_timeline_trace(
+            {
+                "X": [(S(1), "a"), (S(5), "b")],
+                "Y": [(S(2), "a")],
+            },
+            horizon=S(30),
+        )
+        assert not follows("X", "Y", within_seconds=3).check(trace).valid
+
+    def test_kappa_exactly_at_staleness_boundary(self):
+        # X holds "a" during [1s, 5s); Y holds it during [2s, 6s).
+        # For t1 just below 6s the freshest witness is just below 5s:
+        # lag approaches 1s, so kappa=2s passes and kappa=0.5s fails.
+        trace = make_timeline_trace(
+            {
+                "X": [(S(1), "a"), (S(5), "b")],
+                "Y": [(S(2), "a"), (S(6), "b")],
+            },
+            horizon=S(20),
+        )
+        assert follows("X", "Y", within_seconds=2).check(trace).valid
+        assert not follows("X", "Y", within_seconds=0.5).check(trace).valid
+
+
+class TestLeads:
+    def test_every_value_reflected(self):
+        trace = make_timeline_trace(
+            {
+                "X": [(S(1), "a"), (S(10), "b")],
+                "Y": [(S(2), "a"), (S(11), "b")],
+            },
+            horizon=S(30),
+        )
+        assert leads("X", "Y").check(trace).valid
+
+    def test_missed_value_detected(self):
+        trace = make_timeline_trace(
+            {
+                "X": [(S(1), "a"), (S(2), "skipped"), (S(3), "b")],
+                "Y": [(S(2), "a"), (S(4), "b")],
+            },
+            horizon=S(30),
+        )
+        report = leads("X", "Y").check(trace)
+        assert not report.valid
+        assert report.stats["values_missed"] == 1
+
+    def test_obligation_near_horizon_is_inconclusive(self):
+        trace = make_timeline_trace(
+            {"X": [(S(1), "a"), (S(9), "b")]}, horizon=S(10)
+        )
+        report = leads("X", "Y", horizon_slack_seconds=5).check(trace)
+        # "b" acquired 1s before the horizon: witness may still come.
+        assert report.inconclusive >= 1
+
+    def test_seeded_value_exempt(self):
+        trace = make_timeline_trace(
+            {"X": [(0, "preexisting"), (S(5), "a")], "Y": [(S(6), "a")]},
+            horizon=S(30),
+        )
+        report = leads("X", "Y").check(trace)
+        assert report.valid
+        assert report.stats["values_exempt_seeded"] == 1
+
+    def test_metric_bound(self):
+        trace = make_timeline_trace(
+            {
+                "X": [(S(1), "a"), (S(10), "b")],
+                "Y": [(S(8), "a"), (S(12), "b")],
+            },
+            horizon=S(40),
+        )
+        # "a" took 7s to propagate: fails within 5s, passes within 10s.
+        assert not leads("X", "Y", within_seconds=5).check(trace).valid
+        assert leads("X", "Y", within_seconds=10).check(trace).valid
+
+
+class TestStrictlyFollows:
+    def test_in_order_propagation(self):
+        trace = make_timeline_trace(
+            {
+                "X": [(S(1), 1), (S(2), 2), (S(3), 3)],
+                "Y": [(S(2), 1), (S(3), 2), (S(4), 3)],
+            },
+            horizon=S(10),
+        )
+        assert strictly_follows("X", "Y").check(trace).valid
+
+    def test_reordered_values_detected(self):
+        trace = make_timeline_trace(
+            {
+                "X": [(S(1), 1), (S(2), 2)],
+                "Y": [(S(3), 2), (S(4), 1)],  # arrived out of order
+            },
+            horizon=S(10),
+        )
+        report = strictly_follows("X", "Y").check(trace)
+        assert not report.valid
+
+    def test_skipping_values_is_allowed(self):
+        # Order only: missing intermediate values do not violate (3).
+        trace = make_timeline_trace(
+            {
+                "X": [(S(1), 1), (S(2), 2), (S(3), 3)],
+                "Y": [(S(2), 1), (S(4), 3)],
+            },
+            horizon=S(10),
+        )
+        assert strictly_follows("X", "Y").check(trace).valid
+
+    def test_repeated_value_needs_two_x_instants(self):
+        trace = make_timeline_trace(
+            {
+                "X": [(S(1), 1), (S(2), 2)],
+                "Y": [(S(3), 1), (S(4), 2), (S(5), 1)],
+            },
+            horizon=S(10),
+        )
+        # Y sees 2 then 1 again, but X never held 1 after 2.
+        assert not strictly_follows("X", "Y").check(trace).valid
+
+
+class TestPropagationModel:
+    """Property: a faithful delayed copy satisfies all three guarantees."""
+
+    values = st.lists(
+        st.integers(0, 5), min_size=1, max_size=12, unique=False
+    )
+
+    @given(values, st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_perfect_propagation_satisfies_all(self, xs, delay_s):
+        gap = S(10)
+        x_history = [(S(1) + i * gap, v) for i, v in enumerate(xs)]
+        y_history = [(t + S(delay_s), v) for t, v in x_history]
+        trace = make_timeline_trace(
+            {"X": x_history, "Y": y_history},
+            horizon=x_history[-1][0] + S(delay_s) + gap,
+        )
+        assert follows("X", "Y").check(trace).valid
+        assert strictly_follows("X", "Y").check(trace).valid
+        assert leads(
+            "X", "Y", horizon_slack_seconds=delay_s + 10
+        ).check(trace).valid
+        assert follows(
+            "X", "Y", within_seconds=delay_s + 10.001
+        ).check(trace).valid
+
+    @given(values, st.integers(0, 11))
+    @settings(max_examples=60, deadline=None)
+    def test_corrupted_copy_breaks_follows(self, xs, corrupt_index):
+        gap = S(10)
+        x_history = [(S(1) + i * gap, v) for i, v in enumerate(xs)]
+        y_history = [(t + S(1), v) for t, v in x_history]
+        index = corrupt_index % len(y_history)
+        time, __ = y_history[index]
+        y_history[index] = (time, 999)  # a value X never held
+        trace = make_timeline_trace(
+            {"X": x_history, "Y": y_history},
+            horizon=x_history[-1][0] + gap,
+        )
+        assert not follows("X", "Y").check(trace).valid

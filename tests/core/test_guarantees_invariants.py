@@ -1,0 +1,133 @@
+"""Tests for invariant, periodic, and periodic-copy guarantees."""
+
+from repro.core.guarantees import invariant, periodic
+from repro.core.guarantees.invariants import PeriodicCopyGuarantee
+from repro.core.items import DataItemRef
+from repro.core.timebase import DAY, clock_time, hours, seconds
+
+from conftest import make_timeline_trace
+
+X = DataItemRef("X")
+Y = DataItemRef("Y")
+
+
+def leq(state):
+    return state[X] <= state[Y]
+
+
+class TestInvariant:
+    def test_holds_throughout(self):
+        trace = make_timeline_trace(
+            {
+                "X": [(0, 1), (seconds(10), 5)],
+                "Y": [(0, 10), (seconds(20), 6)],
+            },
+            horizon=seconds(60),
+        )
+        assert invariant("x<=y", [X, Y], leq).check(trace).valid
+
+    def test_transient_violation_detected(self):
+        trace = make_timeline_trace(
+            {
+                "X": [(0, 1), (seconds(10), 20), (seconds(30), 2)],
+                "Y": [(0, 10)],
+            },
+            horizon=seconds(60),
+        )
+        report = invariant("x<=y", [X, Y], leq).check(trace)
+        assert not report.valid
+        # The violation lasted exactly [10s, 30s).
+        assert report.stats["violation_time_seconds"] == 20.0
+
+    def test_violation_at_final_segment(self):
+        trace = make_timeline_trace(
+            {"X": [(0, 1), (seconds(50), 99)], "Y": [(0, 10)]},
+            horizon=seconds(60),
+        )
+        report = invariant("x<=y", [X, Y], leq).check(trace)
+        assert not report.valid
+        assert report.stats["violation_time_seconds"] == 10.0
+
+
+class TestPeriodic:
+    def window(self):
+        return clock_time(17), clock_time(8)  # wraps midnight
+
+    def test_windows_wrap_midnight(self):
+        start, end = self.window()
+        guarantee = periodic("w", [X, Y], leq, start, end)
+        windows = guarantee.windows(2 * DAY)
+        assert windows[0].start == clock_time(17)
+        assert windows[0].end == DAY + clock_time(8)
+
+    def test_daytime_violation_is_ignored(self):
+        start, end = self.window()
+        trace = make_timeline_trace(
+            {
+                # X spikes above Y at noon, recovers by 16:00.
+                "X": [(0, 1), (hours(12), 50), (hours(16), 1)],
+                "Y": [(0, 10)],
+            },
+            horizon=DAY,
+        )
+        assert periodic("w", [X, Y], leq, start, end).check(trace).valid
+
+    def test_window_violation_detected(self):
+        start, end = self.window()
+        trace = make_timeline_trace(
+            {
+                "X": [(0, 1), (hours(20), 50)],  # violates inside window
+                "Y": [(0, 10)],
+            },
+            horizon=DAY,
+        )
+        report = periodic("w", [X, Y], leq, start, end).check(trace)
+        assert not report.valid
+        assert report.stats["windows_violated"] == 1
+
+
+class TestPeriodicCopy:
+    def test_pairs_and_checks_each_instance(self):
+        from repro.core.events import spontaneous_write_desc
+        from repro.core.trace import ExecutionTrace
+
+        trace = ExecutionTrace()
+        for key in ("a1", "a2"):
+            trace.seed(DataItemRef("src", (key,)), 100)
+            trace.seed(DataItemRef("dst", (key,)), 100)
+        # A business-hours divergence on a1, fixed by 17:00.
+        trace.record(
+            hours(10),
+            "s",
+            spontaneous_write_desc(DataItemRef("src", ("a1",)), 100, 150),
+        )
+        trace.record(
+            hours(17),
+            "s",
+            spontaneous_write_desc(DataItemRef("dst", ("a1",)), 100, 150),
+        )
+        trace.close(DAY)
+        guarantee = PeriodicCopyGuarantee(
+            "src", "dst", clock_time(17, 15), clock_time(8)
+        )
+        report = guarantee.check(trace)
+        assert report.valid
+        assert report.checked_instances == 2  # one window x two accounts
+
+    def test_window_divergence_fails(self):
+        from repro.core.events import spontaneous_write_desc
+        from repro.core.trace import ExecutionTrace
+
+        trace = ExecutionTrace()
+        trace.seed(DataItemRef("src", ("a1",)), 100)
+        trace.seed(DataItemRef("dst", ("a1",)), 100)
+        trace.record(
+            hours(20),  # inside the guaranteed window!
+            "s",
+            spontaneous_write_desc(DataItemRef("src", ("a1",)), 100, 150),
+        )
+        trace.close(DAY)
+        guarantee = PeriodicCopyGuarantee(
+            "src", "dst", clock_time(17, 15), clock_time(8)
+        )
+        assert not guarantee.check(trace).valid

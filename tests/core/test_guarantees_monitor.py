@@ -1,0 +1,105 @@
+"""Tests for the Flag/Tb monitoring guarantee (Section 6.3)."""
+
+from repro.core.events import spontaneous_write_desc, write_desc
+from repro.core.guarantees import monitor_window
+from repro.core.items import MISSING, DataItemRef
+from repro.core.timebase import seconds
+from repro.core.trace import ExecutionTrace
+
+X = DataItemRef("X")
+Y = DataItemRef("Y")
+FLAG = DataItemRef("Flag")
+TB = DataItemRef("Tb")
+
+
+def build_trace(events, horizon_s=100):
+    """events: list of (time_s, ref, value)."""
+    trace = ExecutionTrace()
+    for time_s, ref, value in sorted(events, key=lambda e: e[0]):
+        old = trace.current_value(ref)
+        if ref in (FLAG, TB):
+            trace.record(seconds(time_s), "app", write_desc(ref, value))
+        else:
+            trace.record(
+                seconds(time_s), "src",
+                spontaneous_write_desc(ref, old, value),
+            )
+    trace.close(seconds(horizon_s))
+    return trace
+
+
+class TestMonitorGuarantee:
+    def test_sound_claim(self):
+        trace = build_trace(
+            [
+                (1, X, 5),
+                (2, Y, 5),
+                (3, TB, seconds(3)),
+                (3.1, FLAG, True),
+            ]
+        )
+        assert monitor_window(X, Y, FLAG, TB, 1.0).check(trace).valid
+
+    def test_false_claim_detected(self):
+        # Flag stays true while X has moved on and Y has not.
+        trace = build_trace(
+            [
+                (1, X, 5),
+                (2, Y, 5),
+                (3, TB, seconds(3)),
+                (3.1, FLAG, True),
+                (10, X, 6),  # divergence begins; Flag never flipped
+            ]
+        )
+        report = monitor_window(X, Y, FLAG, TB, 1.0).check(trace)
+        assert not report.valid
+
+    def test_kappa_excuses_recent_divergence(self):
+        # Divergence at t=10; Flag flips false at t=11 (notification lag 1s).
+        # With kappa=2s every claim interval [s, t-2] stops before t=10... up
+        # to claims made just before 11: [3, 9] is clean.
+        trace = build_trace(
+            [
+                (1, X, 5),
+                (2, Y, 5),
+                (3, TB, seconds(3)),
+                (3.1, FLAG, True),
+                (10, X, 6),
+                (11, FLAG, False),
+            ]
+        )
+        assert monitor_window(X, Y, FLAG, TB, 2.0).check(trace).valid
+        # With kappa=0.5 the claim at t=10.9 covers [3, 10.4]: unsound.
+        assert not monitor_window(X, Y, FLAG, TB, 0.5).check(trace).valid
+
+    def test_flag_true_without_tb_is_a_violation(self):
+        trace = build_trace([(1, X, 5), (2, Y, 5), (3, FLAG, True)])
+        report = monitor_window(X, Y, FLAG, TB, 1.0).check(trace)
+        assert not report.valid
+        assert "Tb unset" in report.counterexamples[0]
+
+    def test_vacuous_claims_are_fine(self):
+        # Tb very recent: t - kappa < s, the claimed interval is empty.
+        trace = build_trace(
+            [
+                (1, X, 5),
+                (2, Y, 6),  # actually different!
+                (3, TB, seconds(3)),
+                (3.1, FLAG, True),
+                (3.5, FLAG, False),
+            ]
+        )
+        assert monitor_window(X, Y, FLAG, TB, 5.0).check(trace).valid
+
+    def test_coverage_statistic(self):
+        trace = build_trace(
+            [
+                (1, X, 5),
+                (2, Y, 5),
+                (3, TB, seconds(3)),
+                (3.1, FLAG, True),
+            ],
+            horizon_s=50,
+        )
+        report = monitor_window(X, Y, FLAG, TB, 1.0).check(trace)
+        assert report.stats["covered_seconds"] > 40

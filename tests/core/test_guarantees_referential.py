@@ -1,0 +1,70 @@
+"""Tests for the weakened referential-integrity guarantee (Section 6.2)."""
+
+from repro.core.events import spontaneous_write_desc
+from repro.core.guarantees import referential_within
+from repro.core.items import MISSING, DataItemRef
+from repro.core.timebase import hours
+from repro.core.trace import ExecutionTrace
+
+
+def record(trace, time, family, key, value):
+    ref = DataItemRef(family, (key,))
+    trace.record(
+        time, "s", spontaneous_write_desc(ref, trace.current_value(ref), value)
+    )
+
+
+class TestReferential:
+    def test_no_parents_is_vacuously_valid(self):
+        trace = ExecutionTrace()
+        trace.close(hours(48))
+        report = referential_within("project", "salary", 86400).check(trace)
+        assert report.valid and report.checked_instances == 0
+
+    def test_violation_within_grace(self):
+        trace = ExecutionTrace()
+        record(trace, hours(1), "project", "e1", "p")  # orphan for 5 hours
+        record(trace, hours(6), "salary", "e1", 100)
+        trace.close(hours(48))
+        report = referential_within("project", "salary", 86400).check(trace)
+        assert report.valid
+        assert report.stats["max_violation_window_seconds"] == 5 * 3600
+
+    def test_violation_beyond_grace(self):
+        trace = ExecutionTrace()
+        record(trace, hours(1), "project", "e1", "p")
+        record(trace, hours(30), "salary", "e1", 100)  # 29h orphaned
+        trace.close(hours(48))
+        report = referential_within("project", "salary", 86400).check(trace)
+        assert not report.valid
+        assert "e1" in report.counterexamples[0]
+
+    def test_child_deletion_reopens_violation(self):
+        trace = ExecutionTrace()
+        record(trace, hours(1), "salary", "e1", 100)
+        record(trace, hours(2), "project", "e1", "p")
+        record(trace, hours(5), "salary", "e1", MISSING)  # orphaned again
+        record(trace, hours(40), "project", "e1", MISSING)  # 35h later: too late
+        trace.close(hours(48))
+        report = referential_within("project", "salary", 86400).check(trace)
+        assert not report.valid
+
+    def test_open_window_at_horizon_is_inconclusive(self):
+        trace = ExecutionTrace()
+        record(trace, hours(1), "project", "e1", "p")
+        trace.close(hours(3))  # run ended 2h into the violation
+        report = referential_within("project", "salary", 86400).check(trace)
+        assert report.valid
+        assert report.inconclusive == 1
+
+    def test_per_parameter_instances(self):
+        trace = ExecutionTrace()
+        record(trace, hours(1), "project", "e1", "p")
+        record(trace, hours(1), "project", "e2", "p")
+        record(trace, hours(2), "salary", "e1", 100)
+        record(trace, hours(40), "salary", "e2", 100)  # too late for e2
+        trace.close(hours(48))
+        report = referential_within("project", "salary", 86400).check(trace)
+        assert not report.valid
+        assert report.checked_instances == 2
+        assert all("e2" in ce for ce in report.counterexamples)

@@ -1,0 +1,65 @@
+"""Unit tests for data items and the location registry."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.items import MISSING, DataItemRef, Locations, item
+
+
+class TestMissing:
+    def test_singleton(self):
+        from repro.core.items import _Missing
+
+        assert _Missing() is MISSING
+
+    def test_falsy_and_repr(self):
+        assert not MISSING
+        assert repr(MISSING) == "MISSING"
+
+
+class TestDataItemRef:
+    def test_plain_item(self):
+        ref = item("X")
+        assert ref.name == "X"
+        assert ref.args == ()
+        assert str(ref) == "X"
+
+    def test_parameterized_item(self):
+        ref = item("salary1", "e042")
+        assert str(ref) == "salary1('e042')"
+
+    def test_hashable_and_equal_by_value(self):
+        assert item("a", 1) == item("a", 1)
+        assert len({item("a", 1), item("a", 1), item("a", 2)}) == 2
+
+
+class TestLocations:
+    def test_register_and_lookup(self):
+        locations = Locations()
+        locations.register("salary1", "sf")
+        assert locations.site_of("salary1") == "sf"
+        assert locations.known("salary1")
+        assert not locations.known("other")
+
+    def test_reregister_same_site_is_idempotent(self):
+        locations = Locations()
+        locations.register("x", "a")
+        locations.register("x", "a")
+        assert locations.site_of("x") == "a"
+
+    def test_conflicting_registration_rejected(self):
+        locations = Locations()
+        locations.register("x", "a")
+        with pytest.raises(ConfigurationError):
+            locations.register("x", "b")
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(ConfigurationError):
+            Locations().site_of("ghost")
+
+    def test_families_at_site(self):
+        locations = Locations()
+        locations.register("x", "a")
+        locations.register("y", "a")
+        locations.register("z", "b")
+        assert sorted(locations.families_at("a")) == ["x", "y"]

@@ -1,0 +1,153 @@
+"""Cross-cutting property-based tests on core data structures.
+
+- rule DSL: rendering a parsed rule reparses to an equivalent rule;
+- SQL engine: WHERE filtering agrees with a Python-model filter;
+- timelines: segments partition [0, horizon) and agree with value_at.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dsl import parse_rule
+from repro.core.items import MISSING, DataItemRef
+from repro.core.trace import ExecutionTrace
+from repro.core.events import spontaneous_write_desc
+from repro.ris.relational import RelationalDatabase
+
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True)
+
+
+class TestDslRoundTrip:
+    @given(
+        src=identifiers,
+        dst=identifiers,
+        param=identifiers,
+        value_var=identifiers,
+        delay=st.floats(0, 100, allow_nan=False).map(lambda f: round(f, 3)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_propagation_rule_roundtrips(
+        self, src, dst, param, value_var, delay
+    ):
+        text = f"N({src}({param}), {value_var}) -> [{delay}] " \
+               f"WR({dst}({param}), {value_var})"
+        rule = parse_rule(text, name="r")
+        reparsed = parse_rule(str(rule), name="r")
+        assert reparsed.lhs == rule.lhs
+        assert reparsed.delay == rule.delay
+        assert reparsed.steps == rule.steps
+
+    @given(
+        threshold=st.integers(-1000, 1000),
+        delay=st.floats(0, 10, allow_nan=False).map(lambda f: round(f, 2)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_conditional_rule_roundtrips(self, threshold, delay):
+        text = f"Ws(X, a, b) & abs(b - a) > {threshold} -> [{delay}] N(X, b)"
+        rule = parse_rule(text, name="r")
+        reparsed = parse_rule(str(rule), name="r")
+        assert reparsed.lhs == rule.lhs
+        assert str(reparsed.condition) == str(rule.condition)
+
+
+class TestSqlModelAgreement:
+    rows = st.lists(
+        st.tuples(
+            st.integers(0, 50),
+            st.integers(-100, 100),
+            st.sampled_from(["eng", "sales", "ops"]),
+        ),
+        min_size=0,
+        max_size=30,
+        unique_by=lambda r: r[0],
+    )
+
+    @given(rows=rows, low=st.integers(-100, 100), dept=st.sampled_from(
+        ["eng", "sales", "ops"]))
+    @settings(max_examples=50, deadline=None)
+    def test_where_matches_python_filter(self, rows, low, dept):
+        db = RelationalDatabase("prop")
+        db.execute(
+            "CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER, d TEXT)"
+        )
+        for key, value, group in rows:
+            db.execute(
+                "INSERT INTO t (k, v, d) VALUES (?, ?, ?)",
+                (key, value, group),
+            )
+        got = sorted(
+            db.query(
+                "SELECT k FROM t WHERE v >= ? AND d = ?", (low, dept)
+            )
+        )
+        expected = sorted(
+            (key,) for key, value, group in rows
+            if value >= low and group == dept
+        )
+        assert got == expected
+
+    @given(rows=rows)
+    @settings(max_examples=30, deadline=None)
+    def test_order_by_matches_sorted(self, rows):
+        db = RelationalDatabase("prop")
+        db.execute(
+            "CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER, d TEXT)"
+        )
+        for key, value, group in rows:
+            db.execute(
+                "INSERT INTO t (k, v, d) VALUES (?, ?, ?)",
+                (key, value, group),
+            )
+        got = db.query("SELECT k, v FROM t ORDER BY v DESC, k")
+        expected = sorted(
+            ((key, value) for key, value, __ in rows),
+            key=lambda kv: (-kv[1], kv[0]),
+        )
+        assert got == expected
+
+
+class TestTimelineProperties:
+    changes = st.lists(
+        st.tuples(st.integers(1, 1000), st.integers(0, 5)),
+        min_size=0,
+        max_size=20,
+    )
+
+    @given(changes=changes, probe=st.integers(0, 1100))
+    @settings(max_examples=60, deadline=None)
+    def test_value_at_matches_last_write(self, changes, probe):
+        trace = ExecutionTrace()
+        ref = DataItemRef("X")
+        last = {}
+        for time, value in sorted(changes, key=lambda c: c[0]):
+            trace.record(
+                time, "s",
+                spontaneous_write_desc(ref, trace.current_value(ref), value),
+            )
+            last[time] = value
+        trace.close(1100)
+        expected = MISSING
+        for time in sorted(last):
+            if time <= probe:
+                expected = last[time]
+        assert trace.value_at(ref, probe) == expected
+
+    @given(changes=changes)
+    @settings(max_examples=60, deadline=None)
+    def test_segments_partition_the_horizon(self, changes):
+        trace = ExecutionTrace()
+        ref = DataItemRef("X")
+        for time, value in sorted(changes, key=lambda c: c[0]):
+            trace.record(
+                time, "s",
+                spontaneous_write_desc(ref, trace.current_value(ref), value),
+            )
+        trace.close(1100)
+        segments = list(trace.timeline(ref).segments())
+        assert segments[0].start == 0
+        assert segments[-1].end == 1100
+        for left, right in zip(segments, segments[1:]):
+            assert left.end == right.start
+            assert left.value != right.value  # maximality
+        for segment in segments:
+            assert trace.value_at(ref, segment.start) == segment.value

@@ -1,0 +1,138 @@
+"""Unit tests for rule objects and their validation."""
+
+import pytest
+
+from repro.core.conditions import Binary, ItemRead, Name
+from repro.core.dsl import parse_rule
+from repro.core.errors import SpecError
+from repro.core.events import EventKind
+from repro.core.items import Locations
+from repro.core.rules import RhsStep, Rule, RuleRole
+from repro.core.templates import FALSE_TEMPLATE, template
+from repro.core.terms import ItemPattern, pattern
+from repro.core.timebase import seconds
+
+
+def propagation_rule() -> Rule:
+    return parse_rule(
+        "N(salary1(n), b) -> [5] WR(salary2(n), b)", name="prop"
+    )
+
+
+class TestValidation:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SpecError):
+            Rule(
+                name="bad",
+                lhs=template(EventKind.NOTIFY, pattern("X"), "b"),
+                delay=-1,
+                steps=(RhsStep(template(EventKind.WRITE, pattern("Y"), "b")),),
+            )
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(SpecError):
+            Rule(
+                name="bad",
+                lhs=template(EventKind.NOTIFY, pattern("X"), "b"),
+                delay=0,
+                steps=(),
+            )
+
+    def test_false_lhs_rejected(self):
+        with pytest.raises(SpecError):
+            parse_rule("FALSE -> [0] W(X, 1)")
+
+    def test_unbound_rhs_variable_rejected(self):
+        with pytest.raises(SpecError) as excinfo:
+            parse_rule("N(X, b) -> [1] WR(Y, c)")
+        assert "c" in str(excinfo.value)
+
+    def test_enumerating_read_request_allowed_unbound(self):
+        rule = parse_rule("P(60) -> [1] RR(salary1(n))")
+        assert rule.steps[0].template.kind is EventKind.READ_REQUEST
+
+    def test_implicit_now_variable_allowed(self):
+        rule = Rule(
+            name="stamp",
+            lhs=template(EventKind.NOTIFY, pattern("X"), "b"),
+            delay=seconds(1),
+            steps=(RhsStep(template(EventKind.WRITE, pattern("Tb"), "now")),),
+        )
+        assert "now" in rule.steps[0].template.variables()
+
+
+class TestBinders:
+    def test_periodic_notify_condition_binds_value(self):
+        rule = parse_rule("P(300) & X == b -> [0.5] N(X, b)")
+        assert [name for name, __ in rule.binders] == ["b"]
+
+    def test_bound_lhs_variables_are_not_binders(self):
+        rule = parse_rule("R(child(n), b) & b == MISSING -> [1] WR(parent(n), MISSING)")
+        assert rule.binders == ()
+
+    def test_uppercase_names_are_not_binders(self):
+        rule = Rule(
+            name="r",
+            lhs=template(EventKind.NOTIFY, pattern("X"), "b"),
+            condition=Binary("==", Name("Cx"), Name("b")),
+            delay=0,
+            steps=(RhsStep(template(EventKind.WRITE, pattern("Y"), "b")),),
+        )
+        assert rule.binders == ()
+
+
+class TestProhibitions:
+    def test_false_rhs_is_prohibition(self):
+        rule = parse_rule("Ws(X, b) -> [0] FALSE")
+        assert rule.is_prohibition
+
+    def test_normal_rule_is_not(self):
+        assert not propagation_rule().is_prohibition
+
+
+class TestSiteResolution:
+    def make_locations(self) -> Locations:
+        locations = Locations()
+        locations.register("salary1", "sf")
+        locations.register("salary2", "ny")
+        return locations
+
+    def test_lhs_site_from_item_family(self):
+        assert propagation_rule().resolve_lhs_site(self.make_locations()) == "sf"
+
+    def test_rhs_site(self):
+        assert propagation_rule().resolve_rhs_site(self.make_locations()) == "ny"
+
+    def test_explicit_lhs_site_override(self):
+        rule = parse_rule("P(60) -> [1] RR(salary1(n))")
+        rule = Rule(
+            name=rule.name,
+            lhs=rule.lhs,
+            delay=rule.delay,
+            steps=rule.steps,
+            lhs_site="sf",
+        )
+        assert rule.resolve_lhs_site(self.make_locations()) == "sf"
+
+    def test_periodic_lhs_without_site_raises(self):
+        rule = parse_rule("P(60) -> [1] RR(salary1(n))")
+        with pytest.raises(SpecError):
+            rule.resolve_lhs_site(self.make_locations())
+
+    def test_multi_site_rhs_rejected(self):
+        rule = parse_rule("N(salary1(n), b) -> [1] WR(salary2(n), b), WR(salary1(n), b)")
+        with pytest.raises(SpecError):
+            rule.resolve_rhs_site(self.make_locations())
+
+    def test_prohibition_rhs_site_is_none(self):
+        rule = parse_rule("Ws(salary1(n), b) -> [0] FALSE")
+        assert rule.resolve_rhs_site(self.make_locations()) is None
+
+
+class TestRendering:
+    def test_str_roundtrips_shape(self):
+        rule = propagation_rule()
+        text = str(rule)
+        assert "N(salary1(n), b)" in text
+        assert "[5]" in text
+        assert "WR(salary2(n), b)" in text

@@ -1,0 +1,98 @@
+"""Tests for the strategy menu (Sections 3.2, 4.2.2, 6)."""
+
+from repro.core.events import EventKind
+from repro.core.items import MISSING
+from repro.core.strategies import (
+    cached_propagation,
+    eod_batch,
+    eod_cleanup,
+    monitor,
+    polling,
+    propagation,
+)
+from repro.core.terms import Const
+from repro.core.timebase import DAY, clock_time, seconds
+
+
+class TestPropagation:
+    def test_single_forwarding_rule(self):
+        spec = propagation("salary1", "salary2", seconds(5), params=("n",))
+        assert len(spec.rules) == 1
+        rule = spec.rules[0]
+        assert rule.lhs.kind is EventKind.NOTIFY
+        assert rule.steps[0].template.kind is EventKind.WRITE_REQUEST
+        assert rule.delay == seconds(5)
+
+
+class TestCachedPropagation:
+    def test_cache_step_sequence(self):
+        spec = cached_propagation(
+            "X", "Y", seconds(5), dst_site="ny"
+        )
+        rule = spec.rules[0]
+        # Step 1: conditional write request; step 2: cache refresh.
+        assert rule.steps[0].template.kind is EventKind.WRITE_REQUEST
+        assert rule.steps[1].template.kind is EventKind.WRITE
+        assert spec.private_families == (("Cache_X_Y", "ny"),)
+
+
+class TestPolling:
+    def test_two_rules(self):
+        spec = polling("X", "Y", seconds(60), seconds(5))
+        poll, forward = spec.rules
+        assert poll.lhs.kind is EventKind.PERIODIC
+        assert poll.lhs.values[0] == Const(seconds(60))
+        assert forward.lhs.kind is EventKind.READ_RESPONSE
+
+    def test_phase_recorded(self):
+        spec = polling(
+            "X", "Y", DAY, seconds(5), phase=clock_time(17)
+        )
+        assert spec.timer_phases == {"poll_X": clock_time(17)}
+
+
+class TestMonitor:
+    def test_private_families_at_app_site(self):
+        spec = monitor("X", "Y", "app", seconds(1))
+        families = dict(spec.private_families)
+        assert set(families) == {
+            "Cache_X",
+            "Cache_Y",
+            "Flag_X_Y",
+            "Tb_X_Y",
+        }
+        assert set(families.values()) == {"app"}
+
+    def test_symmetric_rules(self):
+        spec = monitor("X", "Y", "app", seconds(1))
+        assert len(spec.rules) == 2
+        for rule in spec.rules:
+            # cache write + 3 agreement steps
+            assert len(rule.steps) == 4
+
+    def test_tb_stamped_with_now(self):
+        spec = monitor("X", "Y", "app", seconds(1))
+        tb_steps = [
+            step
+            for rule in spec.rules
+            for step in rule.steps
+            if step.template.item and step.template.item.name == "Tb_X_Y"
+        ]
+        assert tb_steps
+        for step in tb_steps:
+            assert "now" in step.template.variables()
+
+
+class TestEodStrategies:
+    def test_eod_batch_is_daily_polling(self):
+        spec = eod_batch("b1", "b2", clock_time(17), seconds(2), params=("n",))
+        poll = spec.rules[0]
+        assert poll.lhs.values[0] == Const(DAY)
+        assert spec.timer_phases[poll.name] == clock_time(17)
+
+    def test_eod_cleanup_chain(self):
+        spec = eod_cleanup("project", "salary", clock_time(23), seconds(2))
+        scan, check, cleanup = spec.rules
+        assert scan.lhs.kind is EventKind.PERIODIC
+        assert check.lhs.kind is EventKind.READ_RESPONSE
+        assert cleanup.steps[0].template.values[0] == Const(MISSING)

@@ -1,0 +1,79 @@
+"""Unit tests for event templates and matching (Appendix A.1)."""
+
+import pytest
+
+from repro.core.events import (
+    EventKind,
+    notify_desc,
+    spontaneous_write_desc,
+    write_desc,
+)
+from repro.core.items import item
+from repro.core.templates import (
+    FALSE_TEMPLATE,
+    instantiate,
+    match_desc,
+    template,
+)
+from repro.core.terms import WILDCARD, Const, pattern
+
+
+class TestTemplateConstruction:
+    def test_ws_single_value_shorthand_inserts_wildcard_old(self):
+        tmpl = template(
+            EventKind.SPONTANEOUS_WRITE, pattern("X"), "b"
+        )
+        assert tmpl.values[0] is WILDCARD
+
+    def test_variables_include_item_parameters(self):
+        tmpl = template(EventKind.NOTIFY, pattern("salary1", "n"), "b")
+        assert tmpl.variables() == {"n", "b"}
+
+    def test_false_template_str(self):
+        assert str(FALSE_TEMPLATE) == "FALSE"
+
+    def test_arity_validation(self):
+        with pytest.raises(ValueError):
+            template(EventKind.NOTIFY, pattern("X"), "a", "b")
+
+
+class TestMatching:
+    def test_match_builds_interpretation(self):
+        tmpl = template(EventKind.NOTIFY, pattern("salary1", "n"), "b")
+        desc = notify_desc(item("salary1", "e1"), 100)
+        assert match_desc(tmpl, desc) == {"n": "e1", "b": 100}
+
+    def test_kind_mismatch(self):
+        tmpl = template(EventKind.NOTIFY, pattern("X"), "b")
+        assert match_desc(tmpl, write_desc(item("X"), 1)) is None
+
+    def test_ws_shorthand_matches_any_old_value(self):
+        tmpl = template(EventKind.SPONTANEOUS_WRITE, pattern("X"), "b")
+        desc = spontaneous_write_desc(item("X"), 111, 222)
+        assert match_desc(tmpl, desc) == {"b": 222}
+
+    def test_false_matches_nothing(self):
+        assert match_desc(FALSE_TEMPLATE, write_desc(item("X"), 1)) is None
+
+    def test_constant_in_template_filters(self):
+        tmpl = template(EventKind.WRITE, pattern("X"), Const(5))
+        assert match_desc(tmpl, write_desc(item("X"), 5)) == {}
+        assert match_desc(tmpl, write_desc(item("X"), 6)) is None
+
+
+class TestInstantiation:
+    def test_roundtrip_through_bindings(self):
+        src = template(EventKind.NOTIFY, pattern("salary1", "n"), "b")
+        dst = template(
+            EventKind.WRITE_REQUEST, pattern("salary2", "n"), "b"
+        )
+        bindings = match_desc(src, notify_desc(item("salary1", "e7"), 55))
+        assert bindings is not None
+        desc = instantiate(dst, bindings)
+        assert desc.kind is EventKind.WRITE_REQUEST
+        assert desc.item == item("salary2", "e7")
+        assert desc.values == (55,)
+
+    def test_instantiate_false_rejected(self):
+        with pytest.raises(ValueError):
+            instantiate(FALSE_TEMPLATE, {})

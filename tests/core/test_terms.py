@@ -1,0 +1,102 @@
+"""Unit tests for the term language and matching interpretations."""
+
+import pytest
+
+from repro.core.errors import BindingError
+from repro.core.items import DataItemRef
+from repro.core.terms import (
+    WILDCARD,
+    Const,
+    ItemPattern,
+    Var,
+    ground_item,
+    ground_term,
+    match_item,
+    match_term,
+    pattern,
+)
+
+
+class TestPatternConstruction:
+    def test_bare_strings_become_variables(self):
+        p = pattern("salary1", "n")
+        assert p.args == (Var("n"),)
+
+    def test_values_become_constants(self):
+        p = pattern("phone", 42)
+        assert p.args == (Const(42),)
+
+    def test_is_ground(self):
+        assert pattern("x", Const(1)).is_ground
+        assert not pattern("x", "n").is_ground
+
+    def test_variables(self):
+        assert pattern("x", "n", Const(3), "m").variables() == {"n", "m"}
+
+    def test_str(self):
+        assert str(pattern("salary1", "n")) == "salary1(n)"
+
+
+class TestMatching:
+    def test_wildcard_matches_anything_binding_nothing(self):
+        bindings = {}
+        assert match_term(WILDCARD, object(), bindings)
+        assert bindings == {}
+
+    def test_const_matches_equal_value_only(self):
+        assert match_term(Const(5), 5, {})
+        assert not match_term(Const(5), 6, {})
+
+    def test_fresh_variable_binds(self):
+        bindings = {}
+        assert match_term(Var("b"), 7, bindings)
+        assert bindings == {"b": 7}
+
+    def test_bound_variable_must_agree(self):
+        bindings = {"b": 7}
+        assert match_term(Var("b"), 7, bindings)
+        assert not match_term(Var("b"), 8, bindings)
+
+    def test_item_match_produces_interpretation(self):
+        bindings = {}
+        ok = match_item(
+            pattern("salary1", "n"), DataItemRef("salary1", ("e1",)), bindings
+        )
+        assert ok and bindings == {"n": "e1"}
+
+    def test_item_match_rejects_name_mismatch(self):
+        assert not match_item(
+            pattern("salary1", "n"), DataItemRef("salary2", ("e1",)), {}
+        )
+
+    def test_item_match_rejects_arity_mismatch(self):
+        assert not match_item(
+            pattern("salary1", "n"), DataItemRef("salary1", ()), {}
+        )
+
+    def test_repeated_variable_enforces_equality(self):
+        bindings = {}
+        assert match_item(
+            pattern("pair", "n", "n"), DataItemRef("pair", (1, 1)), bindings
+        )
+        assert not match_item(
+            pattern("pair", "n", "n"), DataItemRef("pair", (1, 2)), {}
+        )
+
+
+class TestGrounding:
+    def test_ground_const_and_var(self):
+        assert ground_term(Const(3), {}) == 3
+        assert ground_term(Var("b"), {"b": 9}) == 9
+
+    def test_ground_unbound_variable_raises(self):
+        with pytest.raises(BindingError):
+            ground_term(Var("b"), {})
+
+    def test_ground_wildcard_raises(self):
+        with pytest.raises(BindingError):
+            ground_term(WILDCARD, {})
+
+    def test_ground_item(self):
+        ref = ground_item(pattern("salary1", "n"), {"n": "e9"})
+        assert ref == DataItemRef("salary1", ("e9",))

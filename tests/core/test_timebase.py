@@ -1,0 +1,48 @@
+"""Unit tests for the virtual time base."""
+
+import pytest
+
+from repro.core import timebase as tb
+
+
+class TestConversions:
+    def test_seconds_to_ticks(self):
+        assert tb.seconds(1) == 1_000_000
+
+    def test_fractional_seconds_round_to_nearest_tick(self):
+        assert tb.seconds(0.1) == 100_000
+        assert tb.seconds(0.0000014) == 1  # nearest tick (banker's rounding)
+
+    def test_minutes_hours_days(self):
+        assert tb.minutes(1) == 60 * tb.seconds(1)
+        assert tb.hours(1) == 60 * tb.minutes(1)
+        assert tb.days(1) == 24 * tb.hours(1)
+
+    def test_roundtrip(self):
+        assert tb.to_seconds(tb.seconds(12.5)) == 12.5
+
+    def test_constants_consistent(self):
+        assert tb.DAY == tb.days(1)
+        assert tb.HOUR == tb.hours(1)
+        assert tb.MINUTE == tb.minutes(1)
+
+
+class TestCalendar:
+    def test_time_of_day_wraps_daily(self):
+        tick = tb.days(2) + tb.hours(3)
+        assert tb.time_of_day(tick) == tb.hours(3)
+        assert tb.day_number(tick) == 2
+
+    def test_clock_time(self):
+        assert tb.clock_time(17, 15) == tb.hours(17) + tb.minutes(15)
+
+    @pytest.mark.parametrize(
+        "hour,minute,second", [(24, 0, 0), (-1, 0, 0), (0, 60, 0), (0, 0, 61)]
+    )
+    def test_clock_time_rejects_out_of_range(self, hour, minute, second):
+        with pytest.raises(ValueError):
+            tb.clock_time(hour, minute, second)
+
+    def test_format_ticks(self):
+        tick = tb.days(1) + tb.clock_time(17, 15, 0) + 250_000
+        assert tb.format_ticks(tick) == "d1 17:15:00.250000"

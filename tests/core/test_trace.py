@@ -1,0 +1,173 @@
+"""Unit tests for execution traces, timelines, and the validator."""
+
+import pytest
+
+from repro.core.dsl import parse_rule
+from repro.core.errors import TraceError
+from repro.core.events import (
+    EventKind,
+    notify_desc,
+    spontaneous_write_desc,
+    write_desc,
+    write_request_desc,
+)
+from repro.core.items import MISSING, DataItemRef, item
+from repro.core.templates import template
+from repro.core.terms import pattern
+from repro.core.trace import ExecutionTrace, Timeline, validate_trace
+from repro.core.timebase import seconds
+
+
+X = item("X")
+Y = item("Y")
+
+
+class TestRecording:
+    def test_write_updates_interpretations(self, trace):
+        event = trace.record(10, "a", write_desc(X, 5))
+        assert event.old.specifies(X) is False
+        assert event.new[X] == 5
+
+    def test_chaining(self, trace):
+        first = trace.record(10, "a", write_desc(X, 5))
+        second = trace.record(20, "a", write_desc(X, 6))
+        assert second.old == first.new
+
+    def test_non_write_preserves_state(self, trace):
+        trace.record(10, "a", write_desc(X, 5))
+        event = trace.record(20, "a", notify_desc(X, 5))
+        assert event.new == event.old
+
+    def test_out_of_order_recording_rejected(self, trace):
+        trace.record(10, "a", write_desc(X, 5))
+        with pytest.raises(TraceError):
+            trace.record(5, "a", write_desc(X, 6))
+
+    def test_seed_before_events_only(self, trace):
+        trace.record(10, "a", write_desc(X, 5))
+        with pytest.raises(TraceError):
+            trace.seed(Y, 1)
+
+    def test_current_value(self, trace):
+        assert trace.current_value(X) is MISSING
+        trace.record(10, "a", write_desc(X, 5))
+        assert trace.current_value(X) == 5
+
+
+class TestTimelines:
+    def test_seeded_initial_value(self, trace):
+        trace.seed(X, 7)
+        trace.close(100)
+        assert trace.value_at(X, 0) == 7
+        assert trace.value_at(X, 99) == 7
+
+    def test_value_before_any_write_is_missing(self, trace):
+        trace.record(50, "a", write_desc(X, 1))
+        assert trace.value_at(X, 49) is MISSING
+        assert trace.value_at(X, 50) == 1
+
+    def test_segments_are_maximal(self, trace):
+        trace.record(10, "a", write_desc(X, 1))
+        trace.record(20, "a", write_desc(X, 1))  # no-op value
+        trace.record(30, "a", write_desc(X, 2))
+        trace.close(100)
+        segments = list(trace.timeline(X).segments())
+        values = [s.value for s in segments]
+        assert values == [MISSING, 1, 2]
+        assert segments[1].start == 10 and segments[1].end == 30
+
+    def test_distinct_values_in_order(self, trace):
+        for time, value in [(10, "a"), (20, "b"), (30, "a")]:
+            trace.record(time, "s", write_desc(X, value))
+        assert trace.timeline(X).distinct_values() == [MISSING, "a", "b"]
+
+    def test_timeline_cache_invalidates_on_append(self, trace):
+        trace.record(10, "a", write_desc(X, 1))
+        assert trace.value_at(X, 15) == 1
+        trace.record(20, "a", write_desc(X, 2))
+        assert trace.value_at(X, 25) == 2
+
+    def test_refs_of_family(self, trace):
+        trace.record(10, "a", write_desc(item("s", "e1"), 1))
+        trace.record(20, "a", write_desc(item("s", "e2"), 1))
+        trace.record(30, "a", write_desc(item("t", "e3"), 1))
+        assert trace.refs_of_family("s") == [item("s", "e1"), item("s", "e2")]
+
+
+class TestValidator:
+    def _propagation_events(self, trace):
+        rule = parse_rule("N(X, b) -> [5] WR(Y, b)", name="prop")
+        ws = trace.record(seconds(1), "a", spontaneous_write_desc(X, MISSING, 5))
+        iface = parse_rule("Ws(X, b) -> [2] N(X, b)", name="iface")
+        n = trace.record(seconds(2), "a", notify_desc(X, 5), rule=iface, trigger=ws)
+        wr = trace.record(
+            seconds(3), "b", write_request_desc(Y, 5), rule=rule, trigger=n
+        )
+        return rule, iface, wr
+
+    def test_clean_generated_chain_validates(self, trace):
+        rule, iface, wr = self._propagation_events(trace)
+        trace.close(seconds(60))
+        assert validate_trace(trace, [rule]) == []
+
+    def test_prohibited_event_flagged(self, trace):
+        prohibition = parse_rule("Ws(X, b) -> [0] FALSE", name="nospont")
+        trace.record(seconds(1), "a", spontaneous_write_desc(X, MISSING, 5))
+        trace.close(seconds(10))
+        violations = validate_trace(trace, [prohibition])
+        assert [v.property_number for v in violations] == [6]
+
+    def test_missing_obligation_flagged(self, trace):
+        rule = parse_rule("N(X, b) -> [5] WR(Y, b)", name="prop")
+        trace.record(seconds(1), "a", notify_desc(X, 5))
+        trace.close(seconds(60))  # deadline passed, no WR recorded
+        violations = validate_trace(trace, [rule])
+        assert any(v.property_number == 6 for v in violations)
+
+    def test_obligation_not_yet_due_is_not_flagged(self, trace):
+        rule = parse_rule("N(X, b) -> [5] WR(Y, b)", name="prop")
+        trace.record(seconds(1), "a", notify_desc(X, 5))
+        trace.close(seconds(2))  # horizon before the deadline
+        assert validate_trace(trace, [rule]) == []
+
+    def test_late_generated_event_flagged(self, trace):
+        rule = parse_rule("N(X, b) -> [5] WR(Y, b)", name="prop")
+        n = trace.record(seconds(1), "a", notify_desc(X, 5))
+        trace.record(
+            seconds(20), "b", write_request_desc(Y, 5), rule=rule, trigger=n
+        )
+        trace.close(seconds(30))
+        assert any(
+            v.property_number == 5 for v in validate_trace(trace, [rule])
+        )
+
+    def test_spontaneous_with_provenance_flagged(self, trace):
+        rule = parse_rule("N(X, b) -> [5] WR(Y, b)", name="prop")
+        n = trace.record(seconds(1), "a", notify_desc(X, 5))
+        trace.record(
+            seconds(2),
+            "a",
+            spontaneous_write_desc(X, 5, 6),
+            rule=rule,
+            trigger=n,
+        )
+        trace.close(seconds(10))
+        assert any(
+            v.property_number == 4 for v in validate_trace(trace, [])
+        )
+
+    def test_out_of_order_related_rules_flagged(self, trace):
+        rule = parse_rule("N(X, b) -> [5] WR(Y, b)", name="prop")
+        n1 = trace.record(seconds(1), "a", notify_desc(X, 1))
+        n2 = trace.record(seconds(2), "a", notify_desc(X, 2))
+        # The later trigger's effect lands first: property 7 violation.
+        trace.record(
+            seconds(3), "b", write_request_desc(Y, 2), rule=rule, trigger=n2
+        )
+        trace.record(
+            seconds(4), "b", write_request_desc(Y, 1), rule=rule, trigger=n1
+        )
+        trace.close(seconds(10))
+        assert any(
+            v.property_number == 7 for v in validate_trace(trace, [])
+        )

@@ -1,0 +1,133 @@
+"""Integration test of the Section 7.1 arithmetic decomposition.
+
+``X = Y + Z`` across three sites: Y and Z push notifications, caches live at
+X's site, and a recompute rule (triggered by rule chaining on the private
+cache writes) keeps X current.  The issued guarantees — per-operand cache
+copies plus the derived sum-follows — must all verify against the trace.
+"""
+
+import pytest
+
+from repro.cm import CMRID, ConstraintManager, Scenario
+from repro.constraints import ArithmeticConstraint
+from repro.core.interfaces import InterfaceKind
+from repro.core.items import DataItemRef
+from repro.core.timebase import seconds
+
+
+def build_arithmetic_cm(seed: int = 0):
+    from repro.ris.relational import RelationalDatabase
+
+    scenario = Scenario(seed=seed)
+    cm = ConstraintManager(scenario)
+    databases = {}
+    layout = {
+        "sx": ("X", (InterfaceKind.WRITE, InterfaceKind.READ)),
+        "sy": ("Y", (InterfaceKind.NOTIFY, InterfaceKind.READ)),
+        "sz": ("Z", (InterfaceKind.NOTIFY, InterfaceKind.READ)),
+    }
+    for site, (family, kinds) in layout.items():
+        cm.add_site(site)
+        db = RelationalDatabase(f"db-{site}")
+        db.execute("CREATE TABLE c (k TEXT PRIMARY KEY, v REAL)")
+        databases[family] = db
+        rid = CMRID("relational", f"db-{site}").bind(
+            family, table="c", key_column="k", value_column="v", key=family
+        )
+        for kind in kinds:
+            rid.offer(family, kind, bound_seconds=1.0)
+        cm.add_source(site, db, rid)
+    constraint = cm.declare(ArithmeticConstraint("X", ("Y", "Z")))
+    suggestions = cm.suggest(constraint, rule_delay=seconds(0.5))
+    # Both transports apply (operands offer NOTIFY and READ); take the
+    # notify-based decomposition, which carries the leads guarantees.
+    assert all(s.strategy.kind == "arithmetic" for s in suggestions)
+    notify_based = next(
+        s for s in suggestions if "notifications" in s.rationale
+    )
+    installed = cm.install(constraint, notify_based)
+    return cm, databases, installed
+
+
+class TestArithmeticMaintenance:
+    def test_x_tracks_the_sum(self):
+        cm, databases, __ = build_arithmetic_cm()
+        updates = [
+            (5, "Y", 10.0),
+            (10, "Z", 1.0),
+            (20, "Y", 20.0),
+            (30, "Z", 2.0),
+            (40, "Y", 30.0),
+        ]
+        for at, family, value in updates:
+            cm.scenario.sim.at(
+                seconds(at),
+                lambda f=family, v=value: cm.spontaneous_write(f, (), v),
+            )
+        cm.run(until=seconds(90))
+        assert databases["X"].query(
+            "SELECT v FROM c WHERE k = 'X'"
+        ) == [(32.0,)]
+
+    def test_all_issued_guarantees_verify(self):
+        cm, __, installed = build_arithmetic_cm(seed=1)
+        rng = cm.scenario.rngs.stream("arith-workload")
+        time = 5.0
+        for __ in range(40):
+            family = rng.choice(["Y", "Z"])
+            value = round(rng.uniform(0, 100), 1)
+            cm.scenario.sim.at(
+                seconds(time),
+                lambda f=family, v=value: cm.spontaneous_write(f, (), v),
+            )
+            time += rng.uniform(2.0, 8.0)
+        cm.run(until=seconds(time + 60))
+        reports = cm.check_guarantees()
+        assert len(reports) == 5  # 2 per operand + the sum-follows
+        for report in reports.values():
+            assert report.valid, str(report.counterexamples[:3])
+
+    def test_no_recompute_until_all_caches_populated(self):
+        cm, databases, __ = build_arithmetic_cm(seed=2)
+        cm.scenario.sim.at(
+            seconds(5), lambda: cm.spontaneous_write("Y", (), 7.0)
+        )
+        cm.run(until=seconds(30))
+        # Z never arrived: the sum is not computable, X must stay untouched.
+        assert databases["X"].query("SELECT v FROM c WHERE k = 'X'") == []
+
+    def test_caches_recorded_with_provenance(self):
+        cm, __, installed = build_arithmetic_cm(seed=3)
+        cm.scenario.sim.at(
+            seconds(5), lambda: cm.spontaneous_write("Y", (), 7.0)
+        )
+        cm.run(until=seconds(30))
+        cache_ref = DataItemRef("Cached_Y")
+        assert cm.scenario.trace.current_value(cache_ref) == 7.0
+        cache_writes = [
+            e for e in cm.scenario.trace.events
+            if e.desc.item == cache_ref
+        ]
+        assert cache_writes[0].rule is not None
+
+
+class TestChainDepthGuard:
+    def test_self_triggering_rule_detected(self):
+        from repro.core.dsl import parse_rule
+        from repro.core.errors import SpecError
+        from cm_helpers_root import build_two_site
+
+        cm, *_ = build_two_site()
+        # A rule that rewrites the item it triggers on: unbounded chaining.
+        rule = parse_rule("W(Loop, b) -> [1] W(Loop, b)", name="loop")
+        cm.locations.register("Loop", "sf")
+        shell = cm.shell("sf")
+        shell.install_rule(rule, "sf")
+        kick = parse_rule("N(salary1(n), b) -> [1] W(Loop, b)", name="kick")
+        shell.install_rule(kick, "sf")
+        shell.translator_for("salary1").setup_notify("salary1")
+        cm.scenario.sim.at(
+            seconds(1), lambda: cm.spontaneous_write("salary1", ("e1",), 1.0)
+        )
+        with pytest.raises(SpecError, match="chaining"):
+            cm.run(until=seconds(10))

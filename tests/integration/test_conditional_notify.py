@@ -1,0 +1,110 @@
+"""Integration test of the conditional-notify interface (Section 3.1.1).
+
+The paper's example: notify only when the update changes the value by more
+than 10%.  The relational translator must evaluate the condition *locally*
+(the database filters before anything crosses the network), the filtered
+updates must never reach the destination, and the catalog must withhold the
+leads guarantee — a conditional feed can legitimately miss values.
+"""
+
+from repro.cm import CMRID, ConstraintManager, Scenario
+from repro.constraints import CopyConstraint
+from repro.core.events import EventKind
+from repro.core.guarantees import leads
+from repro.core.interfaces import InterfaceKind
+from repro.core.timebase import seconds
+from repro.ris.relational import RelationalDatabase
+
+TEN_PERCENT = "abs(b - a) > a * 0.1"
+
+
+def build(seed: int = 0):
+    scenario = Scenario(seed=seed)
+    cm = ConstraintManager(scenario)
+    cm.add_site("src")
+    cm.add_site("dst")
+
+    src_db = RelationalDatabase("sensor")
+    src_db.execute("CREATE TABLE r (k TEXT PRIMARY KEY, v REAL)")
+    src_db.execute("INSERT INTO r VALUES ('level', 100.0)")
+    rid_src = (
+        CMRID("relational", "sensor")
+        .bind("level", table="r", key_column="k", value_column="v",
+              key="level")
+        .offer(
+            "level",
+            InterfaceKind.CONDITIONAL_NOTIFY,
+            bound_seconds=1.0,
+            condition=TEN_PERCENT,
+        )
+    )
+    cm.add_source("src", src_db, rid_src)
+
+    dst_db = RelationalDatabase("dashboard")
+    dst_db.execute("CREATE TABLE r (k TEXT PRIMARY KEY, v REAL)")
+    rid_dst = (
+        CMRID("relational", "dashboard")
+        .bind("level_copy", table="r", key_column="k", value_column="v",
+              key="level")
+        .offer("level_copy", InterfaceKind.WRITE, bound_seconds=1.0)
+        .offer("level_copy", InterfaceKind.NO_SPONTANEOUS_WRITE)
+    )
+    cm.add_source("dst", dst_db, rid_dst)
+    return cm, dst_db
+
+
+class TestConditionalNotify:
+    def test_small_changes_filtered_locally(self):
+        cm, dst_db = build()
+        constraint = cm.declare(CopyConstraint("level", "level_copy"))
+        suggestions = cm.suggest(constraint)
+        prop = next(
+            s for s in suggestions if s.strategy.kind == "propagation"
+        )
+        assert not any(g.name.startswith("leads(") for g in prop.guarantees)
+        assert "conditional" in prop.rationale
+        cm.install(constraint, prop)
+
+        updates = [
+            (5, 105.0),   # +5%: filtered by the database
+            (10, 150.0),  # +43%: notified
+            (15, 155.0),  # +3%: filtered
+            (20, 70.0),   # -55%: notified
+        ]
+        for at, value in updates:
+            cm.scenario.sim.at(
+                seconds(at),
+                lambda v=value: cm.spontaneous_write("level", (), v),
+            )
+        cm.run(until=seconds(60))
+        notifications = [
+            e.desc.values[0]
+            for e in cm.scenario.trace.events
+            if e.desc.kind is EventKind.NOTIFY
+        ]
+        assert notifications == [150.0, 70.0]
+        assert dst_db.query("SELECT v FROM r WHERE k = 'level'") == [(70.0,)]
+
+    def test_offered_guarantees_hold_despite_filtering(self):
+        cm, __ = build(seed=1)
+        constraint = cm.declare(CopyConstraint("level", "level_copy"))
+        prop = next(
+            s for s in cm.suggest(constraint)
+            if s.strategy.kind == "propagation"
+        )
+        cm.install(constraint, prop)
+        rng = cm.scenario.rngs.stream("cond-workload")
+        value = 100.0
+        for step in range(30):
+            value = round(value * rng.uniform(0.8, 1.25), 2)
+            cm.scenario.sim.at(
+                seconds(5 + step * 5),
+                lambda v=value: cm.spontaneous_write("level", (), v),
+            )
+        cm.run(until=seconds(220))
+        for report in cm.check_guarantees().values():
+            assert report.valid, report.counterexamples[:2]
+        # ...and the *unoffered* leads guarantee is indeed violated, which
+        # is exactly why the catalog withheld it.
+        leads_report = leads("level", "level_copy").check(cm.scenario.trace)
+        assert not leads_report.valid

@@ -1,0 +1,36 @@
+"""Determinism: identical seeds produce byte-identical executions.
+
+Reproducibility is load-bearing for the experiment harness (EXPERIMENTS.md
+promises identical tables on re-runs), so it gets its own test: two
+independently built scenarios with the same seed must record the same event
+sequence, tick for tick, and different seeds must diverge.
+"""
+
+from repro.core.timebase import seconds
+from repro.experiments.common import build_salary_scenario
+from repro.workloads import UpdateStream
+from repro.workloads.generators import random_walk
+
+
+def run_once(seed: int) -> list[str]:
+    salary = build_salary_scenario("propagation", seed=seed)
+    UpdateStream(
+        salary.cm,
+        "salary1",
+        ["e1", "e2", "e3"],
+        rate=1.0,
+        duration=seconds(60),
+        value_model=random_walk(step=10.0, start=100.0),
+    )
+    salary.cm.run(until=seconds(90))
+    return [
+        f"{e.time}|{e.site}|{e.desc}" for e in salary.scenario.trace.events
+    ]
+
+
+class TestDeterminism:
+    def test_same_seed_same_execution(self):
+        assert run_once(1234) == run_once(1234)
+
+    def test_different_seeds_diverge(self):
+        assert run_once(1) != run_once(2)

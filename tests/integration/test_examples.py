@@ -1,0 +1,21 @@
+"""Smoke tests: every example script runs to completion."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize(
+    "example", EXAMPLES, ids=lambda path: path.stem
+)
+def test_example_runs(example, capsys):
+    runpy.run_path(str(example), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()  # every example narrates what it did
+    assert "VIOLATED" not in out or "monitor" in example.stem

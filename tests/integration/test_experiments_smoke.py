@@ -1,0 +1,103 @@
+"""Smoke tests: every experiment reproduces its claim at reduced scale.
+
+These are the repository's own regression net for deliverable (d): if a
+change breaks the reproduction of a paper claim, a test here fails.
+Benchmarks run the full-scale versions; the parameters here are trimmed for
+test-suite latency while keeping each claim decidable.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    e1_propagation,
+    e2_polling,
+    e3_caching,
+    e4_demarcation,
+    e5_referential,
+    e6_monitor,
+    e7_periodic,
+    e8_failures,
+    e9_reconfig,
+    e10_scale,
+)
+
+
+class TestExperimentClaims:
+    def test_e1_propagation(self):
+        result = e1_propagation.run(rates=(1.0,), duration_seconds=120.0)
+        assert result.claim_holds, result.render()
+
+    def test_e2_polling(self):
+        result = e2_polling.run(
+            periods=(1.0, 30.0), duration_seconds=600.0
+        )
+        assert result.claim_holds, result.render()
+
+    def test_e3_caching(self):
+        result = e3_caching.run(
+            duplicate_ratios=(0.0, 0.9), duration_seconds=120.0
+        )
+        assert result.claim_holds, result.render()
+
+    def test_e4_demarcation(self):
+        result = e4_demarcation.run(duration_seconds=200.0)
+        assert result.claim_holds, result.render()
+
+    def test_e5_referential(self):
+        result = e5_referential.run(simulated_days=3, employees_per_day=8)
+        assert result.claim_holds, result.render()
+
+    def test_e6_monitor(self):
+        result = e6_monitor.run(value_count=40)
+        assert result.claim_holds, result.render()
+
+    def test_e7_periodic(self):
+        result = e7_periodic.run(simulated_days=2, account_count=5)
+        assert result.claim_holds, result.render()
+
+    def test_e8_failures(self):
+        result = e8_failures.run()
+        assert result.claim_holds, result.render()
+
+    def test_e9_reconfig(self):
+        result = e9_reconfig.run(duration=120.0)
+        assert result.claim_holds, result.render()
+
+    def test_e10_scale(self):
+        result = e10_scale.run(
+            replica_counts=(1, 4), duration=60.0
+        )
+        assert result.claim_holds, result.render()
+
+    def test_e11_arithmetic(self):
+        from repro.experiments import e11_arithmetic
+
+        result = e11_arithmetic.run(update_count=30)
+        assert result.claim_holds, result.render()
+
+    def test_ablation_in_order(self):
+        result = ablations.run_in_order_ablation(updates=150, duration=80.0)
+        assert result.claim_holds, result.render()
+
+    def test_ablation_echo(self):
+        result = ablations.run_echo_ablation(duration=60.0)
+        assert result.claim_holds, result.render()
+
+    def test_ablation_clock_skew(self):
+        result = ablations.run_clock_skew_ablation()
+        assert result.claim_holds, result.render()
+
+
+class TestRunnerCli:
+    def test_list(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "e1" in out and "ablation-order" in out
+
+    def test_unknown_experiment(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["e99"]) == 2

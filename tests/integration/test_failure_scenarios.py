@@ -1,0 +1,132 @@
+"""Integration tests of the Section 5 failure semantics."""
+
+from repro.core.timebase import seconds
+from repro.experiments.common import build_salary_scenario
+from repro.sim.failures import FailureKind, FailurePlan, FailureWindow
+from repro.workloads import UpdateStream
+from repro.workloads.generators import random_walk
+
+
+def drive(salary, duration=200.0, drain=600.0):
+    UpdateStream(
+        salary.cm,
+        "salary1",
+        ["e1", "e2"],
+        rate=0.3,
+        duration=seconds(duration),
+        value_model=random_walk(step=10.0, start=100.0),
+    )
+    salary.cm.run(until=seconds(duration + drain))
+    return salary
+
+
+class TestMetricFailure:
+    def plan(self):
+        plan = FailurePlan()
+        plan.add(
+            FailureWindow(
+                site="ny",
+                kind=FailureKind.METRIC,
+                start=seconds(60),
+                end=seconds(100),
+                slowdown=500.0,
+            )
+        )
+        return plan
+
+    def test_board_marks_only_metric_guarantees(self):
+        salary = drive(
+            build_salary_scenario(
+                "propagation", seed=20, failure_plan=self.plan()
+            )
+        )
+        board = salary.cm.board
+        horizon = salary.scenario.trace.horizon
+        for guarantee in board.guarantees():
+            invalid = bool(board.invalid_intervals(guarantee, horizon))
+            assert invalid == guarantee.metric
+
+    def test_work_is_delayed_not_lost(self):
+        salary = drive(
+            build_salary_scenario(
+                "propagation", seed=21, failure_plan=self.plan()
+            )
+        )
+        reports = salary.cm.check_guarantees()
+        nonmetric = [r for n, r in reports.items() if "κ=" not in n]
+        assert nonmetric and all(r.valid for r in nonmetric)
+
+
+class TestLogicalFailure:
+    def test_crash_invalidates_all_until_reset(self):
+        salary = build_salary_scenario("propagation", seed=22)
+        salary.cm.scenario.sim.at(
+            seconds(60), lambda: salary.hq_db.set_available(False)
+        )
+        salary.cm.scenario.sim.at(
+            seconds(100), lambda: salary.hq_db.set_available(True)
+        )
+        drive(salary)
+        board = salary.cm.board
+        for guarantee in board.guarantees():
+            assert not board.is_valid(guarantee)  # sticky until reset
+        board.reset_site("ny", salary.scenario.trace.horizon)
+        for guarantee in board.guarantees():
+            assert board.is_valid(guarantee)
+
+    def test_writes_during_crash_are_lost(self):
+        from repro.core.guarantees import leads
+
+        salary = build_salary_scenario("propagation", seed=23)
+        salary.cm.scenario.sim.at(
+            seconds(60), lambda: salary.hq_db.set_available(False)
+        )
+        salary.cm.scenario.sim.at(
+            seconds(100), lambda: salary.hq_db.set_available(True)
+        )
+        # One update squarely inside the outage.
+        salary.cm.scenario.sim.at(
+            seconds(70),
+            lambda: salary.cm.spontaneous_write("salary1", ("e1",), 777.0),
+        )
+        salary.cm.scenario.sim.at(
+            seconds(150),
+            lambda: salary.cm.spontaneous_write("salary1", ("e1",), 888.0),
+        )
+        salary.cm.run(until=seconds(400))
+        report = leads("salary1", "salary2").check(salary.scenario.trace)
+        assert not report.valid
+        assert any("777" in ce for ce in report.counterexamples)
+
+
+class TestSilentLoss:
+    def test_undetectable_but_harmful(self):
+        plan = FailurePlan()
+        plan.add(
+            FailureWindow(
+                site="sf",
+                kind=FailureKind.SILENT_NOTIFY_LOSS,
+                start=seconds(60),
+                end=seconds(100),
+                drop_probability=1.0,
+            )
+        )
+        salary = build_salary_scenario(
+            "propagation", seed=24, failure_plan=plan
+        )
+        salary.cm.scenario.sim.at(
+            seconds(70),
+            lambda: salary.cm.spontaneous_write("salary1", ("e1",), 777.0),
+        )
+        salary.cm.scenario.sim.at(
+            seconds(150),
+            lambda: salary.cm.spontaneous_write("salary1", ("e1",), 888.0),
+        )
+        salary.cm.run(until=seconds(400))
+        # Nothing was detected...
+        assert salary.cm.board.notices == []
+        # ...but the value was genuinely missed.
+        from repro.core.guarantees import leads
+
+        report = leads("salary1", "salary2").check(salary.scenario.trace)
+        assert not report.valid

@@ -1,0 +1,115 @@
+"""Integration test of the periodic-notify interface (Section 3.1.1).
+
+A source that pushes its current value every p seconds (server-side
+polling).  The catalog offers propagation without the leads guarantee;
+all offered guarantees must verify; and the notification cadence must
+actually be periodic.
+"""
+
+from repro.cm import CMRID, ConstraintManager, Scenario
+from repro.constraints import CopyConstraint
+from repro.core.events import EventKind
+from repro.core.interfaces import InterfaceKind
+from repro.core.timebase import seconds
+from repro.ris.relational import RelationalDatabase
+
+
+def build(seed: int = 0):
+    scenario = Scenario(seed=seed)
+    cm = ConstraintManager(scenario)
+    cm.add_site("src")
+    cm.add_site("dst")
+
+    src_db = RelationalDatabase("ticker")
+    src_db.execute("CREATE TABLE q (k TEXT PRIMARY KEY, v REAL)")
+    src_db.execute("INSERT INTO q VALUES ('price', 100.0)")
+    rid_src = (
+        CMRID("relational", "ticker")
+        .bind("price", table="q", key_column="k", value_column="v",
+              key="price")
+        .offer(
+            "price",
+            InterfaceKind.PERIODIC_NOTIFY,
+            bound_seconds=0.5,
+            period_seconds=10.0,
+        )
+    )
+    cm.add_source("src", src_db, rid_src)
+
+    dst_db = RelationalDatabase("mirror")
+    dst_db.execute("CREATE TABLE q (k TEXT PRIMARY KEY, v REAL)")
+    rid_dst = (
+        CMRID("relational", "mirror")
+        .bind("price_copy", table="q", key_column="k", value_column="v",
+              key="price")
+        .offer("price_copy", InterfaceKind.WRITE, bound_seconds=1.0)
+        .offer("price_copy", InterfaceKind.NO_SPONTANEOUS_WRITE)
+    )
+    cm.add_source("dst", dst_db, rid_dst)
+    return cm, src_db, dst_db
+
+
+class TestPeriodicNotify:
+    def test_catalog_offers_propagation_without_leads(self):
+        cm, *_ = build()
+        constraint = cm.declare(CopyConstraint("price", "price_copy"))
+        suggestions = cm.suggest(constraint)
+        assert len(suggestions) == 1
+        names = [g.name for g in suggestions[0].guarantees]
+        assert any(n.startswith("follows(") for n in names)
+        assert not any(n.startswith("leads(") for n in names)
+        # kappa must include the 10 s period.
+        metric = next(n for n in names if "κ=" in n)
+        assert "13.5" in metric  # 10 period + 0.5 bound + 1 delay + 1 write + 1 margin
+
+    def test_values_flow_and_guarantees_verify(self):
+        cm, src_db, dst_db = build(seed=1)
+        constraint = cm.declare(CopyConstraint("price", "price_copy"))
+        cm.install(constraint, cm.suggest(constraint)[0])
+        for at, value in ((12, 110.0), (35, 120.0)):
+            cm.scenario.sim.at(
+                seconds(at),
+                lambda v=value: cm.spontaneous_write("price", (), v),
+            )
+        cm.run(until=seconds(60))
+        assert dst_db.query("SELECT v FROM q WHERE k = 'price'") == [(120.0,)]
+        for report in cm.check_guarantees().values():
+            assert report.valid, report.counterexamples[:2]
+
+    def test_notifications_are_periodic(self):
+        cm, *_ = build(seed=2)
+        constraint = cm.declare(CopyConstraint("price", "price_copy"))
+        cm.install(constraint, cm.suggest(constraint)[0])
+        cm.run(until=seconds(45))
+        p_events = [
+            e.time for e in cm.scenario.trace.events
+            if e.desc.kind is EventKind.PERIODIC
+        ]
+        assert p_events == [seconds(10), seconds(20), seconds(30), seconds(40)]
+        notifies = [
+            e for e in cm.scenario.trace.events
+            if e.desc.kind is EventKind.NOTIFY
+        ]
+        assert len(notifies) == 4
+        # Provenance: each N chains to its P event via the interface rule.
+        for event in notifies:
+            assert event.trigger is not None
+            assert event.trigger.desc.kind is EventKind.PERIODIC
+
+    def test_quick_double_update_misses_one(self):
+        from repro.core.guarantees import leads
+
+        cm, *_ = build(seed=3)
+        constraint = cm.declare(CopyConstraint("price", "price_copy"))
+        cm.install(constraint, cm.suggest(constraint)[0])
+        # Two updates inside one 10 s period: the first is never pushed.
+        cm.scenario.sim.at(
+            seconds(12), lambda: cm.spontaneous_write("price", (), 111.0)
+        )
+        cm.scenario.sim.at(
+            seconds(13), lambda: cm.spontaneous_write("price", (), 222.0)
+        )
+        cm.run(until=seconds(60))
+        report = leads("price", "price_copy").check(cm.scenario.trace)
+        assert not report.valid
+        assert any("111" in ce for ce in report.counterexamples)

@@ -1,0 +1,286 @@
+"""End-to-end tests of the mini relational DBMS, plus property tests."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ris.base import Capability
+from repro.ris.relational import (
+    ConstraintViolationError,
+    RelationalDatabase,
+    SqlError,
+    TransactionError,
+)
+from repro.ris.relational.errors import (
+    CatalogError,
+    DatabaseBusyError,
+    DatabaseUnavailableError,
+    TypeMismatchError,
+)
+
+
+@pytest.fixture
+def db() -> RelationalDatabase:
+    database = RelationalDatabase("test")
+    database.execute(
+        "CREATE TABLE emp (empid TEXT PRIMARY KEY, name TEXT NOT NULL, "
+        "salary REAL, dept TEXT)"
+    )
+    database.execute(
+        "INSERT INTO emp (empid, name, salary, dept) VALUES "
+        "('e1', 'Ada', 100.0, 'eng'), ('e2', 'Bob', 90.0, 'sales'), "
+        "('e3', 'Cy', NULL, 'eng')"
+    )
+    return database
+
+
+class TestQueries:
+    def test_select_star(self, db):
+        assert len(db.query("SELECT * FROM emp")) == 3
+
+    def test_where_and_projection(self, db):
+        rows = db.query("SELECT name FROM emp WHERE dept = 'eng' AND salary > 50")
+        assert rows == [("Ada",)]
+
+    def test_null_comparisons_filter_out(self, db):
+        rows = db.query("SELECT name FROM emp WHERE salary > 0")
+        assert ("Cy",) not in rows
+
+    def test_is_null(self, db):
+        assert db.query("SELECT name FROM emp WHERE salary IS NULL") == [("Cy",)]
+
+    def test_order_by_multi_key(self, db):
+        rows = db.query("SELECT name FROM emp ORDER BY dept, name DESC")
+        assert rows == [("Cy",), ("Ada",), ("Bob",)]
+
+    def test_limit(self, db):
+        assert len(db.query("SELECT * FROM emp ORDER BY empid LIMIT 2")) == 2
+
+    def test_aggregates_skip_nulls(self, db):
+        row = db.query(
+            "SELECT COUNT(*), COUNT(salary), SUM(salary), MIN(salary), "
+            "MAX(salary) FROM emp"
+        )[0]
+        assert row == (3, 2, 190.0, 90.0, 100.0)
+
+    def test_aggregate_over_empty_set(self, db):
+        row = db.query("SELECT SUM(salary) FROM emp WHERE dept = 'hr'")[0]
+        assert row == (None,)
+
+    def test_expression_projection(self, db):
+        rows = db.query(
+            "SELECT salary * 2 FROM emp WHERE empid = 'e1'"
+        )
+        assert rows == [(200.0,)]
+
+    def test_parameters(self, db):
+        rows = db.query("SELECT name FROM emp WHERE empid = ?", ("e2",))
+        assert rows == [("Bob",)]
+
+    def test_too_few_parameters(self, db):
+        with pytest.raises(SqlError):
+            db.query("SELECT name FROM emp WHERE empid = ?")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(CatalogError):
+            db.query("SELECT ghost FROM emp")
+
+    def test_unknown_table(self, db):
+        with pytest.raises(CatalogError):
+            db.query("SELECT * FROM ghosts")
+
+
+class TestMutations:
+    def test_update_rowcount(self, db):
+        result = db.execute("UPDATE emp SET salary = 95 WHERE dept = 'eng'")
+        assert result.rowcount == 2
+
+    def test_delete(self, db):
+        db.execute("DELETE FROM emp WHERE empid = 'e3'")
+        assert db.query("SELECT COUNT(*) FROM emp")[0][0] == 2
+
+    def test_primary_key_enforced(self, db):
+        with pytest.raises(ConstraintViolationError):
+            db.execute("INSERT INTO emp (empid, name) VALUES ('e1', 'Dup')")
+
+    def test_not_null_enforced(self, db):
+        with pytest.raises(ConstraintViolationError):
+            db.execute("INSERT INTO emp (empid) VALUES ('e9')")
+
+    def test_type_checked(self, db):
+        with pytest.raises(TypeMismatchError):
+            db.execute("INSERT INTO emp (empid, name, salary) VALUES "
+                       "('e9', 'X', 'lots')")
+
+    def test_update_to_duplicate_pk_rejected(self, db):
+        with pytest.raises(ConstraintViolationError):
+            db.execute("UPDATE emp SET empid = 'e1' WHERE empid = 'e2'")
+
+    def test_check_constraint(self):
+        database = RelationalDatabase("chk")
+        database.execute(
+            "CREATE TABLE acct (id TEXT PRIMARY KEY, bal REAL, "
+            "CHECK (bal >= 0))"
+        )
+        database.execute("INSERT INTO acct VALUES ('a', 10.0)")
+        with pytest.raises(ConstraintViolationError):
+            database.execute("UPDATE acct SET bal = -5.0 WHERE id = 'a'")
+
+
+class TestIndexes:
+    def test_index_lookup_equals_scan(self, db):
+        before = db.query("SELECT name FROM emp WHERE dept = 'eng'")
+        db.execute("CREATE INDEX idx ON emp (dept)")
+        after = db.query("SELECT name FROM emp WHERE dept = 'eng'")
+        assert sorted(before) == sorted(after)
+
+    def test_range_via_ordered_index(self, db):
+        db.execute("CREATE INDEX idx ON emp (salary)")
+        rows = db.query("SELECT name FROM emp WHERE salary >= 95")
+        assert rows == [("Ada",)]
+
+    def test_unique_index_on_existing_duplicates_rejected(self, db):
+        with pytest.raises(ConstraintViolationError):
+            db.execute("CREATE UNIQUE INDEX idx ON emp (dept)")
+
+
+class TestTransactions:
+    def test_rollback_restores_everything(self, db):
+        db.execute("BEGIN")
+        db.execute("DELETE FROM emp WHERE dept = 'eng'")
+        db.execute("UPDATE emp SET salary = 1 WHERE empid = 'e2'")
+        db.execute("INSERT INTO emp (empid, name) VALUES ('e9', 'New')")
+        db.execute("ROLLBACK")
+        rows = db.query("SELECT empid, salary FROM emp ORDER BY empid")
+        assert rows == [("e1", 100.0), ("e2", 90.0), ("e3", None)]
+
+    def test_commit_keeps_changes(self, db):
+        db.execute("BEGIN")
+        db.execute("UPDATE emp SET salary = 1 WHERE empid = 'e2'")
+        db.execute("COMMIT")
+        assert db.query("SELECT salary FROM emp WHERE empid = 'e2'") == [(1.0,)]
+
+    def test_nested_begin_rejected(self, db):
+        db.execute("BEGIN")
+        with pytest.raises(TransactionError):
+            db.execute("BEGIN")
+
+    def test_commit_without_begin_rejected(self, db):
+        with pytest.raises(TransactionError):
+            db.execute("COMMIT")
+
+
+class TestTriggers:
+    def test_update_of_fires_on_assignment_even_if_unchanged(self, db):
+        events = []
+        db.execute("CREATE TRIGGER t AFTER UPDATE OF salary ON emp")
+        db.set_trigger_callback("t", events.append)
+        db.execute("UPDATE emp SET salary = 100.0 WHERE empid = 'e1'")
+        assert len(events) == 1  # real-DBMS semantics: assigned counts
+
+    def test_update_of_other_column_does_not_fire(self, db):
+        events = []
+        db.execute("CREATE TRIGGER t AFTER UPDATE OF salary ON emp")
+        db.set_trigger_callback("t", events.append)
+        db.execute("UPDATE emp SET dept = 'ops' WHERE empid = 'e1'")
+        assert events == []
+
+    def test_insert_and_delete_triggers(self, db):
+        events = []
+        db.execute("CREATE TRIGGER ti AFTER INSERT ON emp")
+        db.execute("CREATE TRIGGER td AFTER DELETE ON emp")
+        db.set_trigger_callback("ti", events.append)
+        db.set_trigger_callback("td", events.append)
+        db.execute("INSERT INTO emp (empid, name) VALUES ('e9', 'New')")
+        db.execute("DELETE FROM emp WHERE empid = 'e9'")
+        assert [e.operation for e in events] == ["INSERT", "DELETE"]
+
+    def test_triggers_deferred_until_commit(self, db):
+        events = []
+        db.execute("CREATE TRIGGER t AFTER UPDATE OF salary ON emp")
+        db.set_trigger_callback("t", events.append)
+        db.execute("BEGIN")
+        db.execute("UPDATE emp SET salary = 5 WHERE empid = 'e1'")
+        assert events == []
+        db.execute("COMMIT")
+        assert len(events) == 1
+
+    def test_triggers_dropped_on_rollback(self, db):
+        events = []
+        db.execute("CREATE TRIGGER t AFTER UPDATE OF salary ON emp")
+        db.set_trigger_callback("t", events.append)
+        db.execute("BEGIN")
+        db.execute("UPDATE emp SET salary = 5 WHERE empid = 'e1'")
+        db.execute("ROLLBACK")
+        assert events == []
+
+    def test_drop_trigger(self, db):
+        db.execute("CREATE TRIGGER t AFTER INSERT ON emp")
+        db.execute("DROP TRIGGER t")
+        with pytest.raises(CatalogError):
+            db.set_trigger_callback("t", lambda e: None)
+
+
+class TestAvailability:
+    def test_unavailable(self, db):
+        db.set_available(False)
+        with pytest.raises(DatabaseUnavailableError):
+            db.query("SELECT * FROM emp")
+
+    def test_busy(self, db):
+        db.set_busy(True)
+        with pytest.raises(DatabaseBusyError):
+            db.query("SELECT * FROM emp")
+
+    def test_capabilities(self, db):
+        caps = db.capabilities()
+        assert Capability.NOTIFY in caps and Capability.TRANSACTIONS in caps
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(-100, 100)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_upserts_match_dict_semantics(self, operations):
+        database = RelationalDatabase("prop")
+        database.execute(
+            "CREATE TABLE kv (k INTEGER PRIMARY KEY, v INTEGER)"
+        )
+        model: dict[int, int] = {}
+        for key, value in operations:
+            if key in model:
+                database.execute(
+                    "UPDATE kv SET v = ? WHERE k = ?", (value, key)
+                )
+            else:
+                database.execute(
+                    "INSERT INTO kv (k, v) VALUES (?, ?)", (key, value)
+                )
+            model[key] = value
+        rows = database.query("SELECT k, v FROM kv ORDER BY k")
+        assert rows == sorted(model.items())
+
+    @given(st.lists(st.integers(0, 10), min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_rollback_is_always_a_no_op(self, keys):
+        database = RelationalDatabase("prop")
+        database.execute(
+            "CREATE TABLE kv (k INTEGER PRIMARY KEY, v INTEGER)"
+        )
+        for key in set(keys):
+            database.execute(
+                "INSERT INTO kv (k, v) VALUES (?, ?)", (key, key)
+            )
+        before = database.query("SELECT k, v FROM kv ORDER BY k")
+        database.execute("BEGIN")
+        for key in keys:
+            database.execute("UPDATE kv SET v = v + 1 WHERE k = ?", (key,))
+            if key % 2:
+                database.execute("DELETE FROM kv WHERE k = ?", (key,))
+        database.execute("ROLLBACK")
+        assert database.query("SELECT k, v FROM kv ORDER BY k") == before

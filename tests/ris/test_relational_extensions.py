@@ -1,0 +1,96 @@
+"""Tests for DISTINCT, BETWEEN, and LIKE in the SQL engine."""
+
+import pytest
+
+from repro.ris.relational import RelationalDatabase
+
+
+@pytest.fixture
+def db() -> RelationalDatabase:
+    database = RelationalDatabase("ext")
+    database.execute(
+        "CREATE TABLE emp (empid TEXT PRIMARY KEY, name TEXT, salary REAL, "
+        "dept TEXT)"
+    )
+    database.execute(
+        "INSERT INTO emp VALUES "
+        "('e1', 'Ada Lovelace', 100.0, 'eng'), "
+        "('e2', 'Alan Turing', 90.0, 'eng'), "
+        "('e3', 'Grace Hopper', 120.0, 'navy'), "
+        "('e4', 'Edsger Dijkstra', 90.0, 'eng')"
+    )
+    return database
+
+
+class TestDistinct:
+    def test_distinct_single_column(self, db):
+        rows = db.query("SELECT DISTINCT dept FROM emp ORDER BY dept")
+        assert rows == [("eng",), ("navy",)]
+
+    def test_distinct_preserves_order_then_limits(self, db):
+        rows = db.query(
+            "SELECT DISTINCT salary FROM emp ORDER BY salary LIMIT 2"
+        )
+        assert rows == [(90.0,), (100.0,)]
+
+    def test_distinct_multi_column(self, db):
+        rows = db.query("SELECT DISTINCT dept, salary FROM emp")
+        # (eng, 90.0) appears for both e2 and e4 and must be deduplicated.
+        assert len(rows) == 3
+        assert rows.count(("eng", 90.0)) == 1
+
+
+class TestBetween:
+    def test_inclusive_bounds(self, db):
+        rows = db.query(
+            "SELECT empid FROM emp WHERE salary BETWEEN 90 AND 100 "
+            "ORDER BY empid"
+        )
+        assert rows == [("e1",), ("e2",), ("e4",)]
+
+    def test_not_between(self, db):
+        rows = db.query(
+            "SELECT empid FROM emp WHERE salary NOT BETWEEN 90 AND 100"
+        )
+        assert rows == [("e3",)]
+
+    def test_between_with_params(self, db):
+        rows = db.query(
+            "SELECT empid FROM emp WHERE salary BETWEEN ? AND ?", (95, 125)
+        )
+        assert sorted(rows) == [("e1",), ("e3",)]
+
+    def test_null_never_between(self, db):
+        db.execute("INSERT INTO emp (empid, name) VALUES ('e9', 'Null')")
+        rows = db.query(
+            "SELECT empid FROM emp WHERE salary BETWEEN 0 AND 10000"
+        )
+        assert ("e9",) not in rows
+
+
+class TestLike:
+    def test_percent_wildcard(self, db):
+        rows = db.query("SELECT empid FROM emp WHERE name LIKE 'A%'")
+        assert sorted(rows) == [("e1",), ("e2",)]
+
+    def test_underscore_wildcard(self, db):
+        rows = db.query("SELECT empid FROM emp WHERE empid LIKE 'e_'")
+        assert len(rows) == 4
+
+    def test_infix_pattern(self, db):
+        rows = db.query("SELECT empid FROM emp WHERE name LIKE '%race%'")
+        assert rows == [("e3",)]
+
+    def test_not_like(self, db):
+        rows = db.query("SELECT empid FROM emp WHERE name NOT LIKE 'A%'")
+        assert sorted(rows) == [("e3",), ("e4",)]
+
+    def test_regex_metacharacters_are_literal(self, db):
+        db.execute(
+            "INSERT INTO emp (empid, name) VALUES ('e9', 'a.c (x)')"
+        )
+        rows = db.query("SELECT empid FROM emp WHERE name LIKE 'a.c (x)'")
+        assert rows == [("e9",)]
+        assert db.query(
+            "SELECT empid FROM emp WHERE name LIKE 'abc (x)'"
+        ) == []

@@ -1,0 +1,156 @@
+"""Tests for the simulated network, including the FIFO property."""
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.core.timebase import seconds
+from repro.sim.failures import FailureKind, FailurePlan, FailureWindow
+from repro.sim.network import (
+    ExponentialLatency,
+    FixedLatency,
+    Network,
+    UniformLatency,
+)
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Simulator
+
+
+def make_network(in_order=True, latency=None, plan=None):
+    sim = Simulator()
+    network = Network(
+        sim,
+        rng_registry=RngRegistry(1),
+        default_latency=latency or FixedLatency(seconds(0.1)),
+        failure_plan=plan,
+        in_order=in_order,
+    )
+    inbox: dict[str, list] = {"a": [], "b": []}
+    network.register_site("a", lambda m: inbox["a"].append(m))
+    network.register_site("b", lambda m: inbox["b"].append(m))
+    return sim, network, inbox
+
+
+class TestDelivery:
+    def test_payload_and_latency(self):
+        sim, network, inbox = make_network()
+        network.send("a", "b", "hello")
+        sim.run()
+        assert [m.payload for m in inbox["b"]] == ["hello"]
+        assert inbox["b"][0].deliver_at == seconds(0.1)
+
+    def test_duplicate_site_registration_rejected(self):
+        sim, network, __ = make_network()
+        with pytest.raises(ValueError):
+            network.register_site("a", lambda m: None)
+
+    def test_unknown_destination_rejected(self):
+        sim, network, __ = make_network()
+        with pytest.raises(ValueError):
+            network.send("a", "nowhere", 1)
+
+    def test_local_send_still_queued(self):
+        sim, network, inbox = make_network()
+        network.send("a", "a", "self")
+        assert inbox["a"] == []  # not synchronous
+        sim.run()
+        assert [m.payload for m in inbox["a"]] == ["self"]
+
+
+class TestFifo:
+    @given(st.lists(st.integers(0, 50), min_size=2, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_in_order_channels_never_reorder(self, send_gaps):
+        sim, network, inbox = make_network(
+            in_order=True, latency=UniformLatency(0, seconds(5))
+        )
+        time = 0
+        for index, gap in enumerate(send_gaps):
+            time += gap
+            sim.at(time, lambda i=index: network.send("a", "b", i))
+        sim.run()
+        payloads = [m.payload for m in inbox["b"]]
+        assert payloads == sorted(payloads)
+
+    def test_free_for_all_can_reorder(self):
+        sim, network, inbox = make_network(
+            in_order=False, latency=UniformLatency(0, seconds(5))
+        )
+        for index in range(40):
+            sim.at(index, lambda i=index: network.send("a", "b", i))
+        sim.run()
+        payloads = [m.payload for m in inbox["b"]]
+        assert payloads != sorted(payloads)
+
+
+class TestFailures:
+    def test_logical_failure_drops_messages(self):
+        plan = FailurePlan()
+        plan.add(
+            FailureWindow(
+                site="b",
+                kind=FailureKind.LOGICAL,
+                start=0,
+                end=seconds(10),
+            )
+        )
+        sim, network, inbox = make_network(plan=plan)
+        network.send("a", "b", "lost")
+        sim.run(until=seconds(5))
+        assert inbox["b"] == []
+        assert network.messages_dropped == 1
+
+    def test_messages_after_recovery_flow(self):
+        plan = FailurePlan()
+        plan.add(
+            FailureWindow(
+                site="b",
+                kind=FailureKind.LOGICAL,
+                start=0,
+                end=seconds(10),
+            )
+        )
+        sim, network, inbox = make_network(plan=plan)
+        sim.at(seconds(20), lambda: network.send("a", "b", "ok"))
+        sim.run()
+        assert [m.payload for m in inbox["b"]] == ["ok"]
+
+    def test_metric_failure_inflates_latency(self):
+        plan = FailurePlan()
+        plan.add(
+            FailureWindow(
+                site="a",
+                kind=FailureKind.METRIC,
+                start=0,
+                end=seconds(10),
+                slowdown=10.0,
+            )
+        )
+        sim, network, inbox = make_network(plan=plan)
+        network.send("a", "b", "slow")
+        sim.run()
+        assert inbox["b"][0].deliver_at == seconds(1.0)  # 0.1s x 10
+
+
+class TestLatencyModels:
+    def test_fixed(self):
+        assert FixedLatency(7).sample(None) == 7
+
+    def test_uniform_in_bounds(self):
+        import random
+
+        model = UniformLatency(5, 10)
+        rng = random.Random(0)
+        samples = [model.sample(rng) for __ in range(100)]
+        assert all(5 <= s <= 10 for s in samples)
+
+    def test_uniform_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            UniformLatency(10, 5)
+
+    def test_exponential_at_least_base(self):
+        import random
+
+        model = ExponentialLatency(100, 50)
+        rng = random.Random(0)
+        assert all(model.sample(rng) >= 100 for __ in range(100))

@@ -1,0 +1,106 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.scheduler import Simulator
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.at(30, lambda: order.append("c"))
+        sim.at(10, lambda: order.append("a"))
+        sim.at(20, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        sim.at(10, lambda: order.append(1))
+        sim.at(10, lambda: order.append(2))
+        sim.run()
+        assert order == [1, 2]
+
+    def test_now_advances_during_callbacks(self):
+        sim = Simulator()
+        seen = []
+        sim.at(42, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [42]
+
+    def test_after_is_relative(self):
+        sim = Simulator()
+        seen = []
+        sim.at(10, lambda: sim.after(5, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [15]
+
+    def test_scheduling_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.at(10, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.at(5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().after(-1, lambda: None)
+
+
+class TestRunControl:
+    def test_run_until_clamps_clock(self):
+        sim = Simulator()
+        sim.at(10, lambda: None)
+        sim.run(until=100)
+        assert sim.now == 100
+
+    def test_run_until_leaves_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.at(200, lambda: fired.append(True))
+        sim.run(until=100)
+        assert not fired
+        sim.run(until=300)
+        assert fired
+
+    def test_cancellation(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.at(10, lambda: fired.append(True))
+        handle.cancel()
+        sim.run()
+        assert not fired
+
+    def test_stop_from_callback(self):
+        sim = Simulator()
+        order = []
+        sim.at(10, lambda: (order.append(1), sim.stop()))
+        sim.at(20, lambda: order.append(2))
+        sim.run()
+        assert order == [1]
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+
+        def reenter():
+            with pytest.raises(RuntimeError):
+                sim.run()
+
+        sim.at(1, reenter)
+        sim.run()
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for t in (1, 2, 3):
+            sim.at(t, lambda: None)
+        sim.run()
+        assert sim.events_processed == 3
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        handle = sim.at(5, lambda: None)
+        sim.at(9, lambda: None)
+        handle.cancel()
+        assert sim.peek() == 9

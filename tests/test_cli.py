@@ -1,0 +1,27 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_menu_prints_both_menus(self, capsys):
+        assert main(["menu"]) == 0
+        out = capsys.readouterr().out
+        assert "Interface menu" in out
+        assert "Strategy menu" in out
+        assert "WR(Y(n), b) -> [2] W(Y(n), b)" in out
+        assert "Demarcation Protocol" in out
+
+    def test_experiments_list_forwards(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "e1" in out and "e11" in out
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 0
+        assert "experiments" in capsys.readouterr().out
+
+    def test_demo_runs_quickstart(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "installing: propagation" in out

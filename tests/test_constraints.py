@@ -1,0 +1,64 @@
+"""Tests for constraint types and the arithmetic decomposition."""
+
+import pytest
+
+from repro.constraints import (
+    ArithmeticConstraint,
+    CopyConstraint,
+    InequalityConstraint,
+    ReferentialConstraint,
+)
+from repro.core.items import Locations
+from repro.core.timebase import days
+
+
+def locations() -> Locations:
+    registry = Locations()
+    for family, site in (
+        ("X", "a"), ("Y", "b"), ("Z", "c"),
+        ("Cached_Y", "a"), ("Cached_Z", "a"),
+    ):
+        registry.register(family, site)
+    return registry
+
+
+class TestBasics:
+    def test_copy_families_and_sites(self):
+        constraint = CopyConstraint("X", "Y")
+        assert constraint.families() == ["X", "Y"]
+        assert constraint.sites(locations()) == {"a", "b"}
+
+    def test_parameterized_copy(self):
+        constraint = CopyConstraint("X", "Y", params=("n",))
+        assert constraint.parameterized
+
+    def test_inequality(self):
+        constraint = InequalityConstraint("X", "Y")
+        assert "X <= Y" in constraint.name
+
+    def test_referential_default_grace(self):
+        constraint = ReferentialConstraint("X", "Y")
+        assert constraint.grace == days(1)
+
+
+class TestArithmeticDecomposition:
+    def test_paper_example(self):
+        # X = Y + Z at three sites -> X = Yc + Zc locally, plus two copies.
+        constraint = ArithmeticConstraint("X", ("Y", "Z"))
+        copies, local = constraint.decompose("a")
+        assert [c.src_family for c in copies] == ["Y", "Z"]
+        assert [c.dst_family for c in copies] == ["Cached_Y", "Cached_Z"]
+        assert local.site == "a"
+        assert local.formula() == "X = Cached_Y + Cached_Z"
+
+    def test_only_copies_are_distributed(self):
+        constraint = ArithmeticConstraint("X", ("Y", "Z"))
+        copies, local = constraint.decompose("a")
+        # Each distributed copy spans the operand's site and the target's.
+        registry = locations()
+        assert copies[0].sites(registry) == {"b", "a"}
+        assert copies[1].sites(registry) == {"c", "a"}
+
+    def test_needs_two_operands(self):
+        with pytest.raises(ValueError):
+            ArithmeticConstraint("X", ("Y",))

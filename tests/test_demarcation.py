@@ -1,0 +1,149 @@
+"""Tests for the Demarcation Protocol, including an adversarial property
+test: under arbitrary interleaved update attempts at both sites, the global
+invariant X <= Y and the limit invariant Lx <= Ly must hold at every
+recorded instant."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cm import CMRID, ConstraintManager, Scenario
+from repro.constraints import InequalityConstraint
+from repro.core.interfaces import InterfaceKind
+from repro.core.items import DataItemRef
+from repro.core.timebase import seconds
+from repro.protocols.demarcation import SlackPolicy
+from repro.ris.relational import RelationalDatabase
+
+
+def build_protocol(policy=SlackPolicy.SPLIT, initial_x=0.0, initial_y=100.0,
+                   initial_limit=50.0, seed=0):
+    scenario = Scenario(seed=seed)
+    cm = ConstraintManager(scenario)
+    cm.add_site("sx")
+    cm.add_site("sy")
+    for site, family in (("sx", "X"), ("sy", "Y")):
+        db = RelationalDatabase(f"db-{family}")
+        db.execute("CREATE TABLE c (k TEXT PRIMARY KEY, v REAL)")
+        rid = (
+            CMRID("relational", f"db-{family}")
+            .bind(family, table="c", key_column="k", value_column="v",
+                  key=family)
+            .offer(family, InterfaceKind.READ, bound_seconds=1.0)
+            .offer(family, InterfaceKind.WRITE, bound_seconds=1.0)
+        )
+        cm.add_source(site, db, rid)
+    constraint = cm.declare(InequalityConstraint("X", "Y"))
+    suggestion = cm.suggest(constraint, demarcation_policy=policy)[0]
+    installed = cm.install(
+        constraint,
+        suggestion,
+        initial_x=initial_x,
+        initial_y=initial_y,
+        initial_limit=initial_limit,
+    )
+    return cm, installed.native_protocol, installed
+
+
+def invariant_holds_throughout(cm) -> bool:
+    reports = cm.check_guarantees()
+    return all(r.valid for r in reports.values())
+
+
+class TestBasics:
+    def test_safe_updates_apply_immediately(self):
+        cm, protocol, __ = build_protocol()
+        cm.scenario.sim.at(
+            seconds(1), lambda: protocol.x_agent.attempt_update(30.0)
+        )
+        cm.run(until=seconds(5))
+        assert protocol.x_agent.value == 30.0
+        assert protocol.x_agent.stats.updates_applied == 1
+
+    def test_local_violating_update_is_denied_without_handshake_when_frozen(self):
+        cm, protocol, __ = build_protocol(policy=SlackPolicy.FROZEN)
+        cm.scenario.sim.at(
+            seconds(1), lambda: protocol.x_agent.attempt_update(80.0)
+        )
+        cm.run(until=seconds(10))
+        assert protocol.x_agent.value == 0.0
+        assert protocol.x_agent.stats.updates_denied == 1
+        assert protocol.x_agent.stats.requests_sent == 0
+
+    def test_handshake_grants_slack(self):
+        cm, protocol, __ = build_protocol(policy=SlackPolicy.EXACT)
+        cm.scenario.sim.at(
+            seconds(1), lambda: protocol.x_agent.attempt_update(80.0)
+        )
+        cm.run(until=seconds(10))
+        assert protocol.x_agent.value == 80.0
+        assert protocol.x_agent.limit >= 80.0
+        assert protocol.y_agent.limit >= protocol.x_agent.limit
+
+    def test_infeasible_request_is_denied_but_safe(self):
+        cm, protocol, __ = build_protocol()
+        cm.scenario.sim.at(
+            seconds(1), lambda: protocol.x_agent.attempt_update(150.0)
+        )
+        cm.run(until=seconds(10))
+        assert protocol.x_agent.value == 0.0  # denied: Y is only 100
+        assert invariant_holds_throughout(cm)
+
+    def test_y_side_lowering_handshake(self):
+        cm, protocol, __ = build_protocol(policy=SlackPolicy.EXACT)
+        cm.scenario.sim.at(
+            seconds(1), lambda: protocol.y_agent.attempt_update(20.0)
+        )
+        cm.run(until=seconds(10))
+        assert protocol.y_agent.value == 20.0
+        assert invariant_holds_throughout(cm)
+
+    def test_initial_state_validation(self):
+        with pytest.raises(ValueError):
+            build_protocol(initial_x=10.0, initial_y=5.0)
+        with pytest.raises(ValueError):
+            build_protocol(initial_limit=500.0)
+
+    def test_limits_recorded_in_trace(self):
+        cm, protocol, __ = build_protocol()
+        assert cm.scenario.trace.current_value(
+            DataItemRef("Limit_X")
+        ) == 50.0
+
+
+class TestAdversarialProperty:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["x", "y"]),
+                st.floats(-50, 150, allow_nan=False),
+                st.integers(1, 5),
+            ),
+            min_size=1,
+            max_size=25,
+        ),
+        st.sampled_from(list(SlackPolicy)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_invariants_hold_under_arbitrary_interleavings(
+        self, attempts, policy
+    ):
+        cm, protocol, __ = build_protocol(policy=policy)
+        time = 0
+        for side, target, gap in attempts:
+            time += seconds(gap)
+            agent = protocol.x_agent if side == "x" else protocol.y_agent
+            cm.scenario.sim.at(
+                time, lambda a=agent, t=target: a.attempt_update(t)
+            )
+        cm.run(until=time + seconds(30))
+        assert invariant_holds_throughout(cm)
+        # Bookkeeping must reconcile: every attempt either applied or denied
+        # (none silently lost), modulo still-pending handshakes at horizon.
+        for agent in (protocol.x_agent, protocol.y_agent):
+            resolved = (
+                agent.stats.updates_applied + agent.stats.updates_denied
+            )
+            assert resolved + len(agent._pending) == (
+                agent.stats.updates_attempted
+            )
