@@ -7,11 +7,14 @@ regressions in the machinery underneath the experiments are visible.
 
 import pytest
 
+from repro.cm import ConstraintManager, Scenario
 from repro.core.dsl import parse_rule
-from repro.core.events import notify_desc, spontaneous_write_desc
+from repro.core.events import EventKind, notify_desc, spontaneous_write_desc
 from repro.core.guarantees import follows
 from repro.core.items import MISSING, DataItemRef, item
-from repro.core.templates import match_desc
+from repro.core.rules import RhsStep, Rule
+from repro.core.templates import FALSE_TEMPLATE, Template, match_desc
+from repro.core.terms import FAMILY_WILDCARD, ItemPattern, Var
 from repro.core.trace import ExecutionTrace
 from repro.core.timebase import seconds
 from repro.ris.relational import RelationalDatabase
@@ -63,6 +66,91 @@ def test_rule_matching_throughput(benchmark):
         return matched
 
     assert benchmark(run) == 1000
+
+
+# -- rule dispatch: indexed vs linear -----------------------------------------
+#
+# The dispatch mix mirrors a big federation: one prohibition rule per item
+# family, plus one family-wildcard rule per 50 (those land in the index's
+# catch-all bucket, so every event still consults them).  Prohibition RHSs
+# keep the measurement pure dispatch — no translator or network work.
+
+N_DISPATCH_EVENTS = 200
+
+
+def _dispatch_rules(n_rules: int) -> list[Rule]:
+    rules = []
+    for i in range(n_rules):
+        if i % 50 == 49:
+            lhs = Template(
+                EventKind.NOTIFY,
+                ItemPattern(FAMILY_WILDCARD, (Var("n"),)),
+                (Var("b"),),
+            )
+            rules.append(
+                Rule(
+                    name=f"r{i}",
+                    lhs=lhs,
+                    delay=0,
+                    steps=(RhsStep(FALSE_TEMPLATE),),
+                )
+            )
+        else:
+            rules.append(
+                parse_rule(f"N(fam{i}(n), b) -> [1] FALSE", name=f"r{i}")
+            )
+    return rules
+
+
+def _dispatch_descs(n_rules: int):
+    return [
+        notify_desc(item(f"fam{i % n_rules}", "e"), float(i))
+        for i in range(N_DISPATCH_EVENTS)
+    ]
+
+
+@pytest.mark.parametrize("n_rules", [10, 100, 1000])
+def test_indexed_dispatch(benchmark, n_rules):
+    cm = ConstraintManager(Scenario(seed=0))
+    cm.add_site("bench")
+    shell = cm.shell("bench")
+    for rule in _dispatch_rules(n_rules):
+        shell.install(rule)
+    events = [
+        cm.scenario.trace.record(seconds(i + 1), "bench", desc)
+        for i, desc in enumerate(_dispatch_descs(n_rules))
+    ]
+
+    def run() -> int:
+        for event in events:
+            shell.deliver_local_event(event)
+        return shell.rules_fired
+
+    assert benchmark(run) > 0
+    stats = shell.stats()
+    linear_would_consider = (
+        stats["rules_installed"] * stats["events_processed"]
+    )
+    # The index must prune hard at scale: >= 5x fewer candidate
+    # evaluations than a linear scan at 1000 installed rules.
+    if n_rules >= 1000:
+        assert stats["candidates_considered"] * 5 <= linear_would_consider
+
+
+@pytest.mark.parametrize("n_rules", [10, 100, 1000])
+def test_linear_scan_dispatch_baseline(benchmark, n_rules):
+    rules = _dispatch_rules(n_rules)
+    descs = _dispatch_descs(n_rules)
+
+    def run() -> int:
+        fired = 0
+        for desc in descs:
+            for rule in rules:
+                if match_desc(rule.lhs, desc) is not None:
+                    fired += 1
+        return fired
+
+    assert benchmark(run) >= N_DISPATCH_EVENTS
 
 
 def test_guarantee_checker_on_large_trace(benchmark):

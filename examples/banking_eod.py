@@ -11,11 +11,9 @@ transactions.
 Run:  python examples/banking_eod.py
 """
 
+from repro import CMRID, ConstraintManager, CopyConstraint, InterfaceKind, Scenario
 from repro.apps import AnalystApp
-from repro.cm import CMRID, ConstraintManager, Scenario
-from repro.constraints import CopyConstraint
-from repro.core.interfaces import InterfaceKind
-from repro.core.timebase import DAY, clock_time, format_ticks, seconds
+from repro.core.timebase import DAY, clock_time, format_ticks
 from repro.ris.relational import RelationalDatabase
 from repro.workloads import BankingWorkload
 
@@ -25,8 +23,6 @@ SIMULATED_DAYS = 3
 def main() -> None:
     scenario = Scenario(seed=31)
     cm = ConstraintManager(scenario)
-    cm.add_site("branch")
-    cm.add_site("head-office")
 
     branch_db = RelationalDatabase("branch-ledger")
     branch_db.execute(
@@ -48,7 +44,7 @@ def main() -> None:
             window=(clock_time(17), clock_time(8)),
         )
     )
-    cm.add_source("branch", branch_db, rid_branch)
+    cm.site("branch").source(branch_db, rid_branch)
 
     hq_db = RelationalDatabase("ho-ledger")
     hq_db.execute(
@@ -66,7 +62,7 @@ def main() -> None:
         .offer("balance2", InterfaceKind.WRITE, bound_seconds=2.0)
         .offer("balance2", InterfaceKind.NO_SPONTANEOUS_WRITE)
     )
-    cm.add_source("head-office", hq_db, rid_hq)
+    cm.site("head-office").source(hq_db, rid_hq)
 
     constraint = cm.declare(
         CopyConstraint("balance1", "balance2", params=("n",))

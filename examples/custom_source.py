@@ -20,13 +20,17 @@ This example exercises that path end to end:
 Run:  python examples/custom_source.py
 """
 
-from repro.cm import CMRID, ConstraintManager, Scenario
-from repro.cm.translator import CMTranslator
-from repro.core import parse_rules
-from repro.core.guarantees import follows
-from repro.core.interfaces import InterfaceKind
-from repro.core.items import MISSING, DataItemRef
-from repro.core.timebase import seconds
+from repro import (
+    CMRID,
+    CMTranslator,
+    ConstraintManager,
+    DataItemRef,
+    InterfaceKind,
+    Scenario,
+    follows,
+    parse_rules,
+    seconds,
+)
 from repro.ris.base import Capability, RawInformationSource
 from repro.ris.relational import RelationalDatabase
 
@@ -122,8 +126,6 @@ class JobQueueTranslator(CMTranslator):
 def main() -> None:
     scenario = Scenario(seed=77)
     cm = ConstraintManager(scenario)
-    cm.add_site("queue-site")
-    cm.add_site("ops-site")
 
     queue = JobQueueServer("batch-queue")
     rid_queue = (
@@ -133,11 +135,10 @@ def main() -> None:
         .offer("depth", InterfaceKind.READ, bound_seconds=1.0)
     )
     # A custom translator is attached directly (bypassing the standard
-    # registry): build it, then register it with the shell and locations.
+    # registry): the fluent .translator() registers it with the shell and
+    # the location registry in one step.
     translator = JobQueueTranslator(queue, rid_queue)
-    cm.shell("queue-site").add_translator(translator)
-    for family in translator.families():
-        cm.locations.register(family, "queue-site")
+    cm.site("queue-site").translator(translator)
 
     dashboard = RelationalDatabase("ops-dashboard")
     dashboard.execute(
@@ -155,7 +156,7 @@ def main() -> None:
         .offer("dash_depth", InterfaceKind.WRITE, bound_seconds=1.0)
         .offer("dash_depth", InterfaceKind.NO_SPONTANEOUS_WRITE)
     )
-    cm.add_source("ops-site", dashboard, rid_dash)
+    cm.site("ops-site").source(dashboard, rid_dash)
 
     # The custom strategy, written in the rule language (Section 3.2):
     # mirror each depth change to the dashboard, and track a shell-private
@@ -168,12 +169,9 @@ def main() -> None:
             N(depth(c), b) -> [2] (Highwater(c) == MISSING or b > Highwater(c)) ? W(Highwater(c), b)
         """
     )
-    cm.locations.register("Highwater", "ops-site")
+    queue_site = cm.site("ops-site").private("Highwater").site("queue-site")
     for rule in rules:
-        lhs_site = rule.resolve_lhs_site(cm.locations)
-        rhs_site = rule.resolve_rhs_site(cm.locations)
-        cm.shell(lhs_site).install_rule(rule, rhs_site)
-    translator.setup_notify("depth")
+        queue_site.rule(rule)  # installs, routes the RHS, hooks the notify
 
     # Hand-issued guarantee for the custom strategy: the dashboard only
     # shows depths the queue actually had ("follows").

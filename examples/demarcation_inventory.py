@@ -13,10 +13,14 @@ continuously-checked invariant.
 Run:  python examples/demarcation_inventory.py
 """
 
-from repro.cm import CMRID, ConstraintManager, Scenario
-from repro.constraints import InequalityConstraint
-from repro.core.interfaces import InterfaceKind
-from repro.core.timebase import seconds
+from repro import (
+    CMRID,
+    ConstraintManager,
+    InequalityConstraint,
+    InterfaceKind,
+    Scenario,
+    seconds,
+)
 from repro.protocols.demarcation import SlackPolicy
 from repro.ris.relational import RelationalDatabase
 from repro.workloads import InventoryWorkload
@@ -25,8 +29,6 @@ from repro.workloads import InventoryWorkload
 def main() -> None:
     scenario = Scenario(seed=99)
     cm = ConstraintManager(scenario)
-    cm.add_site("storefront")
-    cm.add_site("warehouse")
 
     orders_db = RelationalDatabase("orders")
     orders_db.execute(
@@ -44,7 +46,7 @@ def main() -> None:
         .offer("committed", InterfaceKind.READ, bound_seconds=1.0)
         .offer("committed", InterfaceKind.WRITE, bound_seconds=1.0)
     )
-    cm.add_source("storefront", orders_db, rid_orders)
+    cm.site("storefront").source(orders_db, rid_orders)
 
     stock_db = RelationalDatabase("stock")
     stock_db.execute(
@@ -62,24 +64,21 @@ def main() -> None:
         .offer("stock", InterfaceKind.READ, bound_seconds=1.0)
         .offer("stock", InterfaceKind.WRITE, bound_seconds=1.0)
     )
-    cm.add_source("warehouse", stock_db, rid_stock)
+    cm.site("warehouse").source(stock_db, rid_stock)
 
-    constraint = cm.declare(InequalityConstraint("committed", "stock"))
-    suggestions = cm.suggest(
-        constraint, demarcation_policy=SlackPolicy.SPLIT
+    # Declare + survey + install in one fluent chain; the demarcation
+    # protocol's construction arguments travel in ``native``.
+    demarcation = cm.constraint(
+        InequalityConstraint("committed", "stock")
+    ).strategy(
+        demarcation_policy=SlackPolicy.SPLIT,
+        native=dict(initial_x=0.0, initial_y=1000.0, initial_limit=100.0),
     )
-    print("suggested:", suggestions[0].strategy.name)
-    for guarantee in suggestions[0].guarantees:
+    print("installed:", demarcation.installed.strategy.name)
+    for guarantee in demarcation.guarantees:
         print("  guarantees:", guarantee)
 
-    installed = cm.install(
-        constraint,
-        suggestions[0],
-        initial_x=0.0,
-        initial_y=1000.0,
-        initial_limit=100.0,
-    )
-    protocol = installed.native_protocol
+    protocol = demarcation.native_protocol
 
     InventoryWorkload(
         scenario.sim,

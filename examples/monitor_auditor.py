@@ -16,21 +16,24 @@ recomputed.
 Run:  python examples/monitor_auditor.py
 """
 
+from repro import (
+    CMRID,
+    ConstraintManager,
+    CopyConstraint,
+    DataItemRef,
+    InterfaceKind,
+    Scenario,
+    seconds,
+)
 from repro.apps import AuditorApp
-from repro.cm import CMRID, ConstraintManager, Scenario
-from repro.constraints import CopyConstraint
 from repro.core.guarantees.monitor import MonitorGuarantee
-from repro.core.interfaces import InterfaceKind
-from repro.core.items import DataItemRef
-from repro.core.timebase import format_ticks, seconds
+from repro.core.timebase import format_ticks
 from repro.ris.legacy import LegacySystem
 
 
 def main() -> None:
     scenario = Scenario(seed=13)
     cm = ConstraintManager(scenario)
-    cm.add_site("site-x")
-    cm.add_site("site-y")
 
     feed_x = LegacySystem("ticker-x")
     rid_x = (
@@ -38,7 +41,7 @@ def main() -> None:
         .bind("X", key_prefix="px")
         .offer("X", InterfaceKind.NOTIFY, bound_seconds=1.0)
     )
-    cm.add_source("site-x", feed_x, rid_x)
+    cm.site("site-x").source(feed_x, rid_x)
 
     feed_y = LegacySystem("ticker-y")
     rid_y = (
@@ -46,7 +49,7 @@ def main() -> None:
         .bind("Y", key_prefix="py")
         .offer("Y", InterfaceKind.NOTIFY, bound_seconds=1.0)
     )
-    cm.add_source("site-y", feed_y, rid_y)
+    cm.site("site-y").source(feed_y, rid_y)
 
     constraint = cm.declare(CopyConstraint("X", "Y"))
     suggestions = cm.suggest(constraint, rule_delay=seconds(0.5))

@@ -23,12 +23,17 @@ This example wires up all four source kinds:
 Run:  python examples/personnel_sync.py
 """
 
-from repro.cm import CMRID, ConstraintManager, Scenario
-from repro.constraints import CopyConstraint, ReferentialConstraint
-from repro.core.guarantees import referential_within
-from repro.core.interfaces import InterfaceKind
-from repro.core.timebase import hours, seconds
-from repro.ris.bibliodb import BibRecord, BiblioDatabase
+from repro import (
+    CMRID,
+    ConstraintManager,
+    CopyConstraint,
+    InterfaceKind,
+    ReferentialConstraint,
+    Scenario,
+    hours,
+    seconds,
+)
+from repro.ris.bibliodb import BiblioDatabase
 from repro.ris.objectstore import ObjectStore
 from repro.ris.relational import RelationalDatabase
 from repro.ris.whois import WhoisDirectory
@@ -37,10 +42,7 @@ RESEARCHERS = ["chawathe", "garcia", "widom"]
 
 
 def build() -> tuple[ConstraintManager, dict]:
-    scenario = Scenario(seed=7)
-    cm = ConstraintManager(scenario)
-    for site in ("whois-site", "lookup-site", "dbgroup-site", "library-site"):
-        cm.add_site(site)
+    cm = ConstraintManager(Scenario(seed=7))
 
     whois = WhoisDirectory("stanford-whois")
     for name in RESEARCHERS:
@@ -50,7 +52,7 @@ def build() -> tuple[ConstraintManager, dict]:
         .bind("whois_phone", params=("n",), field="phone")
         .offer("whois_phone", InterfaceKind.READ, bound_seconds=1.0)
     )
-    cm.add_source("whois-site", whois, rid_whois)
+    cm.site("whois-site").source(whois, rid_whois)
 
     lookup = ObjectStore("cs-lookup")
     lookup.define_class("Person", {"login": "str", "email": "str"})
@@ -68,7 +70,7 @@ def build() -> tuple[ConstraintManager, dict]:
         .offer("lookup_email", InterfaceKind.NOTIFY, bound_seconds=2.0)
         .offer("lookup_email", InterfaceKind.READ, bound_seconds=1.0)
     )
-    cm.add_source("lookup-site", lookup, rid_lookup)
+    cm.site("lookup-site").source(lookup, rid_lookup)
 
     sybase = RelationalDatabase("dbgroup")
     sybase.execute(
@@ -106,7 +108,7 @@ def build() -> tuple[ConstraintManager, dict]:
         .offer("master_email", InterfaceKind.NO_SPONTANEOUS_WRITE)
         .offer("group_paper", InterfaceKind.READ, bound_seconds=1.0)
     )
-    cm.add_source("dbgroup-site", sybase, rid_sybase)
+    cm.site("dbgroup-site").source(sybase, rid_sybase)
 
     biblio = BiblioDatabase("folio")
     rid_biblio = (
@@ -114,7 +116,7 @@ def build() -> tuple[ConstraintManager, dict]:
         .bind("bib_paper", params=("i",), field="title")
         .offer("bib_paper", InterfaceKind.READ, bound_seconds=3.0)
     )
-    cm.add_source("library-site", biblio, rid_biblio)
+    cm.site("library-site").source(biblio, rid_biblio)
 
     sources = {
         "whois": whois,
@@ -142,13 +144,14 @@ def main() -> None:
 
     # Copy constraint 2: lookup emails -> master copy.  The object store has
     # a change feed, so update propagation applies (with guarantee (2)).
-    emails = cm.declare(
+    # The fluent chain declares, surveys, picks and installs in one go.
+    emails = cm.constraint(
         CopyConstraint("lookup_email", "master_email", params=("n",))
+    ).strategy("propagation")
+    print(
+        f"emails: installed {emails.installed.strategy.name} "
+        f"({len(emails.guarantees)} guarantees)"
     )
-    email_suggestions = cm.suggest(emails)
-    print(f"emails: {len(email_suggestions)} applicable strategies")
-    print(f"  chosen: {email_suggestions[0].strategy.name}")
-    cm.install(emails, email_suggestions[0])
 
     # Referential constraint: papers in the bibliographic server must be in
     # the group database.  The library is read-only, so NO strategy can

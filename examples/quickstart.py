@@ -18,20 +18,21 @@ The script walks the toolkit workflow:
 Run:  python examples/quickstart.py
 """
 
-from repro.cm import CMRID, ConstraintManager, Scenario
-from repro.constraints import CopyConstraint
-from repro.core.interfaces import InterfaceKind
-from repro.core.timebase import seconds
+from repro import (
+    CMRID,
+    ConstraintManager,
+    CopyConstraint,
+    InterfaceKind,
+    Scenario,
+    seconds,
+)
 from repro.ris.relational import RelationalDatabase
 from repro.workloads import UpdateStream
 from repro.workloads.generators import random_walk
 
 
 def build(offer_notify: bool) -> tuple[ConstraintManager, RelationalDatabase]:
-    scenario = Scenario(seed=2024)
-    cm = ConstraintManager(scenario)
-    cm.add_site("san-francisco")
-    cm.add_site("new-york")
+    cm = ConstraintManager(Scenario(seed=2024))
 
     # --- Site A: the branch database --------------------------------------
     branch = RelationalDatabase("branch")
@@ -51,7 +52,6 @@ def build(offer_notify: bool) -> tuple[ConstraintManager, RelationalDatabase]:
         rid_a.offer("salary1", InterfaceKind.NOTIFY, bound_seconds=2.0)
     # Reads are always available, answered within a second.
     rid_a.offer("salary1", InterfaceKind.READ, bound_seconds=1.0)
-    cm.add_source("san-francisco", branch, rid_a)
 
     # --- Site B: the headquarters database --------------------------------
     hq = RelationalDatabase("hq")
@@ -70,7 +70,10 @@ def build(offer_notify: bool) -> tuple[ConstraintManager, RelationalDatabase]:
         .offer("salary2", InterfaceKind.WRITE, bound_seconds=2.0)
         .offer("salary2", InterfaceKind.NO_SPONTANEOUS_WRITE)
     )
-    cm.add_source("new-york", hq, rid_b)
+
+    # One fluent expression wires both sites.
+    (cm.site("san-francisco").source(branch, rid_a)
+       .site("new-york").source(hq, rid_b))
     return cm, hq
 
 
@@ -114,6 +117,13 @@ def demo(offer_notify: bool) -> None:
     print("\nguarantee check against the recorded execution:")
     for report in cm.check_guarantees().values():
         print(f"  {report}")
+
+    totals = cm.stats()["total"]
+    print(
+        f"\ndispatch: {totals['events_processed']} events, "
+        f"{totals['candidates_considered']} candidate rules considered, "
+        f"{totals['rules_fired']} fired"
+    )
     print()
 
 

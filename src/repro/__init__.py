@@ -19,7 +19,112 @@ The package provides:
   scenario generators, guarantee-consuming applications, and the
   experiment harness reproducing the paper's claims.
 
+The stable public surface is re-exported here, so scenarios need only::
+
+    from repro import (
+        CMRID, ConstraintManager, Scenario, CopyConstraint,
+        InterfaceKind, follows, parse_rule, seconds,
+    )
+
 Quickstart: see ``examples/quickstart.py`` or the README.
 """
 
-__version__ = "1.0.0"
+from repro.cm import (
+    CMRID,
+    CMShell,
+    CMTranslator,
+    ConstraintBuilder,
+    ConstraintManager,
+    FailureNotice,
+    GuaranteeStatusBoard,
+    InstalledConstraint,
+    Scenario,
+    ServiceModel,
+    SiteBuilder,
+    verify,
+)
+from repro.constraints import (
+    ArithmeticConstraint,
+    Constraint,
+    CopyConstraint,
+    InequalityConstraint,
+    ReferentialConstraint,
+)
+from repro.core.dsl import (
+    parse_condition,
+    parse_event_template,
+    parse_rule,
+    parse_rules,
+)
+from repro.core.formula import FormulaChecker
+from repro.core.guarantee_dsl import parse_guarantee
+from repro.core.guarantees import (
+    Guarantee,
+    GuaranteeReport,
+    follows,
+    invariant,
+    leads,
+    monitor_window,
+    periodic,
+    referential_within,
+    strictly_follows,
+)
+from repro.core.interfaces import InterfaceKind
+from repro.core.items import MISSING, DataItemRef
+from repro.core.timebase import days, hours, minutes, seconds, to_seconds
+from repro.sim.scheduler import Simulator
+
+#: Alias for readers who know the class by the paper's component name.
+CMManager = ConstraintManager
+
+__all__ = [
+    # toolkit façade and wiring
+    "ConstraintManager",
+    "CMManager",
+    "Scenario",
+    "SiteBuilder",
+    "ConstraintBuilder",
+    "InstalledConstraint",
+    "CMRID",
+    "CMShell",
+    "CMTranslator",
+    "ServiceModel",
+    "FailureNotice",
+    "GuaranteeStatusBoard",
+    "verify",
+    # constraints
+    "Constraint",
+    "CopyConstraint",
+    "InequalityConstraint",
+    "ReferentialConstraint",
+    "ArithmeticConstraint",
+    # rule / guarantee languages
+    "parse_rule",
+    "parse_rules",
+    "parse_condition",
+    "parse_event_template",
+    "parse_guarantee",
+    "FormulaChecker",
+    # guarantee checkers
+    "Guarantee",
+    "GuaranteeReport",
+    "follows",
+    "leads",
+    "strictly_follows",
+    "invariant",
+    "periodic",
+    "referential_within",
+    "monitor_window",
+    # substrate
+    "Simulator",
+    "InterfaceKind",
+    "MISSING",
+    "DataItemRef",
+    "seconds",
+    "minutes",
+    "hours",
+    "days",
+    "to_seconds",
+]
+
+__version__ = "1.1.0"

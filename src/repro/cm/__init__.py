@@ -18,7 +18,9 @@ Layering, bottom-up:
   (:mod:`repro.cm.failures`, :mod:`repro.cm.guarantee_status`).
 """
 
-from repro.cm.manager import ConstraintManager, Scenario
+from repro.cm.builder import ConstraintBuilder, SiteBuilder
+from repro.cm.dispatch import InstalledRule, RuleIndex
+from repro.cm.manager import ConstraintManager, InstalledConstraint, Scenario
 from repro.cm.rid import CMRID, ItemBinding
 from repro.cm.shell import CMShell
 from repro.cm.store import ShellStore
@@ -29,6 +31,7 @@ from repro.cm.verify import VerificationReport, verify
 
 __all__ = [
     "ConstraintManager",
+    "InstalledConstraint",
     "Scenario",
     "CMRID",
     "ItemBinding",
@@ -36,6 +39,10 @@ __all__ = [
     "ShellStore",
     "CMTranslator",
     "ServiceModel",
+    "ConstraintBuilder",
+    "SiteBuilder",
+    "InstalledRule",
+    "RuleIndex",
     "FailureNotice",
     "GuaranteeStatusBoard",
     "VerificationReport",

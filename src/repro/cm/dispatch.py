@@ -1,0 +1,120 @@
+"""Indexed event dispatch for CM-Shell rule engines.
+
+A shell with *R* installed rules that linearly scans them on every event
+does O(R × events) template matches — almost all of which fail, since a
+strategy rule only ever matches one ``(event kind, item family)``
+combination.  Distributed rule systems avoid exactly this by keying rules
+on their trigger discriminator; this module does the same for the paper's
+rule language:
+
+- at install time each rule is keyed by its LHS ``(EventKind, family)``
+  pair and its :func:`~repro.core.templates.compile_matcher`-compiled
+  matcher is cached;
+- *family-variable* templates (item patterns named
+  :data:`~repro.core.terms.FAMILY_WILDCARD`) and item-less templates with
+  no family to key on land in a per-kind **catch-all bucket**;
+- :meth:`RuleIndex.candidates` returns, for a ground descriptor, only the
+  rules in the exact bucket plus the kind's catch-all bucket — merged by
+  installation order, so the firing sequence is *identical* to the linear
+  scan's.
+
+The index is purely a pre-filter: every rule it returns still runs its
+compiled matcher (which re-checks kind and family), so indexing can drop
+non-candidates but never admit a spurious match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.core.events import EventDesc, EventKind
+from repro.core.rules import Rule
+from repro.core.templates import Matcher, compile_matcher
+
+
+@dataclass(frozen=True)
+class InstalledRule:
+    """One installed rule with its routing and pre-compiled matcher."""
+
+    rule: Rule
+    rhs_site: Optional[str]
+    matcher: Matcher = field(compare=False)
+    serial: int
+
+    def __str__(self) -> str:
+        return f"#{self.serial} {self.rule.name}: {self.rule}"
+
+
+class RuleIndex:
+    """Rules keyed by their LHS dispatch discriminator.
+
+    Iteration order (:meth:`__iter__`, and the merge inside
+    :meth:`candidates`) is installation order, preserving the linear scan's
+    firing semantics.
+    """
+
+    def __init__(self) -> None:
+        self._buckets: dict[tuple[EventKind, Optional[str]], list[InstalledRule]] = {}
+        self._catch_all: dict[EventKind, list[InstalledRule]] = {}
+        self._all: list[InstalledRule] = []
+
+    def add(self, rule: Rule, rhs_site: Optional[str]) -> InstalledRule:
+        """Install a rule; returns its index entry."""
+        installed = InstalledRule(
+            rule=rule,
+            rhs_site=rhs_site,
+            matcher=compile_matcher(rule.lhs),
+            serial=len(self._all),
+        )
+        self._all.append(installed)
+        kind = rule.lhs.kind
+        family = rule.lhs.dispatch_family
+        if family is None and rule.lhs.item is not None:
+            # Family-variable template: must see every event of its kind.
+            self._catch_all.setdefault(kind, []).append(installed)
+        else:
+            # Keyed template — including item-less kinds (P), whose
+            # "family" is None and whose descriptors carry no item either.
+            self._buckets.setdefault((kind, family), []).append(installed)
+        return installed
+
+    def candidates(self, desc: EventDesc) -> list[InstalledRule]:
+        """Rules whose LHS might match ``desc``, in installation order."""
+        family = desc.item.name if desc.item is not None else None
+        exact = self._buckets.get((desc.kind, family))
+        catch_all = self._catch_all.get(desc.kind)
+        if catch_all is None:
+            return exact if exact is not None else []
+        if exact is None:
+            return catch_all
+        return _merge_by_serial(exact, catch_all)
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def __iter__(self) -> Iterator[InstalledRule]:
+        return iter(self._all)
+
+    @property
+    def rules(self) -> list[Rule]:
+        """All installed rules in installation order."""
+        return [installed.rule for installed in self._all]
+
+
+def _merge_by_serial(
+    left: list[InstalledRule], right: list[InstalledRule]
+) -> list[InstalledRule]:
+    """Merge two serial-sorted bucket lists into one serial-sorted list."""
+    merged: list[InstalledRule] = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        if left[i].serial < right[j].serial:
+            merged.append(left[i])
+            i += 1
+        else:
+            merged.append(right[j])
+            j += 1
+    merged.extend(left[i:])
+    merged.extend(right[j:])
+    return merged

@@ -43,6 +43,7 @@ class GuaranteeStatusBoard:
         self._sites: dict[str, _SiteState] = {}
         self._entries: dict[str, _GuaranteeEntry] = {}
         self.notices: list[FailureNotice] = []
+        self._seen: set[FailureNotice] = set()
 
     def register(self, guarantee: Guarantee, sites: set[str]) -> None:
         """Start tracking a guarantee that involves the given sites."""
@@ -59,7 +60,15 @@ class GuaranteeStatusBoard:
     # -- notice intake -------------------------------------------------------
 
     def on_notice(self, notice: FailureNotice) -> None:
-        """Process a failure/recovery notice from a shell."""
+        """Process a failure/recovery notice from a shell.
+
+        A board is typically attached to every shell, and shells relay
+        notices to their peers, so the same notice reaches the board once
+        per site — intake is idempotent.
+        """
+        if notice in self._seen:
+            return
+        self._seen.add(notice)
         self.notices.append(notice)
         state = self._sites.setdefault(notice.site, _SiteState())
         if notice.recovered:

@@ -21,7 +21,7 @@ This is the operator-facing surface of the toolkit (Section 4 of the paper):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.constraints import Constraint, InequalityConstraint
 from repro.core.catalog import Suggestion, SuggestionContext, suggest
@@ -43,6 +43,9 @@ from repro.sim.failures import FailurePlan
 from repro.sim.network import LatencyModel, Network
 from repro.sim.rng import RngRegistry
 from repro.sim.scheduler import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.cm.builder import ConstraintBuilder, SiteBuilder
 
 
 @dataclass
@@ -126,6 +129,33 @@ class ConstraintManager:
         if site not in self.shells:
             raise ConfigurationError(f"unknown site: {site!r}")
         return self.shells[site]
+
+    # -- fluent wiring ---------------------------------------------------------
+
+    def site(self, name: str) -> "SiteBuilder":
+        """Fluent wiring for a site, created on first mention.
+
+        ``cm.site("sf").source(db, rid).site("ny").source(hq, rid2)`` replaces
+        the ``add_site`` / ``add_source`` two-step; see
+        :class:`~repro.cm.builder.SiteBuilder`.
+        """
+        from repro.cm.builder import SiteBuilder
+
+        if name not in self.shells:
+            self.add_site(name)
+        return SiteBuilder(self, name)
+
+    def constraint(self, constraint: Constraint) -> "ConstraintBuilder":
+        """Fluent declare-suggest-install chain for one constraint.
+
+        ``cm.constraint(CopyConstraint(...)).strategy("propagation")``
+        declares the constraint, surveys interfaces, picks the named proven
+        strategy, and installs it; see
+        :class:`~repro.cm.builder.ConstraintBuilder`.
+        """
+        from repro.cm.builder import ConstraintBuilder
+
+        return ConstraintBuilder(self, constraint)
 
     def add_source(
         self,
@@ -235,12 +265,12 @@ class ConstraintManager:
                     raise ConfigurationError(
                         f"rule {rule.name!r}: cannot place the periodic timer"
                     )
-                self.shell(lhs_site).install_periodic_rule(
+                self.shell(lhs_site).install(
                     rule, rhs_site, phase=strategy.timer_phases.get(rule.name)
                 )
                 continue
             lhs_site = rule.resolve_lhs_site(self.locations)
-            self.shell(lhs_site).install_rule(rule, rhs_site)
+            self.shell(lhs_site).install(rule, rhs_site)
             if rule.lhs.kind is EventKind.NOTIFY:
                 family = rule.lhs.item_family
                 assert family is not None
@@ -346,6 +376,28 @@ class ConstraintManager:
     def run(self, until: Ticks) -> None:
         """Advance the scenario (convenience passthrough)."""
         self.scenario.run(until)
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Per-site dispatch counters plus a ``"total"`` aggregate.
+
+        Each site's entry is its shell's :meth:`CMShell.stats` dict
+        (``rules_installed``, ``events_processed``, ``candidates_considered``,
+        ``rules_fired``); ``candidates_considered`` vs.
+        ``rules_installed * events_processed`` quantifies what indexed
+        dispatch pruned away relative to a linear scan.
+        """
+        per_site = {site: shell.stats() for site, shell in self.shells.items()}
+        total = {
+            "rules_installed": 0,
+            "events_processed": 0,
+            "candidates_considered": 0,
+            "rules_fired": 0,
+        }
+        for counters in per_site.values():
+            for key in total:
+                total[key] += counters[key]
+        per_site["total"] = total
+        return per_site
 
     def check_guarantees(self) -> dict[str, GuaranteeReport]:
         """Evaluate every issued guarantee against the recorded trace."""

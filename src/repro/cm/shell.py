@@ -16,6 +16,15 @@ Each shell:
 - relays failure notices from its translators to its peers and to any
   registered listeners (the manager's guarantee-status board).
 
+Rule dispatch is *indexed*: :meth:`CMShell.install` keys each rule by its
+LHS ``(EventKind, family)`` discriminator in a
+:class:`~repro.cm.dispatch.RuleIndex`, so processing an event consults only
+the candidate bucket (plus the kind's catch-all bucket for family-variable
+templates) instead of scanning every installed rule.  The per-shell counters
+``events_processed`` / ``candidates_considered`` / ``rules_fired`` —
+surfaced by :meth:`CMShell.stats` — make the pruning observable: a linear
+scan would consider ``len(rules)`` candidates per event.
+
 A documented extension beyond the paper's examples: a read-request template
 with unbound parameters (e.g. ``RR(salary1(n))`` fired by a poll timer) is
 executed as an *enumerating read* over all current instances of the family,
@@ -32,8 +41,8 @@ from repro.core.errors import BindingError, ConfigurationError, SpecError
 from repro.core.events import Event, EventKind, periodic_desc
 from repro.core.items import DataItemRef
 from repro.core.rules import Rule
-from repro.core.templates import match_desc
 from repro.core.terms import Bindings, Const, ground_item
+from repro.cm.dispatch import RuleIndex
 from repro.core.timebase import Ticks
 from repro.core.trace import ExecutionTrace
 from repro.cm.failures import FailureNotice
@@ -75,12 +84,13 @@ class CMShell:
         self.rngs = rngs
         self.store = ShellStore(site, trace)
         self.translators: dict[str, CMTranslator] = {}
-        self._rules: list[tuple[Rule, str | None]] = []  # (rule, rhs site)
+        self._index = RuleIndex()
         self._timers: list[PeriodicTimer] = []
         self.peers: list[str] = []
         self.failure_log: list[FailureNotice] = []
         self.on_failure: list[Callable[[FailureNotice], None]] = []
         self.events_processed = 0
+        self.candidates_considered = 0
         self.rules_fired = 0
         self._chain_depth = 0
         #: Offset of this site's local clock from true time, in ticks.
@@ -118,28 +128,50 @@ class CMShell:
             )
         return translator
 
+    def install(
+        self,
+        rule: Rule,
+        rhs_site: str | None = None,
+        *,
+        phase: Optional[Ticks] = None,
+    ) -> None:
+        """Install a strategy rule whose LHS is at this site.
+
+        The rule is keyed into the shell's dispatch index by its LHS
+        ``(kind, family)`` discriminator.  A periodic LHS (``P(p)``) also
+        starts its timer here; ``phase`` is then the tick-of-day of the
+        first firing (e.g. 17:00 for end-of-day strategies) — without it
+        the timer starts at the epoch and fires every period.  ``rhs_site``
+        defaults to this site (local execution).
+        """
+        if rule.lhs.kind is EventKind.PERIODIC:
+            self._install_timer(rule, phase)
+        elif phase is not None:
+            raise SpecError(
+                f"rule {rule.name!r}: phase only applies to periodic rules"
+            )
+        self._index.add(rule, rhs_site)
+
     def install_rule(self, rule: Rule, rhs_site: str | None) -> None:
-        """Install a strategy rule whose LHS is at this site."""
-        self._rules.append((rule, rhs_site))
+        """Deprecated alias for :meth:`install` (non-periodic rules)."""
+        self.install(rule, rhs_site)
 
     def install_periodic_rule(
         self, rule: Rule, rhs_site: str | None, phase: Optional[Ticks] = None
     ) -> None:
-        """Install a rule triggered by ``P(p)``: start its timer here.
-
-        ``phase`` is the tick-of-day of the first firing (e.g. 17:00 for
-        end-of-day strategies); without it the timer starts at the epoch
-        and fires every period.
-        """
+        """Deprecated alias for :meth:`install` (periodic rules)."""
         if rule.lhs.kind is not EventKind.PERIODIC:
             raise SpecError(f"rule {rule.name!r} has no periodic LHS")
+        self.install(rule, rhs_site, phase=phase)
+
+    def _install_timer(self, rule: Rule, phase: Optional[Ticks]) -> None:
+        """Start the timer driving a ``P(p)``-triggered rule."""
         period_term = rule.lhs.values[0]
         if not isinstance(period_term, Const):
             raise SpecError(
                 f"rule {rule.name!r}: periodic template needs a constant period"
             )
         period = int(period_term.value)
-        self._rules.append((rule, rhs_site))
 
         def fire() -> None:
             p_event = self.trace.record(
@@ -152,6 +184,25 @@ class CMShell:
         else:
             timer = _PhasedTimer(self.sim, period, phase, fire)
         self._timers.append(timer)
+
+    @property
+    def rules(self) -> list[Rule]:
+        """All installed rules, in installation order."""
+        return self._index.rules
+
+    def stats(self) -> dict[str, int]:
+        """Dispatch counters for this shell.
+
+        ``candidates_considered`` counts rules the index actually consulted;
+        a linear scan would have considered
+        ``rules_installed * events_processed``.
+        """
+        return {
+            "rules_installed": len(self._index),
+            "events_processed": self.events_processed,
+            "candidates_considered": self.candidates_considered,
+            "rules_fired": self.rules_fired,
+        }
 
     def stop_timers(self) -> None:
         """Stop all periodic timers, including translator-driven ones."""
@@ -171,13 +222,16 @@ class CMShell:
 
     def _process_event(self, event: Event) -> None:
         self.events_processed += 1
-        for rule, rhs_site in self._rules:
-            bindings = match_desc(rule.lhs, event.desc)
+        for installed in self._index.candidates(event.desc):
+            self.candidates_considered += 1
+            bindings = installed.matcher(event.desc)
             if bindings is None:
                 continue
+            rule = installed.rule
             if not self._lhs_condition_holds(rule, bindings):
                 continue
             self.rules_fired += 1
+            rhs_site = installed.rhs_site
             if rhs_site is None or rhs_site == self.site:
                 self._execute_rhs(rule, bindings, event)
             else:
@@ -206,7 +260,7 @@ class CMShell:
                 payload.rule, dict(payload.bindings), payload.trigger
             )
         elif isinstance(payload, FailureNotice):
-            self.failure_log.append(payload)
+            self._handle_failure(payload)
         else:
             raise ConfigurationError(
                 f"shell {self.site!r} received unknown message {payload!r}"
@@ -283,13 +337,24 @@ class CMShell:
     # -- failure propagation ---------------------------------------------------------------
 
     def report_failure(self, notice: FailureNotice) -> None:
-        """Record a failure notice and propagate it (Section 5)."""
-        self.failure_log.append(notice)
-        for listener in self.on_failure:
-            listener(notice)
+        """Record a locally detected failure and propagate it (Section 5)."""
+        self._handle_failure(notice)
         for peer in self.peers:
             if peer != self.site:
                 self.network.send(self.site, peer, notice)
+
+    def _handle_failure(self, notice: FailureNotice) -> None:
+        """The one intake for failure notices, local and remote alike.
+
+        Both paths log the notice *and* invoke the ``on_failure`` listeners,
+        so a guarantee-status board (or any other observer) attached at this
+        shell sees peer failures, not just locally detected ones.  Only
+        :meth:`report_failure` — the local detection path — forwards to
+        peers, so a notice crosses the network once.
+        """
+        self.failure_log.append(notice)
+        for listener in self.on_failure:
+            listener(notice)
 
 
 def _ground_value(template, bindings: Bindings, index: int):

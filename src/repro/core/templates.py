@@ -14,11 +14,12 @@ bindings from a rule's left-hand side to its right-hand side.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.core.events import EventDesc, EventKind
 from repro.core.items import DataItemRef
 from repro.core.terms import (
+    FAMILY_WILDCARD,
     WILDCARD,
     Bindings,
     Const,
@@ -30,6 +31,10 @@ from repro.core.terms import (
     match_item,
     match_term,
 )
+
+#: A pre-compiled template matcher: descriptor in, matching interpretation
+#: (or ``None``) out.  Produced by :func:`compile_matcher`.
+Matcher = Callable[[EventDesc], Optional[Bindings]]
 
 
 @dataclass(frozen=True)
@@ -77,6 +82,18 @@ class Template:
     def item_family(self) -> Optional[str]:
         """The item family name the template mentions, if any."""
         return self.item.name if self.item is not None else None
+
+    @property
+    def dispatch_family(self) -> Optional[str]:
+        """The family this template can be *keyed* by for event dispatch.
+
+        ``None`` for item-less templates (``P``, ``F``) and for
+        family-variable templates (:data:`~repro.core.terms.FAMILY_WILDCARD`
+        patterns), which must be consulted for every event of their kind.
+        """
+        if self.item is None or self.item.name == FAMILY_WILDCARD:
+            return None
+        return self.item.name
 
     def variables(self) -> set[str]:
         """All variable names appearing anywhere in the template."""
@@ -132,6 +149,80 @@ def match_desc(tmpl: Template, desc: EventDesc) -> Optional[Bindings]:
         if not match_term(term, value, bindings):
             return None
     return bindings
+
+
+def _compile_term(term: Term) -> Callable[[object, Bindings], bool]:
+    """Specialize one term into a closure ``(value, bindings) -> matched``."""
+    if term is WILDCARD:
+        return lambda value, bindings: True
+    if isinstance(term, Const):
+        expected = term.value
+        return lambda value, bindings: value == expected
+    if isinstance(term, Var):
+        name = term.name
+
+        def check_or_bind(value: object, bindings: Bindings) -> bool:
+            if name in bindings:
+                return bindings[name] == value
+            bindings[name] = value
+            return True
+
+        return check_or_bind
+    raise TypeError(f"not a matchable term: {term!r}")
+
+
+def compile_matcher(tmpl: Template) -> Matcher:
+    """Pre-compile a template into a matcher closure.
+
+    The returned callable is semantically identical to
+    ``lambda desc: match_desc(tmpl, desc)`` but resolves the template's
+    structure — kind, family, per-term dispatch — once at compile time
+    instead of re-interpreting it on every event.  Rule engines that match
+    the same LHS against many events (the CM-Shell's dispatch loop) install
+    one compiled matcher per rule.
+    """
+    if tmpl.kind is EventKind.FALSE:
+        return lambda desc: None
+    kind = tmpl.kind
+    value_tests = tuple(_compile_term(term) for term in tmpl.values)
+    if tmpl.item is None:
+
+        def itemless_matcher(desc: EventDesc) -> Optional[Bindings]:
+            if desc.kind is not kind:
+                return None
+            bindings: Bindings = {}
+            for test, value in zip(value_tests, desc.values):
+                if not test(value, bindings):
+                    return None
+            return bindings
+
+        return itemless_matcher
+
+    family = tmpl.item.name
+    any_family = family == FAMILY_WILDCARD
+    arg_tests = tuple(_compile_term(term) for term in tmpl.item.args)
+    arg_count = len(arg_tests)
+
+    def matcher(desc: EventDesc) -> Optional[Bindings]:
+        if desc.kind is not kind:
+            return None
+        item = desc.item
+        if item is None:
+            return None
+        if not any_family and item.name != family:
+            return None
+        if len(item.args) != arg_count:
+            return None
+        bindings: Bindings = {}
+        for test, value in zip(arg_tests, item.args):
+            if not test(value, bindings):
+                return None
+        for test, value in zip(value_tests, desc.values):
+            if not test(value, bindings):
+                return None
+        return bindings
+
+    return matcher
 
 
 def instantiate(tmpl: Template, bindings: Bindings) -> EventDesc:

@@ -73,6 +73,12 @@ class _WildcardTerm(Term):
 #: The anonymous wildcard term.
 WILDCARD = _WildcardTerm()
 
+#: Item-pattern name matching *any* family (a family-variable template):
+#: ``ItemPattern(FAMILY_WILDCARD, (Var("n"),))`` matches ``salary1('e1')``
+#: and ``phone0('p3')`` alike.  Such templates cannot be keyed by family and
+#: land in the dispatcher's catch-all bucket.
+FAMILY_WILDCARD = "*"
+
 
 @dataclass(frozen=True)
 class ItemPattern:
@@ -145,8 +151,12 @@ def match_term(term: Term, value: Value, bindings: Bindings) -> bool:
 
 
 def match_item(pattern_: ItemPattern, ref: DataItemRef, bindings: Bindings) -> bool:
-    """Match an item pattern against a ground item reference."""
-    if pattern_.name != ref.name:
+    """Match an item pattern against a ground item reference.
+
+    A pattern named :data:`FAMILY_WILDCARD` matches any family; its argument
+    terms are still matched positionally.
+    """
+    if pattern_.name != ref.name and pattern_.name != FAMILY_WILDCARD:
         return False
     if len(pattern_.args) != len(ref.args):
         return False
@@ -171,5 +181,7 @@ def ground_term(term: Term, bindings: Bindings) -> Value:
 
 def ground_item(pattern_: ItemPattern, bindings: Bindings) -> DataItemRef:
     """Substitute ``bindings`` into an item pattern, yielding a ground ref."""
+    if pattern_.name == FAMILY_WILDCARD:
+        raise BindingError("cannot ground a family-wildcard item pattern")
     args = tuple(ground_term(term, bindings) for term in pattern_.args)
     return DataItemRef(pattern_.name, args)
