@@ -3,9 +3,17 @@
 Not tied to a paper table — these quantify the substrate itself (simulator
 event throughput, SQL engine, rule matching, guarantee checking) so
 regressions in the machinery underneath the experiments are visible.
+
+Each test also records its wall-clock cost (and, for dispatch, the counter
+values) into ``BENCH_core_micro.json``; the instrumentation-overhead guard
+additionally asserts the no-sink observability hooks cost < 5% of dispatch.
 """
 
+import time
+
 import pytest
+
+from bench_helpers import update_bench_json
 
 from repro.cm import ConstraintManager, Scenario
 from repro.core.dsl import parse_rule
@@ -19,6 +27,16 @@ from repro.core.trace import ExecutionTrace
 from repro.core.timebase import seconds
 from repro.ris.relational import RelationalDatabase
 from repro.sim.scheduler import Simulator
+
+
+def _record_micro(key: str, run, extra: dict | None = None) -> None:
+    """One extra timed run, persisted to BENCH_core_micro.json."""
+    started = time.perf_counter()
+    run()
+    payload = {"wall_seconds": time.perf_counter() - started}
+    if extra:
+        payload.update(extra)
+    update_bench_json("core_micro", key, payload)
 
 
 def test_simulator_event_throughput(benchmark):
@@ -36,6 +54,7 @@ def test_simulator_event_throughput(benchmark):
         return counter[0]
 
     assert benchmark(run) == 10_000
+    _record_micro("simulator_event_throughput", run, {"events": 10_000})
 
 
 def test_sql_insert_select_throughput(benchmark):
@@ -50,6 +69,7 @@ def test_sql_insert_select_throughput(benchmark):
         return total
 
     assert benchmark(run) > 0
+    _record_micro("sql_insert_select_throughput", run)
 
 
 def test_rule_matching_throughput(benchmark):
@@ -66,6 +86,7 @@ def test_rule_matching_throughput(benchmark):
         return matched
 
     assert benchmark(run) == 1000
+    _record_micro("rule_matching_throughput", run, {"descs": 1000})
 
 
 # -- rule dispatch: indexed vs linear -----------------------------------------
@@ -109,8 +130,7 @@ def _dispatch_descs(n_rules: int):
     ]
 
 
-@pytest.mark.parametrize("n_rules", [10, 100, 1000])
-def test_indexed_dispatch(benchmark, n_rules):
+def _build_dispatch_shell(n_rules: int):
     cm = ConstraintManager(Scenario(seed=0))
     cm.add_site("bench")
     shell = cm.shell("bench")
@@ -120,6 +140,12 @@ def test_indexed_dispatch(benchmark, n_rules):
         cm.scenario.trace.record(seconds(i + 1), "bench", desc)
         for i, desc in enumerate(_dispatch_descs(n_rules))
     ]
+    return shell, events
+
+
+@pytest.mark.parametrize("n_rules", [10, 100, 1000])
+def test_indexed_dispatch(benchmark, n_rules):
+    shell, events = _build_dispatch_shell(n_rules)
 
     def run() -> int:
         for event in events:
@@ -131,6 +157,7 @@ def test_indexed_dispatch(benchmark, n_rules):
     linear_would_consider = (
         stats["rules_installed"] * stats["events_processed"]
     )
+    _record_micro(f"indexed_dispatch_{n_rules}", run, {"dispatch": stats})
     # The index must prune hard at scale: >= 5x fewer candidate
     # evaluations than a linear scan at 1000 installed rules.
     if n_rules >= 1000:
@@ -151,6 +178,7 @@ def test_linear_scan_dispatch_baseline(benchmark, n_rules):
         return fired
 
     assert benchmark(run) >= N_DISPATCH_EVENTS
+    _record_micro(f"linear_scan_dispatch_{n_rules}", run)
 
 
 def test_guarantee_checker_on_large_trace(benchmark):
@@ -174,3 +202,88 @@ def test_guarantee_checker_on_large_trace(benchmark):
         return guarantee.check(trace).valid
 
     assert benchmark(run)
+    _record_micro("guarantee_checker_large_trace", run, {"writes": 4000})
+
+
+# -- instrumentation overhead (PR 2 guard) ------------------------------------
+#
+# The observability hooks must be near-free when no sink is attached: the
+# shell's hot path pays registry-counter increments (attribute increments on
+# interned Counter objects) plus one ``obs.enabled`` check.  The baseline
+# below replicates the pre-instrumentation dispatch loop — same index, same
+# matchers, same RHS execution, plain instance-attribute counters — and the
+# instrumented path must stay within 5% of it.
+
+
+class _UninstrumentedDispatch:
+    """Replica of the shell dispatch loop before the metrics registry."""
+
+    def __init__(self, shell):
+        self.shell = shell
+        self.events_processed = 0
+        self.candidates_considered = 0
+        self.rules_fired = 0
+
+    def process(self, event) -> None:
+        self.events_processed += 1
+        shell = self.shell
+        for installed in shell._index.candidates(event.desc):
+            self.candidates_considered += 1
+            bindings = installed.matcher(event.desc)
+            if bindings is None:
+                continue
+            rule = installed.rule
+            if not shell._lhs_condition_holds(rule, bindings):
+                continue
+            self.rules_fired += 1
+            rhs_site = installed.rhs_site
+            if rhs_site is None or rhs_site == shell.site:
+                shell._execute_rhs(rule, bindings, event)
+
+
+def test_instrumentation_overhead_no_sink():
+    shell, events = _build_dispatch_shell(1000)
+    assert not shell.obs.enabled and not shell.obs.sinks
+    baseline = _UninstrumentedDispatch(shell)
+
+    def instrumented() -> None:
+        for event in events:
+            shell.deliver_local_event(event)
+
+    def uninstrumented() -> None:
+        for event in events:
+            baseline.process(event)
+
+    def timed(fn) -> float:
+        started = time.perf_counter()
+        fn()
+        return time.perf_counter() - started
+
+    # Warm-up, then alternating-order min-of-N: the minimum over many
+    # rounds is the least-noise estimate of each loop's true cost.
+    for fn in (instrumented, uninstrumented, instrumented, uninstrumented):
+        fn()
+    best_instrumented = best_baseline = float("inf")
+    for round_index in range(30):
+        if round_index % 2 == 0:
+            t_i, t_b = timed(instrumented), timed(uninstrumented)
+        else:
+            t_b, t_i = timed(uninstrumented), timed(instrumented)
+        best_instrumented = min(best_instrumented, t_i)
+        best_baseline = min(best_baseline, t_b)
+
+    ratio = best_instrumented / best_baseline
+    update_bench_json(
+        "core_micro",
+        "instrumentation_overhead_no_sink",
+        {
+            "instrumented_seconds": best_instrumented,
+            "baseline_seconds": best_baseline,
+            "overhead_ratio": ratio,
+        },
+    )
+    assert ratio < 1.05, (
+        f"no-sink instrumentation overhead {100 * (ratio - 1):.1f}% "
+        f"exceeds the 5% budget "
+        f"({best_instrumented * 1e3:.2f}ms vs {best_baseline * 1e3:.2f}ms)"
+    )

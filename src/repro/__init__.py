@@ -15,6 +15,8 @@ The package provides:
   configuration, and the :class:`~repro.cm.manager.ConstraintManager` façade.
 - :mod:`repro.constraints`, :mod:`repro.protocols` — constraint types and
   the Demarcation Protocol.
+- :mod:`repro.obs` — the instrumentation subsystem: metrics registry,
+  causal firing traces, structured sinks, and the end-of-run report.
 - :mod:`repro.workloads`, :mod:`repro.apps`, :mod:`repro.experiments` —
   scenario generators, guarantee-consuming applications, and the
   experiment harness reproducing the paper's claims.
@@ -72,6 +74,15 @@ from repro.core.guarantees import (
 from repro.core.interfaces import InterfaceKind
 from repro.core.items import MISSING, DataItemRef
 from repro.core.timebase import days, hours, minutes, seconds, to_seconds
+from repro.obs import (
+    Instrumentation,
+    JsonlSink,
+    MetricsRegistry,
+    PrometheusExporter,
+    RunReport,
+    SpanTree,
+    Tracer,
+)
 from repro.sim.scheduler import Simulator
 
 #: Alias for readers who know the class by the paper's component name.
@@ -115,6 +126,14 @@ __all__ = [
     "periodic",
     "referential_within",
     "monitor_window",
+    # observability
+    "Instrumentation",
+    "MetricsRegistry",
+    "Tracer",
+    "SpanTree",
+    "JsonlSink",
+    "PrometheusExporter",
+    "RunReport",
     # substrate
     "Simulator",
     "InterfaceKind",
@@ -127,4 +146,4 @@ __all__ = [
     "to_seconds",
 ]
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"

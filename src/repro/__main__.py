@@ -84,6 +84,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     experiments.add_argument("ids", nargs="*")
     experiments.add_argument("--list", action="store_true")
+    experiments.add_argument("--json", metavar="PATH", default=None)
+    experiments.add_argument("--quiet", action="store_true")
     sub.add_parser("menu", help="print the interface and strategy menus")
     sub.add_parser("demo", help="run the quickstart scenario")
     args = parser.parse_args(argv)
@@ -94,6 +96,10 @@ def main(argv: list[str] | None = None) -> int:
         forwarded = list(args.ids)
         if args.list:
             forwarded.append("--list")
+        if args.json is not None:
+            forwarded.extend(["--json", args.json])
+        if args.quiet:
+            forwarded.append("--quiet")
         return runner_main(forwarded)
     if args.command == "menu":
         _print_menu()

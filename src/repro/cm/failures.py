@@ -40,6 +40,20 @@ class FailureNotice:
             f"({self.kind.value}): {self.detail}"
         )
 
+    def to_dict(self) -> dict:
+        """JSONL/run-report serialization (time also in seconds)."""
+        from repro.core.timebase import to_seconds
+
+        return {
+            "site": self.site,
+            "source": self.source_name,
+            "kind": getattr(self.kind, "value", str(self.kind)),
+            "time": self.time,
+            "time_s": to_seconds(self.time),
+            "detail": self.detail,
+            "recovered": self.recovered,
+        }
+
 
 def classify_error(error: RISError) -> FailureKind:
     """Map a raw-source error to the paper's failure classes."""

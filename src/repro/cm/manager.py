@@ -38,6 +38,8 @@ from repro.cm.rid import CMRID
 from repro.cm.shell import CMShell
 from repro.cm.translator import CMTranslator, ServiceModel
 from repro.cm.translators import translator_for
+from repro.obs import Instrumentation
+from repro.obs.report import RunReport, build_run_report
 from repro.ris.base import RawInformationSource
 from repro.sim.failures import FailurePlan
 from repro.sim.network import LatencyModel, Network
@@ -60,6 +62,9 @@ class Scenario:
     rngs: RngRegistry = field(init=False)
     network: Network = field(init=False)
     trace: ExecutionTrace = field(init=False)
+    #: The scenario-wide observability bundle (metrics registry, span
+    #: tracer, sinks).  Shells, the network, and translators all share it.
+    obs: Instrumentation = field(init=False)
 
     def __post_init__(self) -> None:
         reset_event_sequence()
@@ -67,12 +72,14 @@ class Scenario:
             self.failure_plan = FailurePlan()
         self.sim = Simulator()
         self.rngs = RngRegistry(self.seed)
+        self.obs = Instrumentation()
         self.network = Network(
             self.sim,
             rng_registry=self.rngs,
             default_latency=self.default_latency,
             failure_plan=self.failure_plan,
             in_order=self.in_order,
+            obs=self.obs,
         )
         self.trace = ExecutionTrace()
 
@@ -117,6 +124,7 @@ class ConstraintManager:
             trace=self.scenario.trace,
             failure_plan=self.scenario.failure_plan,
             rngs=self.scenario.rngs,
+            obs=self.scenario.obs,
         )
         shell.on_failure.append(self.board.on_notice)
         self.shells[name] = shell
@@ -398,6 +406,16 @@ class ConstraintManager:
                 total[key] += counters[key]
         per_site["total"] = total
         return per_site
+
+    def run_report(self) -> RunReport:
+        """The structured end-of-run report (see :mod:`repro.obs.report`).
+
+        Per-constraint firing counts, propagation-latency histograms,
+        network channel statistics, translator RISI op counts, failure
+        classifications, and per-guarantee staleness — everything the perf
+        trajectory compares across runs.
+        """
+        return build_run_report(self)
 
     def check_guarantees(self) -> dict[str, GuaranteeReport]:
         """Evaluate every issued guarantee against the recorded trace."""

@@ -23,7 +23,11 @@ the candidate bucket (plus the kind's catch-all bucket for family-variable
 templates) instead of scanning every installed rule.  The per-shell counters
 ``events_processed`` / ``candidates_considered`` / ``rules_fired`` —
 surfaced by :meth:`CMShell.stats` — make the pruning observable: a linear
-scan would consider ``len(rules)`` candidates per event.
+scan would consider ``len(rules)`` candidates per event.  Since PR 2 those
+counters live in the scenario's :mod:`repro.obs` metrics registry, and when
+tracing is enabled every processed event opens a causal span, so a
+cross-site firing chain (``Ws`` → ``N`` → rule fire → network →
+``WR``/``W``) is queryable as one trace tree.
 
 A documented extension beyond the paper's examples: a read-request template
 with unbound parameters (e.g. ``RR(salary1(n))`` fired by a poll timer) is
@@ -48,6 +52,7 @@ from repro.core.trace import ExecutionTrace
 from repro.cm.failures import FailureNotice
 from repro.cm.store import ShellStore
 from repro.cm.translator import CMTranslator
+from repro.obs import Instrumentation
 from repro.sim.failures import FailurePlan
 from repro.sim.network import Message, Network
 from repro.sim.process import PeriodicTimer
@@ -75,6 +80,7 @@ class CMShell:
         trace: ExecutionTrace,
         failure_plan: FailurePlan,
         rngs: RngRegistry,
+        obs: Instrumentation | None = None,
     ):
         self.site = site
         self.sim = sim
@@ -82,6 +88,7 @@ class CMShell:
         self.trace = trace
         self.failure_plan = failure_plan
         self.rngs = rngs
+        self.obs = obs if obs is not None else network.obs
         self.store = ShellStore(site, trace)
         self.translators: dict[str, CMTranslator] = {}
         self._index = RuleIndex()
@@ -89,9 +96,18 @@ class CMShell:
         self.peers: list[str] = []
         self.failure_log: list[FailureNotice] = []
         self.on_failure: list[Callable[[FailureNotice], None]] = []
-        self.events_processed = 0
-        self.candidates_considered = 0
-        self.rules_fired = 0
+        # The PR-1 dispatch counters, now metric series in the registry.
+        # Hot-path increments go straight at Counter.value, which costs the
+        # same as the plain ints they replace; `stats()` and the legacy
+        # attribute names read them back.
+        metrics = self.obs.metrics
+        self._m_events = metrics.counter("shell_events_processed", site=site)
+        self._m_candidates = metrics.counter(
+            "shell_candidates_considered", site=site
+        )
+        self._m_fired = metrics.counter("shell_rules_fired", site=site)
+        self._m_failures = metrics.counter("shell_failure_notices", site=site)
+        self._fired_by_rule: dict[str, object] = {}
         self._chain_depth = 0
         #: Offset of this site's local clock from true time, in ticks.
         #: Strategy execution never needs clocks (Section 7.2), but rules
@@ -151,6 +167,10 @@ class CMShell:
                 f"rule {rule.name!r}: phase only applies to periodic rules"
             )
         self._index.add(rule, rhs_site)
+        if rule.name not in self._fired_by_rule:
+            self._fired_by_rule[rule.name] = self.obs.metrics.counter(
+                "rule_fired", site=self.site, rule=rule.name
+            )
 
     def install_rule(self, rule: Rule, rhs_site: str | None) -> None:
         """Deprecated alias for :meth:`install` (non-periodic rules)."""
@@ -190,18 +210,38 @@ class CMShell:
         """All installed rules, in installation order."""
         return self._index.rules
 
+    # The PR-1 counter attributes, read-compatibly backed by the registry.
+
+    @property
+    def events_processed(self) -> int:
+        """Events this shell has dispatched (registry-backed)."""
+        return self._m_events.value
+
+    @property
+    def candidates_considered(self) -> int:
+        """Rules the dispatch index consulted (registry-backed)."""
+        return self._m_candidates.value
+
+    @property
+    def rules_fired(self) -> int:
+        """Rule firings at this shell (registry-backed)."""
+        return self._m_fired.value
+
     def stats(self) -> dict[str, int]:
         """Dispatch counters for this shell.
 
         ``candidates_considered`` counts rules the index actually consulted;
         a linear scan would have considered
-        ``rules_installed * events_processed``.
+        ``rules_installed * events_processed``.  Since PR 2 these are an
+        adapter over the scenario's metrics registry
+        (``shell_events_processed{site=...}`` and friends), so the same
+        numbers appear in Prometheus exports and run reports.
         """
         return {
             "rules_installed": len(self._index),
-            "events_processed": self.events_processed,
-            "candidates_considered": self.candidates_considered,
-            "rules_fired": self.rules_fired,
+            "events_processed": self._m_events.value,
+            "candidates_considered": self._m_candidates.value,
+            "rules_fired": self._m_fired.value,
         }
 
     def stop_timers(self) -> None:
@@ -221,16 +261,39 @@ class CMShell:
         self._process_event(event)
 
     def _process_event(self, event: Event) -> None:
-        self.events_processed += 1
+        self._m_events.value += 1
+        obs = self.obs
+        span = None
+        if obs.enabled:
+            span = obs.tracer.start(
+                "shell.process",
+                self.site,
+                self.sim.now,
+                kind=event.desc.kind.value,
+                event=str(event.desc),
+                seq=event.seq,
+            )
+            obs.tracer.push(span)
+            if obs.sinks:
+                obs.emit_event(event)
+        try:
+            self._dispatch(event)
+        finally:
+            if span is not None:
+                obs.tracer.pop()
+                obs.tracer.finish(span, self.sim.now)
+
+    def _dispatch(self, event: Event) -> None:
         for installed in self._index.candidates(event.desc):
-            self.candidates_considered += 1
+            self._m_candidates.value += 1
             bindings = installed.matcher(event.desc)
             if bindings is None:
                 continue
             rule = installed.rule
             if not self._lhs_condition_holds(rule, bindings):
                 continue
-            self.rules_fired += 1
+            self._m_fired.value += 1
+            self._fired_by_rule[rule.name].value += 1
             rhs_site = installed.rhs_site
             if rhs_site is None or rhs_site == self.site:
                 self._execute_rhs(rule, bindings, event)
@@ -256,9 +319,25 @@ class CMShell:
     def _on_message(self, message: Message) -> None:
         payload = message.payload
         if isinstance(payload, FireMessage):
-            self._execute_rhs(
-                payload.rule, dict(payload.bindings), payload.trigger
-            )
+            obs = self.obs
+            span = None
+            if obs.enabled:
+                # Parent is the in-flight net.send span the network pushed.
+                span = obs.tracer.start(
+                    "shell.fire",
+                    self.site,
+                    self.sim.now,
+                    rule=payload.rule.name,
+                )
+                obs.tracer.push(span)
+            try:
+                self._execute_rhs(
+                    payload.rule, dict(payload.bindings), payload.trigger
+                )
+            finally:
+                if span is not None:
+                    obs.tracer.pop()
+                    obs.tracer.finish(span, self.sim.now)
         elif isinstance(payload, FailureNotice):
             self._handle_failure(payload)
         else:
@@ -352,6 +431,13 @@ class CMShell:
         :meth:`report_failure` — the local detection path — forwards to
         peers, so a notice crosses the network once.
         """
+        self._m_failures.value += 1
+        self.obs.metrics.counter(
+            "failure_notices",
+            site=self.site,
+            kind=getattr(notice.kind, "value", str(notice.kind)),
+            recovered=str(notice.recovered).lower(),
+        ).value += 1
         self.failure_log.append(notice)
         for listener in self.on_failure:
             listener(notice)

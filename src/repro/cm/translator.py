@@ -111,6 +111,10 @@ class CMTranslator:
         self.notifications_delivered = 0
         self.notifications_suppressed = 0
         self._busy_until: Ticks = 0
+        # Lazily resolved observability instruments (shared registry via the
+        # shell; dicts so hot paths pay one lookup, not a registry probe).
+        self._op_counters: dict[str, object] = {}
+        self._prop_hists: dict[str, object] = {}
 
     # -- wiring ----------------------------------------------------------------
 
@@ -148,6 +152,46 @@ class CMTranslator:
     def _plan(self):
         return self._require_shell().failure_plan
 
+    @property
+    def _obs(self):
+        return self._require_shell().obs
+
+    # -- observability helpers -----------------------------------------------
+
+    def count_op(self, op: str, amount: int = 1) -> None:
+        """Count one native (RISI) operation against this source.
+
+        Concrete translators call this from their native hooks
+        (``sql_select``, ``file_read``, ``whois_lookup``, ...); the counts
+        surface as ``ris_ops{source=...,op=...}`` series and in the run
+        report's translator section.
+        """
+        counter = self._op_counters.get(op)
+        if counter is None:
+            counter = self._obs.metrics.counter(
+                "ris_ops", source=self.source.name, op=op
+            )
+            self._op_counters[op] = counter
+        counter.value += amount
+
+    def _observe_propagation(self, family: str, wr_event: Event) -> None:
+        """Record end-to-end propagation latency for a completed write.
+
+        Latency is measured from the *root* of the write's trigger chain
+        (the spontaneous write or periodic tick that started the causal
+        chain) to now — the quantity the metric guarantees bound with κ.
+        """
+        root = wr_event
+        while root.trigger is not None:
+            root = root.trigger
+        hist = self._prop_hists.get(family)
+        if hist is None:
+            hist = self._obs.metrics.histogram(
+                "propagation_latency", family=family
+            )
+            self._prop_hists[family] = hist
+        hist.observe(self.sim.now - root.time)
+
     # -- survey (Section 4.1 initialization) -------------------------------------
 
     def offered_interfaces(self) -> InterfaceSet:
@@ -184,6 +228,11 @@ class CMTranslator:
         start = max(self.sim.now, self._busy_until)
         completion = start + self._delay(operation)
         self._busy_until = completion
+        obs = self._obs
+        if obs.enabled:
+            # Carry the causal context across the service-time gap so the
+            # completion's span parents onto whatever requested the op.
+            fn = obs.tracer.bind(fn)
         self.sim.at(completion, fn)
 
     def _report(self, kind: FailureKind, detail: str) -> None:
@@ -276,12 +325,12 @@ class CMTranslator:
         except RISError as error:
             if error.code.transient and attempt < self.max_retries:
                 self._report_error(error, f"write {ref} (will retry)")
-                self.sim.after(
-                    self.retry_delay * (attempt + 1),
-                    lambda: self._perform_write(
-                        ref, value, wr_event, attempt + 1
-                    ),
+                retry = lambda: self._perform_write(  # noqa: E731
+                    ref, value, wr_event, attempt + 1
                 )
+                if self._obs.enabled:
+                    retry = self._obs.tracer.bind(retry)
+                self.sim.after(self.retry_delay * (attempt + 1), retry)
                 return
             if error.code.transient:
                 self._report(
@@ -295,6 +344,20 @@ class CMTranslator:
         self._check_bound(ref.name, InterfaceKind.WRITE, elapsed)
         if self._failed is None:
             self._note_success()
+        self._observe_propagation(ref.name, wr_event)
+        obs = self._obs
+        if obs.enabled:
+            # Retroactive span: the op's full extent (request to native
+            # completion) is only known now.  Its parent is the context the
+            # request captured, re-activated by the bound callback.
+            span = obs.tracer.start(
+                "translator.write",
+                self.site,
+                wr_event.time,
+                source=self.source.name,
+                ref=str(ref),
+            )
+            obs.tracer.finish(span, self.sim.now)
         self.trace.record(
             self.sim.now,
             self.site,
@@ -347,7 +410,23 @@ class CMTranslator:
             rule=self._interface_rule(ref.name, InterfaceKind.READ),
             trigger=rr_event,
         )
-        self._require_shell().deliver_local_event(r_event)
+        obs = self._obs
+        if obs.enabled:
+            span = obs.tracer.start(
+                "translator.read",
+                self.site,
+                rr_event.time,
+                source=self.source.name,
+                ref=str(ref),
+            )
+            obs.tracer.finish(span, self.sim.now)
+            obs.tracer.push(span)
+            try:
+                self._require_shell().deliver_local_event(r_event)
+            finally:
+                obs.tracer.pop()
+        else:
+            self._require_shell().deliver_local_event(r_event)
 
     def enumerate_refs(self, family: str) -> list[DataItemRef]:
         """All current instances of a family (for enumerating reads)."""
@@ -439,6 +518,8 @@ class CMTranslator:
         else:
             rule = self._interface_rule(ref.name, InterfaceKind.NOTIFY)
 
+        requested = now
+
         def deliver() -> None:
             n_event = self.trace.record(
                 self.sim.now,
@@ -448,7 +529,23 @@ class CMTranslator:
                 trigger=trigger,
             )
             self.notifications_delivered += 1
-            self._require_shell().deliver_local_event(n_event)
+            obs = self._obs
+            if obs.enabled:
+                span = obs.tracer.start(
+                    "translator.notify",
+                    self.site,
+                    requested,
+                    source=self.source.name,
+                    ref=str(ref),
+                )
+                obs.tracer.finish(span, self.sim.now)
+                obs.tracer.push(span)
+                try:
+                    self._require_shell().deliver_local_event(n_event)
+                finally:
+                    obs.tracer.pop()
+            else:
+                self._require_shell().deliver_local_event(n_event)
 
         self._schedule_op("notify", deliver)
 
@@ -465,10 +562,28 @@ class CMTranslator:
             self.sim.now, self.site, spontaneous_write_desc(ref, old, value)
         )
         self._current_spontaneous = ws_event
+        obs = self._obs
+        span = None
+        if obs.enabled:
+            # Root of the causal tree: everything the write triggers
+            # (notify hooks, rule firings, cross-site propagation) parents
+            # onto this span, directly or via captured contexts.
+            span = obs.tracer.start(
+                "source.write",
+                self.site,
+                self.sim.now,
+                parent=obs.tracer.current,
+                source=self.source.name,
+                ref=str(ref),
+            )
+            obs.tracer.push(span)
         try:
             self._native_write(ref, value)
         finally:
             self._current_spontaneous = None
+            if span is not None:
+                obs.tracer.pop()
+                obs.tracer.finish(span, self.sim.now)
         return ws_event
 
     def apply_spontaneous_delete(self, ref: DataItemRef) -> Event:

@@ -64,6 +64,7 @@ class BiblioTranslator(CMTranslator):
     def _native_read(self, ref: DataItemRef) -> Value:
         field = self._field_for(ref.name)
         record_id = self._record_id(ref)
+        self.count_op("biblio_lookup")
         try:
             record = self.biblio.lookup(record_id)
         except RISError as error:
@@ -82,8 +83,10 @@ class BiblioTranslator(CMTranslator):
         # the CM itself never gets a write interface to this source.
         record_id = self._record_id(ref)
         if value is MISSING:
+            self.count_op("biblio_withdraw")
             self.biblio.withdraw(record_id)
             return
+        self.count_op("biblio_ingest")
         self.biblio.ingest(
             BibRecord(
                 record_id=record_id,
@@ -97,6 +100,7 @@ class BiblioTranslator(CMTranslator):
         binding = self.rid.binding(family)
         if not binding.parameterized:
             return [DataItemRef(family, ())]
+        self.count_op("biblio_scan")
         return [
             DataItemRef(family, (record_id,))
             for record_id in self.biblio.record_ids()

@@ -90,6 +90,7 @@ class FileTranslator(CMTranslator):
 
     def _native_read(self, ref: DataItemRef) -> Value:
         path = self._locator(ref.name)
+        self.count_op("file_read_record")
         try:
             return decode_value(self.store.read_record(path, self._key_for(ref)))
         except RISError as error:
@@ -101,12 +102,14 @@ class FileTranslator(CMTranslator):
         path = self._locator(ref.name)
         key = self._key_for(ref)
         if value is MISSING:
+            self.count_op("file_delete_record")
             try:
                 self.store.delete_record(path, key)
             except RISError as error:
                 if error.code is not RISErrorCode.NOT_FOUND:
                     raise
             return
+        self.count_op("file_write_record")
         self.store.write_record(path, key, encode_value(value))
 
     def _native_enumerate(self, family: str) -> list[DataItemRef]:
@@ -114,6 +117,7 @@ class FileTranslator(CMTranslator):
         path = self._locator(family)
         if not binding.parameterized:
             return [DataItemRef(family, ())]
+        self.count_op("file_scan")
         try:
             records = parse_records(self.store.read_file(path))
         except RISError as error:

@@ -69,6 +69,7 @@ class LegacyTranslator(CMTranslator):
     # -- native hooks ---------------------------------------------------------
 
     def _native_read(self, ref: DataItemRef) -> Value:
+        self.count_op("legacy_get")
         try:
             return self.legacy.get(self._key_for(ref))
         except RISError as error:
@@ -82,6 +83,7 @@ class LegacyTranslator(CMTranslator):
                 RISErrorCode.UNSUPPORTED,
                 "the legacy system cannot delete entries",
             )
+        self.count_op("legacy_put")
         self.legacy.put(self._key_for(ref), value)
 
     def _native_enumerate(self, family: str) -> list[DataItemRef]:
@@ -89,6 +91,7 @@ class LegacyTranslator(CMTranslator):
         if not binding.parameterized:
             return [DataItemRef(family, ())]
         prefix = self._prefix_for(family)
+        self.count_op("legacy_scan")
         refs = []
         for key in self.legacy.keys():
             if key.startswith(prefix) and len(key) > len(prefix):

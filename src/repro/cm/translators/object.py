@@ -70,6 +70,7 @@ class ObjectTranslator(CMTranslator):
 
     def _native_read(self, ref: DataItemRef) -> Value:
         __, attribute, ___ = self._locator(ref.name)
+        self.count_op("obj_read_attr")
         oid = self._find_oid(ref)
         if oid is None:
             return MISSING
@@ -81,8 +82,10 @@ class ObjectTranslator(CMTranslator):
         oid = self._find_oid(ref)
         if value is MISSING:
             if oid is not None:
+                self.count_op("obj_delete")
                 self.store.delete(oid)
             return
+        self.count_op("obj_create" if oid is None else "obj_write_attr")
         if oid is None:
             attributes: dict[str, Value] = {attribute: value}
             binding = self.rid.binding(ref.name)
@@ -103,6 +106,7 @@ class ObjectTranslator(CMTranslator):
         if not binding.parameterized:
             return [DataItemRef(family, ())]
         assert key_attribute is not None
+        self.count_op("obj_extent_scan")
         refs = []
         for oid in self.store.extent(class_name):
             key = self.store.read_attr(oid, key_attribute)

@@ -77,6 +77,7 @@ class RelationalTranslator(CMTranslator):
 
     def _native_read(self, ref: DataItemRef) -> Value:
         table, key_column, value_column = self._locator(ref.name)
+        self.count_op("sql_select")
         rows = self.db.query(
             f"SELECT {value_column} FROM {table} WHERE {key_column} = ?",
             (self._key_for(ref),),
@@ -89,15 +90,18 @@ class RelationalTranslator(CMTranslator):
         table, key_column, value_column = self._locator(ref.name)
         key = self._key_for(ref)
         if value is MISSING:
+            self.count_op("sql_delete")
             self.db.execute(
                 f"DELETE FROM {table} WHERE {key_column} = ?", (key,)
             )
             return
+        self.count_op("sql_update")
         result = self.db.execute(
             f"UPDATE {table} SET {value_column} = ? WHERE {key_column} = ?",
             (value, key),
         )
         if result.rowcount == 0:
+            self.count_op("sql_insert")
             self.db.execute(
                 f"INSERT INTO {table} ({key_column}, {value_column}) "
                 f"VALUES (?, ?)",
@@ -109,6 +113,7 @@ class RelationalTranslator(CMTranslator):
         binding = self.rid.binding(family)
         if not binding.parameterized:
             return [DataItemRef(family, ())]
+        self.count_op("sql_select")
         rows = self.db.query(f"SELECT {key_column} FROM {table}")
         return sorted(
             (DataItemRef(family, (row[0],)) for row in rows),

@@ -58,6 +58,7 @@ class WhoisTranslator(CMTranslator):
     # -- native hooks ------------------------------------------------------------
 
     def _native_read(self, ref: DataItemRef) -> Value:
+        self.count_op("whois_lookup")
         try:
             return self.directory.field(
                 self._key_for(ref), self._field_for(ref.name)
@@ -70,6 +71,7 @@ class WhoisTranslator(CMTranslator):
     def _native_write(self, ref: DataItemRef, value: Value) -> None:
         # Directory administration (the spontaneous path only).
         key = self._key_for(ref)
+        self.count_op("whois_admin")
         if value is MISSING:
             try:
                 self.directory.admin_remove(key)
@@ -83,4 +85,5 @@ class WhoisTranslator(CMTranslator):
         binding = self.rid.binding(family)
         if not binding.parameterized:
             return [DataItemRef(family, ())]
+        self.count_op("whois_scan")
         return [DataItemRef(family, (key,)) for key in self.directory.keys()]

@@ -47,6 +47,17 @@ class GuaranteeReport:
             f"({self.checked_instances} instance(s){extra})"
         )
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form for run reports and ``--json`` output."""
+        return {
+            "guarantee": self.guarantee,
+            "valid": self.valid,
+            "checked_instances": self.checked_instances,
+            "counterexamples": list(self.counterexamples),
+            "inconclusive": self.inconclusive,
+            "stats": dict(self.stats),
+        }
+
 
 class Guarantee:
     """A guarantee: a named, formula-carrying, trace-checkable statement.

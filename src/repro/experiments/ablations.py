@@ -19,7 +19,11 @@ from __future__ import annotations
 from repro.apps import PlotterApp
 from repro.core.items import DataItemRef
 from repro.core.timebase import seconds
-from repro.experiments.common import ExperimentResult, build_salary_scenario
+from repro.experiments.common import (
+    ExperimentResult,
+    attach_observability,
+    build_salary_scenario,
+)
 from repro.sim.network import UniformLatency
 from repro.workloads import UpdateStream
 
@@ -113,6 +117,7 @@ def run_in_order_ablation(
         result.notes.append(
             "guarantee (1) broke without FIFO; it should be order-insensitive"
         )
+    attach_observability(result, salary.cm)
     return result
 
 
@@ -181,6 +186,7 @@ def run_echo_ablation(seed: int = 11, duration: float = 120.0) -> ExperimentResu
     if counts[False] <= counts[True]:
         result.claim_holds = False
         result.notes.append("disabling suppression produced no echo traffic")
+    attach_observability(result, salary.cm)
     return result
 
 
@@ -276,6 +282,7 @@ def run_clock_skew_ablation(
         result.notes.append(
             "a start margin of |skew| did not restore soundness"
         )
+    attach_observability(result, cm)
     return result
 
 

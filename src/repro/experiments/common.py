@@ -165,7 +165,14 @@ def _render_cell(cell: Any) -> str:
 
 @dataclass
 class ExperimentResult:
-    """One experiment's output: a table plus the claim verdicts."""
+    """One experiment's output: a table plus the claim verdicts.
+
+    ``observability`` and ``run_report`` (both optional, PR 2) carry the
+    final scenario's virtual-clock reading, aggregated dispatch counters,
+    and the structured :class:`~repro.obs.report.RunReport`, so the
+    ``--json`` runner output and the benchmark JSON files record how the
+    result was produced, not just what it was.
+    """
 
     experiment: str
     claim: str
@@ -173,6 +180,8 @@ class ExperimentResult:
     rows: list[list[Any]] = field(default_factory=list)
     claim_holds: bool = True
     notes: list[str] = field(default_factory=list)
+    observability: Optional[dict] = None
+    run_report: Any = None
 
     def render(self) -> str:
         """The experiment's printable block: claim, verdict, table, notes."""
@@ -185,3 +194,57 @@ class ExperimentResult:
         ]
         parts.extend(f"note: {n}" for n in self.notes)
         return "\n".join(parts)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (used by ``runner --json`` and bench files)."""
+        data: dict[str, Any] = {
+            "experiment": self.experiment,
+            "claim": self.claim,
+            "claim_holds": self.claim_holds,
+            "verdict": "REPRODUCED" if self.claim_holds else "NOT REPRODUCED",
+            "headers": list(self.headers),
+            "rows": [[_jsonable_cell(cell) for cell in row] for row in self.rows],
+            "notes": list(self.notes),
+        }
+        if self.observability is not None:
+            data["observability"] = self.observability
+        if self.run_report is not None:
+            data["run_report"] = self.run_report.to_dict()
+        return data
+
+
+def _jsonable_cell(cell: Any) -> Any:
+    if isinstance(cell, (bool, int, float, str)) or cell is None:
+        return cell
+    return str(cell)
+
+
+def attach_observability(
+    result: ExperimentResult, cm: ConstraintManager
+) -> ExperimentResult:
+    """Record a scenario's clock, dispatch counters, and run report.
+
+    Experiments call this on their final (or only) scenario so the JSON
+    outputs carry the virtual-time cost of reproducing each claim.
+    """
+    from repro.core.timebase import to_seconds
+
+    sim = cm.scenario.sim
+    dispatch = {
+        "events_processed": 0,
+        "candidates_considered": 0,
+        "rules_fired": 0,
+        "rules_installed": 0,
+    }
+    for site in cm.scenario.network.sites:
+        for key, value in cm.shell(site).stats().items():
+            dispatch[key] += value
+    result.observability = {
+        "ticks": sim.now,
+        "virtual_seconds": to_seconds(sim.now),
+        "dispatch": dispatch,
+        "messages_sent": cm.scenario.network.messages_sent,
+        "max_queue_depth": sim.max_queue_depth,
+    }
+    result.run_report = cm.run_report()
+    return result

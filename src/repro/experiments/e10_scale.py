@@ -23,7 +23,11 @@ from repro.core.events import EventKind
 from repro.core.interfaces import InterfaceKind
 from repro.core.items import DataItemRef
 from repro.core.timebase import seconds, to_seconds
-from repro.experiments.common import ExperimentResult, pick_suggestion
+from repro.experiments.common import (
+    ExperimentResult,
+    attach_observability,
+    pick_suggestion,
+)
 from repro.ris.relational import RelationalDatabase
 from repro.workloads import UpdateStream
 from repro.workloads.generators import random_walk
@@ -187,6 +191,7 @@ def run(
         result.notes.append(
             "p95 propagation latency grew super-linearly with fan-out"
         )
+    attach_observability(result, cm)
     return result
 
 

@@ -24,7 +24,7 @@ from repro.core.guarantees.arithmetic import sum_timeline
 from repro.core.interfaces import InterfaceKind
 from repro.core.items import MISSING, DataItemRef
 from repro.core.timebase import Ticks, seconds, to_seconds
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, attach_observability
 from repro.ris.relational import RelationalDatabase
 
 CLAIM = (
@@ -160,6 +160,7 @@ def run(
         "Y + Z; nonzero by design (the enforced constraint is the local "
         "X = Yc + Zc, the paper's weakening)"
     )
+    attach_observability(result, cm)
     return result
 
 

@@ -17,6 +17,7 @@ from repro.core.timebase import seconds, to_seconds
 from repro.core.trace import validate_trace
 from repro.experiments.common import (
     ExperimentResult,
+    attach_observability,
     build_salary_scenario,
 )
 from repro.workloads import PersonnelWorkload
@@ -91,6 +92,7 @@ def run(
         "max_lag is the measured worst-case value lag, which must stay "
         "below kappa"
     )
+    attach_observability(result, salary.cm)
     return result
 
 

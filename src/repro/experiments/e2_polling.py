@@ -18,7 +18,11 @@ from __future__ import annotations
 
 from repro.core.guarantees import leads
 from repro.core.timebase import seconds, to_seconds
-from repro.experiments.common import ExperimentResult, build_salary_scenario
+from repro.experiments.common import (
+    ExperimentResult,
+    attach_observability,
+    build_salary_scenario,
+)
 from repro.workloads import UpdateStream
 from repro.workloads.generators import random_walk
 
@@ -118,6 +122,7 @@ def run(
         f"mean inter-update time {mean_inter_update:g}s; the crossover "
         f"sits where the period reaches the inter-update time"
     )
+    attach_observability(result, salary.cm)
     return result
 
 

@@ -15,7 +15,11 @@ from __future__ import annotations
 
 from repro.core.events import EventKind
 from repro.core.timebase import seconds
-from repro.experiments.common import ExperimentResult, build_salary_scenario
+from repro.experiments.common import (
+    ExperimentResult,
+    attach_observability,
+    build_salary_scenario,
+)
 from repro.workloads import UpdateStream
 from repro.workloads.generators import duplicate_heavy
 
@@ -84,6 +88,7 @@ def run(
                 f"savings decreased when duplicates rose to {ratio}"
             )
         previous_saving = saving
+    attach_observability(result, salary.cm)
     return result
 
 

@@ -19,7 +19,7 @@ from repro.cm import CMRID, ConstraintManager, Scenario
 from repro.constraints import InequalityConstraint
 from repro.core.interfaces import InterfaceKind
 from repro.core.timebase import seconds
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, attach_observability
 from repro.protocols.demarcation import SlackPolicy
 from repro.ris.relational import RelationalDatabase
 from repro.workloads import InventoryWorkload
@@ -169,6 +169,7 @@ def run(
     ):
         result.claim_holds = False
         result.notes.append("eager slack needed more handshakes than exact")
+    attach_observability(result, cm)
     return result
 
 

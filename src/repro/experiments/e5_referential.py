@@ -19,7 +19,7 @@ from repro.cm import CMRID, ConstraintManager, Scenario
 from repro.constraints import ReferentialConstraint
 from repro.core.interfaces import InterfaceKind
 from repro.core.timebase import DAY, clock_time, days, hours, seconds, to_seconds
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, attach_observability
 from repro.ris.relational import RelationalDatabase
 
 CLAIM = (
@@ -166,6 +166,7 @@ def run(
         result.notes.append(
             "no violation window ever opened; the weakening is untested"
         )
+    attach_observability(result, cm)
     return result
 
 

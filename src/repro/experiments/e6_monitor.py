@@ -25,7 +25,7 @@ from repro.core.guarantees.monitor import MonitorGuarantee
 from repro.core.interfaces import InterfaceKind
 from repro.core.items import DataItemRef
 from repro.core.timebase import seconds, to_seconds
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, attach_observability
 from repro.ris.legacy import LegacySystem
 
 CLAIM = (
@@ -174,6 +174,7 @@ def run(
     )
     if lies:
         result.claim_holds = False
+    attach_observability(result, cm)
     return result
 
 

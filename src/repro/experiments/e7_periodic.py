@@ -22,7 +22,7 @@ from repro.constraints import CopyConstraint
 from repro.core.guarantees import PeriodicCopyGuarantee
 from repro.core.interfaces import InterfaceKind
 from repro.core.timebase import DAY, clock_time, seconds
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, attach_observability
 from repro.ris.relational import RelationalDatabase
 from repro.workloads import BankingWorkload
 
@@ -151,6 +151,7 @@ def run(
     if consistent_runs != len(analyst_reports):
         result.claim_holds = False
         result.notes.append("the analyst saw inconsistent nightly totals")
+    attach_observability(result, cm)
     return result
 
 

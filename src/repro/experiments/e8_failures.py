@@ -25,7 +25,11 @@ silent case is the one where belief and truth diverge.
 from __future__ import annotations
 
 from repro.core.timebase import seconds
-from repro.experiments.common import ExperimentResult, build_salary_scenario
+from repro.experiments.common import (
+    ExperimentResult,
+    attach_observability,
+    build_salary_scenario,
+)
 from repro.sim.failures import FailureKind, FailurePlan, FailureWindow
 from repro.workloads import UpdateStream
 from repro.workloads.generators import random_walk
@@ -37,7 +41,7 @@ CLAIM = (
 )
 
 
-def _run_case(case: str, seed: int, duration: float = 300.0) -> dict:
+def _run_case(case: str, seed: int, duration: float = 300.0) -> tuple:
     failure_plan = FailurePlan()
     if case == "metric":
         failure_plan.add(
@@ -103,7 +107,7 @@ def _run_case(case: str, seed: int, duration: float = 300.0) -> dict:
     empirical_nonmetric_ok = all(
         r.valid for n, r in reports.items() if "κ=" not in n
     )
-    return {
+    outcome = {
         "case": case,
         "detected": len(board.notices) > 0,
         "board_metric_ok": board_metric_ok,
@@ -111,6 +115,7 @@ def _run_case(case: str, seed: int, duration: float = 300.0) -> dict:
         "empirical_metric_ok": empirical_metric_ok,
         "empirical_nonmetric_ok": empirical_nonmetric_ok,
     }
+    return outcome, salary.cm
 
 
 def run(seed: int = 7) -> ExperimentResult:
@@ -129,7 +134,7 @@ def run(seed: int = 7) -> ExperimentResult:
     )
     outcomes = {}
     for case in ("healthy", "metric", "logical", "silent"):
-        outcome = _run_case(case, seed)
+        outcome, case_cm = _run_case(case, seed)
         outcomes[case] = outcome
         result.rows.append(
             [
@@ -194,6 +199,7 @@ def run(seed: int = 7) -> ExperimentResult:
         "the silent row is the paper's warning: the board still believes "
         "the guarantees while the trace shows missed values"
     )
+    attach_observability(result, case_cm)
     return result
 
 

@@ -19,7 +19,11 @@ interface, and that both configurations run correctly end to end.
 from __future__ import annotations
 
 from repro.core.timebase import seconds
-from repro.experiments.common import ExperimentResult, build_salary_scenario
+from repro.experiments.common import (
+    ExperimentResult,
+    attach_observability,
+    build_salary_scenario,
+)
 from repro.workloads import UpdateStream
 from repro.workloads.generators import random_walk
 
@@ -124,6 +128,7 @@ def run(seed: int = 8, duration: float = 300.0) -> ExperimentResult:
     result.notes.append(
         f"guarantees lost by weakening the interface: {sorted(lost)}"
     )
+    attach_observability(result, salary.cm)
     return result
 
 

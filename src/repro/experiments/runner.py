@@ -5,15 +5,19 @@ Usage::
     python -m repro.experiments.runner            # run everything
     python -m repro.experiments.runner e2 e4      # run selected experiments
     python -m repro.experiments.runner --list     # show what exists
+    python -m repro.experiments.runner --json out.json --quiet e1
 
 Each experiment prints its claim, a REPRODUCED / NOT REPRODUCED verdict, and
 the table of measured rows (the reproduction's analogue of the paper's
-evaluation output).
+evaluation output).  ``--json PATH`` additionally writes every result —
+including each experiment's observability block and structured run report —
+as one JSON document; ``--quiet`` suppresses the tables (verdict lines only).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable
 
@@ -74,6 +78,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list experiments and exit"
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write all results (tables, observability, run reports) as JSON",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="print one verdict line per experiment instead of full tables",
+    )
     args = parser.parse_args(argv)
     if args.list:
         for key, (description, __) in EXPERIMENTS.items():
@@ -85,14 +100,26 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiment(s): {unknown}", file=sys.stderr)
         return 2
     failures = 0
+    collected: dict[str, dict] = {}
     for key in selected:
         __, run = EXPERIMENTS[key]
         result = run()
         assert isinstance(result, ExperimentResult)
-        print(result.render())
-        print()
+        if args.quiet:
+            verdict = "REPRODUCED" if result.claim_holds else "NOT REPRODUCED"
+            print(f"{key:15s} {verdict}")
+        else:
+            print(result.render())
+            print()
+        collected[key] = result.to_dict()
         if not result.claim_holds:
             failures += 1
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(collected, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        if not args.quiet:
+            print(f"wrote {args.json}")
     if failures:
         print(f"{failures} experiment(s) did NOT reproduce", file=sys.stderr)
         return 1

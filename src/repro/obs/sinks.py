@@ -1,0 +1,173 @@
+"""Structured sinks: JSONL record streams and Prometheus text export.
+
+Two output shapes:
+
+- :class:`JsonlSink` — newline-delimited JSON records (spans as they
+  finish, trace events on demand, a final metrics snapshot), the format
+  the perf-trajectory tooling diffs across PRs;
+- :func:`render_prometheus` / :class:`PrometheusExporter` — the
+  Prometheus text exposition format, for eyeballing a run with standard
+  tooling.
+
+Sinks are explicitly *attached*; until one is, the instrumentation layer
+stays on its no-op fast path.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Optional, Union
+
+from repro.core.timebase import to_seconds
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class JsonlSink:
+    """Write one JSON object per line to a path or file-like object.
+
+    Accepts any dict; :meth:`emit` is the single intake used for span
+    records, event records, and metric snapshots alike (each carries a
+    ``type`` field).  Close flushes and, for path-opened sinks, closes the
+    underlying file.
+    """
+
+    def __init__(self, target: Union[str, Path, IO[str]]) -> None:
+        if isinstance(target, (str, Path)):
+            self.path: Optional[Path] = Path(target)
+            self._file: IO[str] = self.path.open("w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self.path = None
+            self._file = target
+            self._owns_file = False
+        self.records_written = 0
+
+    def emit(self, record: dict) -> None:
+        self._file.write(json.dumps(record, default=_jsonable) + "\n")
+        self.records_written += 1
+
+    def emit_event(self, event) -> None:
+        """Record one trace event (:class:`repro.core.events.Event`)."""
+        self.emit(
+            {
+                "type": "event",
+                "seq": event.seq,
+                "time": event.time,
+                "time_s": to_seconds(event.time),
+                "site": event.site,
+                "desc": str(event.desc),
+                "kind": event.desc.kind.value,
+                "rule": event.rule.name if event.rule is not None else None,
+                "trigger_seq": (
+                    event.trigger.seq if event.trigger is not None else None
+                ),
+            }
+        )
+
+    def emit_metrics(self, registry: MetricsRegistry) -> None:
+        """Record a full metrics snapshot as one ``metrics`` record."""
+        self.emit({"type": "metrics", "metrics": registry.snapshot()})
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _jsonable(value):
+    """Fallback serializer: MISSING, refs, enums, etc. become strings."""
+    return str(value)
+
+
+# -- Prometheus text format -----------------------------------------------------
+
+
+def _format_labels(labels) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return str(value).replace("\\", r"\\").replace('"', r"\"")
+
+
+def _merge_labels(labels, extra: dict) -> list:
+    return list(labels) + sorted(extra.items())
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render every series in the Prometheus text exposition format.
+
+    Counters get a ``_total`` suffix; histograms expose cumulative
+    ``_bucket`` series with ``le`` bounds in *seconds* (the Prometheus
+    convention), plus ``_sum``/``_count``.
+    """
+    by_name: dict[str, list] = {}
+    for instrument in registry:
+        by_name.setdefault(instrument.name, []).append(instrument)
+    lines: list[str] = []
+    for name in by_name:
+        series = by_name[name]
+        first = series[0]
+        if isinstance(first, Counter):
+            lines.append(f"# TYPE {name}_total counter")
+            for counter in series:
+                lines.append(
+                    f"{name}_total{_format_labels(counter.labels)} "
+                    f"{counter.value}"
+                )
+        elif isinstance(first, Gauge):
+            lines.append(f"# TYPE {name} gauge")
+            for gauge in series:
+                lines.append(
+                    f"{name}{_format_labels(gauge.labels)} {gauge.value}"
+                )
+        else:
+            assert isinstance(first, Histogram)
+            lines.append(f"# TYPE {name} histogram")
+            for hist in series:
+                cumulative = 0
+                for bound, bucket in zip(hist.bounds, hist.buckets):
+                    cumulative += bucket
+                    labels = _merge_labels(
+                        hist.labels, {"le": f"{to_seconds(bound):g}"}
+                    )
+                    lines.append(
+                        f"{name}_bucket{_format_labels(labels)} {cumulative}"
+                    )
+                labels = _merge_labels(hist.labels, {"le": "+Inf"})
+                lines.append(
+                    f"{name}_bucket{_format_labels(labels)} {hist.count}"
+                )
+                lines.append(
+                    f"{name}_sum{_format_labels(hist.labels)} "
+                    f"{to_seconds(hist.sum):g}"
+                )
+                lines.append(
+                    f"{name}_count{_format_labels(hist.labels)} {hist.count}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class PrometheusExporter:
+    """Convenience wrapper: render a registry, optionally to a file."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+
+    def render(self) -> str:
+        return render_prometheus(self.registry)
+
+    def write_to(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(self.render(), encoding="utf-8")
+        return path

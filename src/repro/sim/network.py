@@ -16,9 +16,12 @@ workload changes never perturb network timing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 from repro.core.timebase import Ticks, seconds
+from repro.obs import Instrumentation
+from repro.obs.metrics import Counter, Gauge, Histogram
+from repro.obs.spans import Span
 from repro.sim.failures import FailurePlan
 from repro.sim.rng import RngRegistry
 from repro.sim.scheduler import Simulator
@@ -70,13 +73,20 @@ class ExponentialLatency(LatencyModel):
 
 @dataclass
 class Message:
-    """A message in flight between two sites."""
+    """A message in flight between two sites.
+
+    ``span`` carries the causal context across the hop: the network opens a
+    ``net.send`` span as a child of whatever was active at send time, and
+    the receiving shell parents its processing span on it — which is how a
+    cross-site propagation chain stays one connected trace tree.
+    """
 
     src: str
     dst: str
     payload: Any
     sent_at: Ticks
     deliver_at: Ticks
+    span: Optional[Span] = None
 
 
 @dataclass
@@ -100,17 +110,39 @@ class Network:
         default_latency: LatencyModel | None = None,
         failure_plan: FailurePlan | None = None,
         in_order: bool = True,
+        obs: Instrumentation | None = None,
     ) -> None:
         self.sim = sim
         self.rngs = rng_registry or RngRegistry()
         self.default_latency = default_latency or FixedLatency(seconds(0.01))
         self.failure_plan = failure_plan or FailurePlan()
         self.in_order = in_order
+        self.obs = obs or Instrumentation()
         self._sites: dict[str, _SiteEntry] = {}
         self._channel_latency: dict[tuple[str, str], LatencyModel] = {}
         self._last_delivery: dict[tuple[str, str], Ticks] = {}
+        # Per-channel instruments, resolved once on first use so the send
+        # path pays dict-lookup + attribute-increment, nothing more.
+        self._channel_metrics: dict[
+            tuple[str, str], tuple[Counter, Histogram, Gauge]
+        ] = {}
         self.messages_sent = 0
         self.messages_dropped = 0
+
+    def _metrics_for(
+        self, channel: tuple[str, str]
+    ) -> tuple[Counter, Histogram, Gauge]:
+        cached = self._channel_metrics.get(channel)
+        if cached is None:
+            src, dst = channel
+            registry = self.obs.metrics
+            cached = (
+                registry.counter("net_messages", src=src, dst=dst),
+                registry.histogram("net_latency", src=src, dst=dst),
+                registry.gauge("net_in_flight", src=src, dst=dst),
+            )
+            self._channel_metrics[channel] = cached
+        return cached
 
     def register_site(self, site: str, handler: Callable[[Message], None]) -> None:
         """Register ``site`` with its inbound-message handler."""
@@ -163,14 +195,41 @@ class Network:
         if self.in_order:
             deliver_at = max(deliver_at, self._last_delivery.get(channel, 0))
         self._last_delivery[channel] = deliver_at
+        sent, latency_hist, in_flight = self._metrics_for(channel)
+        sent.value += 1
+        latency_hist.observe(deliver_at - now)
+        in_flight.inc()
         message = Message(
             src=src, dst=dst, payload=payload, sent_at=now, deliver_at=deliver_at
         )
+        if self.obs.enabled:
+            # The hop is fully determined at send time, so the span opens
+            # and closes here; the receiver parents onto it via the message.
+            tracer = self.obs.tracer
+            span = tracer.start(
+                "net.send",
+                src,
+                now,
+                src=src,
+                dst=dst,
+                payload=type(payload).__name__,
+            )
+            tracer.finish(span, deliver_at)
+            message.span = span
         self.sim.at(deliver_at, lambda: self._deliver(message))
         return message
 
     def _deliver(self, message: Message) -> None:
+        self._metrics_for((message.src, message.dst))[2].dec()
         if self.failure_plan.logically_failed(message.dst, self.sim.now):
             self.messages_dropped += 1
             return
-        self._sites[message.dst].handler(message)
+        if message.span is not None:
+            tracer = self.obs.tracer
+            tracer.push(message.span)
+            try:
+                self._sites[message.dst].handler(message)
+            finally:
+                tracer.pop()
+        else:
+            self._sites[message.dst].handler(message)

@@ -46,6 +46,9 @@ class Simulator:
         self._running = False
         self._stopped = False
         self.events_processed = 0
+        #: High watermark of pending callbacks — the simulation analogue of
+        #: a server's run-queue depth, surfaced by the run report.
+        self.max_queue_depth = 0
 
     @property
     def now(self) -> Ticks:
@@ -69,6 +72,8 @@ class Simulator:
             )
         event = ScheduledEvent(time=time, seq=next(self._seq), callback=callback)
         heapq.heappush(self._queue, event)
+        if len(self._queue) > self.max_queue_depth:
+            self.max_queue_depth = len(self._queue)
         return event
 
     def after(self, delay: Ticks, callback: Callable[[], None]) -> ScheduledEvent:

@@ -1,0 +1,109 @@
+"""Regression: failure notices relay to every peer exactly once, in order.
+
+With three or more sites every shell has multiple peers; a notice reported
+at one site must reach each other shell's ``on_failure`` listeners exactly
+once (the relay must not re-forward remote notices — that would echo them
+around the federation) and successive notices must arrive in report order.
+"""
+
+from repro.cm import ConstraintManager, Scenario
+from repro.cm.failures import FailureNotice
+from repro.core.timebase import seconds
+
+
+def make_federation(n_sites=3):
+    cm = ConstraintManager(Scenario(seed=0))
+    sites = [f"s{i}" for i in range(n_sites)]
+    for site in sites:
+        cm.add_site(site)
+    return cm, sites
+
+
+def notice(origin, time, detail):
+    return FailureNotice(
+        site=origin,
+        source_name="src",
+        kind="crash",
+        time=time,
+        detail=detail,
+    )
+
+
+class TestMultiPeerRelay:
+    def test_each_listener_sees_each_notice_exactly_once_in_order(self):
+        cm, sites = make_federation(4)
+        seen = {site: [] for site in sites}
+        for site in sites:
+            cm.shell(site).on_failure.append(seen[site].append)
+
+        first = notice("s0", seconds(1), "first")
+        second = notice("s0", seconds(2), "second")
+        cm.scenario.sim.at(
+            seconds(1), lambda: cm.shell("s0").report_failure(first)
+        )
+        cm.scenario.sim.at(
+            seconds(2), lambda: cm.shell("s0").report_failure(second)
+        )
+        cm.run(until=seconds(10))
+
+        for site in sites:
+            assert seen[site] == [first, second], site
+            assert cm.shell(site).failure_log == [first, second], site
+
+    def test_remote_shells_do_not_reforward(self):
+        cm, __ = make_federation(3)
+        cm.scenario.sim.at(
+            seconds(1),
+            lambda: cm.shell("s0").report_failure(
+                notice("s0", seconds(1), "only")
+            ),
+        )
+        cm.run(until=seconds(10))
+        # One origin, two peers: exactly two failure messages cross the
+        # network — remote intake must not relay again.
+        assert cm.scenario.network.messages_sent == 2
+
+    def test_board_records_each_notice_once_despite_fan_out(self):
+        cm, __ = make_federation(3)
+        failure = notice("s1", seconds(3), "crash")
+        recovery = FailureNotice(
+            site="s1",
+            source_name="src",
+            kind="crash",
+            time=seconds(6),
+            detail="back",
+            recovered=True,
+        )
+        cm.scenario.sim.at(
+            seconds(3), lambda: cm.shell("s1").report_failure(failure)
+        )
+        cm.scenario.sim.at(
+            seconds(6), lambda: cm.shell("s1").report_failure(recovery)
+        )
+        cm.run(until=seconds(10))
+        assert cm.board.notices.count(failure) == 1
+        assert cm.board.notices.count(recovery) == 1
+        report = cm.run_report()
+        assert report.failures["total"] == 2
+        assert report.failures["recoveries"] == 1
+
+    def test_failure_counter_labels_by_site(self):
+        cm, sites = make_federation(3)
+        cm.scenario.sim.at(
+            seconds(1),
+            lambda: cm.shell("s2").report_failure(
+                notice("s2", seconds(1), "x")
+            ),
+        )
+        cm.run(until=seconds(5))
+        registry = cm.scenario.obs.metrics
+        for site in sites:
+            assert registry.value("shell_failure_notices", site=site) == 1
+        # The labelled series additionally classifies by kind/recovery.
+        assert (
+            registry.value(
+                "failure_notices", site="s2", kind="crash", recovered="false"
+            )
+            == 1
+        )
+        assert registry.total("failure_notices") == 3

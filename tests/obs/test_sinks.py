@@ -1,0 +1,115 @@
+"""Tests for the structured sinks: JSONL records and Prometheus text."""
+
+import io
+import json
+
+from repro.core.events import spontaneous_write_desc
+from repro.core.items import DataItemRef
+from repro.core.timebase import seconds
+from repro.core.trace import ExecutionTrace
+from repro.obs import Instrumentation
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import JsonlSink, PrometheusExporter, render_prometheus
+
+
+def read_jsonl(buffer: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in buffer.getvalue().splitlines()]
+
+
+class TestJsonlSink:
+    def test_emit_to_path(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit({"type": "span", "name": "op"})
+            sink.emit({"type": "note", "ref": DataItemRef("x", ("k",))})
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0]) == {"type": "span", "name": "op"}
+        assert json.loads(lines[1])["ref"] == "x('k')"
+        assert sink.records_written == 2
+
+    def test_emit_event_record(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        trace = ExecutionTrace()
+        event = trace.record(
+            seconds(5), "sf", spontaneous_write_desc(DataItemRef("x"), 1.0, 2)
+        )
+        sink.emit_event(event)
+        (record,) = read_jsonl(buffer)
+        assert record["type"] == "event"
+        assert record["site"] == "sf"
+        assert record["time_s"] == 5.0
+        assert record["kind"] == "Ws"
+        assert record["rule"] is None
+
+    def test_emit_metrics_snapshot(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        registry = MetricsRegistry()
+        registry.counter("hits", site="sf").inc()
+        sink.emit_metrics(registry)
+        (record,) = read_jsonl(buffer)
+        assert record["type"] == "metrics"
+        assert record["metrics"]["hits"][0]["value"] == 1
+
+
+class TestPrometheus:
+    def test_counter_gauge_and_histogram_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("shell_events_processed", site="sf").inc(3)
+        gauge = registry.gauge("net_in_flight", src="sf", dst="ny")
+        gauge.inc(2)
+        registry.histogram("propagation_latency", family="y").observe(
+            seconds(0.3)
+        )
+        text = render_prometheus(registry)
+        assert "# TYPE shell_events_processed_total counter" in text
+        assert 'shell_events_processed_total{site="sf"} 3' in text
+        assert 'net_in_flight{dst="ny",src="sf"} 2' in text
+        assert "# TYPE propagation_latency histogram" in text
+        # The 0.3s observation lands in the 0.5s bucket cumulatively.
+        assert 'propagation_latency_bucket{family="y",le="0.5"} 1' in text
+        assert 'propagation_latency_bucket{family="y",le="0.25"} 0' in text
+        assert 'propagation_latency_bucket{family="y",le="+Inf"} 1' in text
+        assert 'propagation_latency_count{family="y"} 1' in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("ops", detail='say "hi"').inc()
+        text = render_prometheus(registry)
+        assert r'detail="say \"hi\""' in text
+
+    def test_exporter_write_to(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        path = PrometheusExporter(registry).write_to(tmp_path / "metrics.txt")
+        assert "hits_total 1" in path.read_text()
+
+
+class TestInstrumentation:
+    def test_disabled_by_default(self):
+        obs = Instrumentation()
+        assert not obs.enabled
+        assert not obs.tracer.enabled
+        assert obs.sinks == []
+
+    def test_attach_sink_enables_and_streams_spans(self):
+        buffer = io.StringIO()
+        obs = Instrumentation()
+        obs.attach_jsonl(buffer)
+        assert obs.enabled
+        span = obs.tracer.start("op", "sf", seconds(1))
+        obs.tracer.finish(span, seconds(2))
+        obs.flush()
+        records = read_jsonl(buffer)
+        assert [r["type"] for r in records] == ["span", "metrics"]
+        assert records[0]["name"] == "op"
+
+    def test_enable_tracing_without_sink(self):
+        obs = Instrumentation()
+        obs.enable_tracing()
+        assert obs.enabled
+        assert obs.sinks == []
+        span = obs.tracer.start("op", "sf", 0)
+        obs.tracer.finish(span, seconds(1))
+        assert len(obs.tracer.spans) == 1

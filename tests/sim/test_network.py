@@ -132,6 +132,75 @@ class TestFailures:
         assert inbox["b"][0].deliver_at == seconds(1.0)  # 0.1s x 10
 
 
+class TestChannelOverrides:
+    def test_override_applies_to_one_direction_only(self):
+        sim, network, inbox = make_network()
+        network.set_channel_latency("a", "b", FixedLatency(seconds(2)))
+        network.send("a", "b", "slow")
+        network.send("b", "a", "fast")
+        sim.run()
+        assert inbox["b"][0].deliver_at == seconds(2)
+        # The reverse channel still uses the default model.
+        assert inbox["a"][0].deliver_at == seconds(0.1)
+
+    def test_latest_override_wins(self):
+        sim, network, inbox = make_network()
+        network.set_channel_latency("a", "b", FixedLatency(seconds(2)))
+        network.set_channel_latency("a", "b", FixedLatency(seconds(3)))
+        network.send("a", "b", "x")
+        sim.run()
+        assert inbox["b"][0].deliver_at == seconds(3)
+
+    def test_fifo_clamp_survives_override_change(self):
+        # A slow message followed (after a model swap) by a fast one must
+        # still arrive second: the clamp is per-channel state, not
+        # per-model.
+        sim, network, inbox = make_network()
+        network.set_channel_latency("a", "b", FixedLatency(seconds(5)))
+        network.send("a", "b", "slow")
+        network.set_channel_latency("a", "b", FixedLatency(0))
+        sim.at(seconds(1), lambda: network.send("a", "b", "fast"))
+        sim.run()
+        assert [m.payload for m in inbox["b"]] == ["slow", "fast"]
+        assert inbox["b"][1].deliver_at >= inbox["b"][0].deliver_at
+
+    @given(st.lists(st.integers(0, 50), min_size=2, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_fifo_holds_under_random_override(self, send_gaps):
+        sim, network, inbox = make_network(in_order=True)
+        network.set_channel_latency("a", "b", UniformLatency(0, seconds(5)))
+        time = 0
+        for index, gap in enumerate(send_gaps):
+            time += gap
+            sim.at(time, lambda i=index: network.send("a", "b", i))
+        sim.run()
+        payloads = [m.payload for m in inbox["b"]]
+        assert payloads == sorted(payloads)
+
+
+class TestChannelMetrics:
+    def test_counter_histogram_and_in_flight_gauge(self):
+        sim, network, inbox = make_network()
+        for index in range(3):
+            network.send("a", "b", index)
+        registry = network.obs.metrics
+        assert registry.value("net_messages", src="a", dst="b") == 3
+        gauge = registry.get("net_in_flight", src="a", dst="b")
+        assert gauge.value == 3
+        sim.run()
+        assert len(inbox["b"]) == 3
+        assert gauge.value == 0  # everything landed
+        assert gauge.high == 3
+        hist = registry.get("net_latency", src="a", dst="b")
+        assert hist.count == 3
+        assert hist.max == seconds(0.1)
+
+    def test_unused_channel_has_no_series(self):
+        __, network, ___ = make_network()
+        network.send("a", "b", "x")
+        assert network.obs.metrics.get("net_messages", src="b", dst="a") is None
+
+
 class TestLatencyModels:
     def test_fixed(self):
         assert FixedLatency(7).sample(None) == 7
@@ -154,3 +223,26 @@ class TestLatencyModels:
         model = ExponentialLatency(100, 50)
         rng = random.Random(0)
         assert all(model.sample(rng) >= 100 for __ in range(100))
+
+    def test_exponential_mean_near_base_plus_extra(self):
+        import random
+
+        model = ExponentialLatency(seconds(0.1), seconds(0.05))
+        rng = random.Random(7)
+        samples = [model.sample(rng) for __ in range(2000)]
+        mean = sum(samples) / len(samples)
+        expected = seconds(0.1) + seconds(0.05)
+        assert abs(mean - expected) < 0.1 * expected
+
+    def test_models_draw_from_dedicated_channel_stream(self):
+        # Two networks with the same seed sample identical latencies for
+        # the same channel — reproducibility of the network stream.
+        first = make_network(latency=UniformLatency(0, seconds(5)))
+        second = make_network(latency=UniformLatency(0, seconds(5)))
+        for sim, network, __ in (first, second):
+            for index in range(5):
+                sim.at(index, lambda i=index: network.send("a", "b", i))
+            sim.run()
+        assert [m.deliver_at for m in first[2]["b"]] == [
+            m.deliver_at for m in second[2]["b"]
+        ]
