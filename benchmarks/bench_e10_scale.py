@@ -7,3 +7,8 @@ from repro.experiments import e10_scale
 
 def test_e10_scale(benchmark):
     run_experiment_benchmark(benchmark, e10_scale.run)
+
+
+def test_e10_scale_scaled(benchmark):
+    """The scaled-up federation (16 replicas, ~10x the trace events)."""
+    run_experiment_benchmark(benchmark, e10_scale.run_scaled)

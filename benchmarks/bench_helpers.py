@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import time
+import tracemalloc
 from pathlib import Path
 from typing import Any, Callable
 
@@ -72,9 +73,21 @@ def run_experiment_benchmark(
     timing: dict[str, float] = {}
 
     def timed() -> ExperimentResult:
+        # Peak-memory tracking rides along so BENCH JSONs record the
+        # allocation trajectory across PRs, not just wall time.  tracemalloc
+        # slows allocation, but every run pays the same tax, so wall-clock
+        # numbers stay comparable between runs and against the baselines.
+        nested = tracemalloc.is_tracing()
+        if not nested:
+            tracemalloc.start()
         started = time.perf_counter()
-        result = run()
-        timing["wall_seconds"] = time.perf_counter() - started
+        try:
+            result = run()
+            timing["wall_seconds"] = time.perf_counter() - started
+            timing["peak_memory_bytes"] = tracemalloc.get_traced_memory()[1]
+        finally:
+            if not nested:
+                tracemalloc.stop()
         return result
 
     result = benchmark.pedantic(timed, rounds=1, iterations=1)
@@ -88,6 +101,15 @@ def run_experiment_benchmark(
     ]
     payload = result.to_dict()
     payload["wall_seconds"] = timing.get("wall_seconds")
+    payload["peak_memory_bytes"] = timing.get("peak_memory_bytes")
+    events_processed = (
+        payload.get("observability", {})
+        .get("dispatch", {})
+        .get("events_processed")
+    )
+    wall = timing.get("wall_seconds")
+    if events_processed and wall:
+        payload["events_per_second"] = events_processed / wall
     write_bench_json(_bench_name(run), payload)
     assert result.claim_holds, result.render()
     return result

@@ -38,6 +38,9 @@ class VerificationReport:
     #: Guarantees the board still believes although the trace refutes them —
     #: the signature of an *undetected* (silent) failure, Section 5.
     silent_gaps: list[str] = field(default_factory=list)
+    #: Trace recording/index counters (:meth:`ExecutionTrace.stats`) at
+    #: verification time — how much work the indexed hot path actually did.
+    trace_stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def guarantees_ok(self) -> bool:
@@ -72,6 +75,14 @@ class VerificationReport:
                 f"  SILENT GAP: board believes {name!r} but the trace "
                 f"refutes it (undetected failure?)"
             )
+        if self.trace_stats:
+            lines.append(
+                "  trace: {events_recorded} events, {items_tracked} items, "
+                "{state_versions} state versions, "
+                "{interpretation_materializations} materializations".format(
+                    **self.trace_stats
+                )
+            )
         return "\n".join(lines)
 
 
@@ -85,6 +96,7 @@ def verify(cm: ConstraintManager) -> VerificationReport:
         for rule in installed.strategy.rules
     ]
     report.trace_violations = validate_trace(cm.scenario.trace, rules)
+    report.trace_stats = cm.scenario.trace.stats()
     for installed in cm.installed:
         for guarantee in installed.guarantees:
             checked = report.guarantee_reports.get(guarantee.name)

@@ -50,6 +50,38 @@ def _value_segments(timeline: Timeline) -> list[TimelineSegment]:
     return [s for s in timeline.segments() if s.value is not MISSING]
 
 
+def _segments_by_value(
+    segments: list[TimelineSegment],
+) -> dict[object, list[TimelineSegment]] | None:
+    """Segments grouped by value, or ``None`` if a value is unhashable.
+
+    Witness lookup per obligation segment is then a dict hit instead of a
+    scan over every segment of the other timeline — the difference between
+    O(segments²) and O(segments) per checked pair.
+    """
+    grouped: dict[object, list[TimelineSegment]] = {}
+    try:
+        for segment in segments:
+            grouped.setdefault(segment.value, []).append(segment)
+    except TypeError:
+        return None
+    return grouped
+
+
+def _witnesses(
+    grouped: dict[object, list[TimelineSegment]] | None,
+    segments: list[TimelineSegment],
+    value: object,
+) -> list[TimelineSegment]:
+    """Segments holding ``value`` (indexed; falls back to a linear scan)."""
+    if grouped is not None:
+        try:
+            return grouped.get(value, [])
+        except TypeError:
+            pass
+    return [s for s in segments if s.value == value]
+
+
 class FollowsGuarantee(Guarantee):
     """Guarantee (1) "Y follows X", or its metric form (4) when ``within``
     is given: Y never holds a value X did not previously hold (within κ)."""
@@ -86,9 +118,10 @@ class FollowsGuarantee(Guarantee):
         x_timeline = trace.timeline(x_ref)
         y_timeline = trace.timeline(y_ref)
         x_segments = _value_segments(x_timeline)
+        x_by_value = _segments_by_value(x_segments)
         max_lag: Ticks = 0
         for segment in _value_segments(y_timeline):
-            witnesses = [u for u in x_segments if u.value == segment.value]
+            witnesses = _witnesses(x_by_value, x_segments, segment.value)
             if self.within is None:
                 ok, lag = self._check_nonmetric(segment, witnesses)
             else:
@@ -188,6 +221,7 @@ class LeadsGuarantee(Guarantee):
         x_timeline = trace.timeline(x_ref)
         y_timeline = trace.timeline(y_ref)
         y_segments = _value_segments(y_timeline)
+        y_by_value = _segments_by_value(y_segments)
         horizon = trace.horizon
         missed = 0
         total = 0
@@ -203,7 +237,7 @@ class LeadsGuarantee(Guarantee):
                 exempt += 1
                 continue
             total += 1
-            witnesses = [v for v in y_segments if v.value == segment.value]
+            witnesses = _witnesses(y_by_value, y_segments, segment.value)
             if self.within is None:
                 verdict, delay = self._check_nonmetric(segment, witnesses, horizon)
             else:

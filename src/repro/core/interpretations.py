@@ -8,13 +8,28 @@ exactly on the written item, and consecutive events chain
 
 Interpretations only model constraint-relevant items — the handful of items
 the constraint manager was told about — not entire databases.
+
+Two representations share the :class:`Interpretation` interface:
+
+- the plain dict-backed form, for hand-built states; and
+- :class:`VersionedInterpretation`, a copy-on-write *view* over a shared
+  :class:`StateJournal`.  The trace records one journal write per write
+  event — O(1), independent of how many items are traced — and each event's
+  ``old``/``new`` is a view pinned to a journal version.  Per-item lookups
+  are binary searches over that item's write history; the full mapping is
+  materialized (and cached) only if someone iterates or compares it against
+  a foreign interpretation.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping
+from bisect import bisect_right
+from operator import itemgetter
+from typing import Iterator, Mapping, Optional
 
 from repro.core.items import MISSING, DataItemRef, Value
+
+_entry_version = itemgetter(0)
 
 
 class Interpretation(Mapping[DataItemRef, Value]):
@@ -76,6 +91,235 @@ class Interpretation(Mapping[DataItemRef, Value]):
         return Interpretation(
             {k: v for k, v in self._values.items() if k in refs}
         )
+
+
+class StateJournal:
+    """The append-only, versioned write history of one execution's state.
+
+    Version 0 is the seeded initial state; each :meth:`write` produces the
+    next version.  Every version stays addressable forever: per item the
+    journal keeps the ``(version, value)`` list of its writes, so the value
+    of any item at any version is one binary search away, and the set of
+    items specified at a version is a prefix of the first-specified order.
+    """
+
+    __slots__ = ("_history", "_order", "_log", "_current_view", "materializations")
+
+    def __init__(self) -> None:
+        #: Per item: the (version, value) list of its seed + writes.
+        self._history: dict[DataItemRef, list[tuple[int, Value]]] = {}
+        #: (first-specified version, item), in first-specified order.
+        self._order: list[tuple[int, DataItemRef]] = []
+        #: ``_log[i]`` is the (item, value) write that produced version i+1.
+        self._log: list[tuple[DataItemRef, Value]] = []
+        self._current_view: Optional["VersionedInterpretation"] = None
+        #: How many views had to materialize a full dict (diagnostics).
+        self.materializations = 0
+
+    @property
+    def version(self) -> int:
+        """The current (latest) version number."""
+        return len(self._log)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def seed(self, ref: DataItemRef, value: Value) -> None:
+        """Set an item's version-0 value.  Only valid before any write."""
+        if self._log:
+            raise ValueError("cannot seed a journal after writes")
+        history = self._history.get(ref)
+        if history is None:
+            self._history[ref] = [(0, value)]
+            self._order.append((0, ref))
+        else:
+            history[0] = (0, value)
+        self._current_view = None
+
+    def write(self, ref: DataItemRef, value: Value) -> int:
+        """Append one write, returning the version it produced.  O(1)."""
+        self._log.append((ref, value))
+        version = len(self._log)
+        history = self._history.get(ref)
+        if history is None:
+            self._history[ref] = [(version, value)]
+            self._order.append((version, ref))
+        else:
+            history.append((version, value))
+        self._current_view = None
+        return version
+
+    def view(self, version: int | None = None) -> "VersionedInterpretation":
+        """An interpretation view pinned to ``version`` (default: current).
+
+        The current-version view is interned, so consecutive events that do
+        not write share one ``old``/``new`` object and chain checks are
+        identity comparisons.
+        """
+        if version is None or version == len(self._log):
+            view = self._current_view
+            if view is None:
+                view = VersionedInterpretation(self, len(self._log))
+                self._current_view = view
+            return view
+        return VersionedInterpretation(self, version)
+
+    def lookup(self, ref: DataItemRef, version: int) -> tuple[bool, Value]:
+        """``(specified, value)`` of ``ref`` at ``version``."""
+        history = self._history.get(ref)
+        if history is None:
+            return False, MISSING
+        index = bisect_right(history, version, key=_entry_version)
+        if index == 0:
+            return False, MISSING
+        return True, history[index - 1][1]
+
+    def specifies(self, ref: DataItemRef, version: int) -> bool:
+        """Whether ``ref`` was seeded or written at or before ``version``."""
+        history = self._history.get(ref)
+        return history is not None and history[0][0] <= version
+
+    def current_value(self, ref: DataItemRef, default: Value = MISSING) -> Value:
+        """The latest value of ``ref`` — O(1)."""
+        history = self._history.get(ref)
+        return history[-1][1] if history else default
+
+    def size_at(self, version: int) -> int:
+        """How many items are specified at ``version``."""
+        return bisect_right(self._order, version, key=_entry_version)
+
+    def refs_at(self, version: int) -> Iterator[DataItemRef]:
+        """The items specified at ``version``, in first-specified order."""
+        count = bisect_right(self._order, version, key=_entry_version)
+        return iter([ref for __, ref in self._order[:count]])
+
+    def writes_between(self, lo: int, hi: int) -> list[tuple[DataItemRef, Value]]:
+        """The raw journal writes in versions ``(lo, hi]``, in order."""
+        return self._log[lo:hi]
+
+    def effective_delta(self, lo: int, hi: int) -> dict[DataItemRef, Value]:
+        """Items whose value at version ``hi`` differs from version ``lo``.
+
+        Cost is proportional to the number of writes between the versions,
+        not to the state size — this is what makes equality of two views of
+        one journal cheap.
+        """
+        written: dict[DataItemRef, Value] = {}
+        for ref, value in self._log[lo:hi]:
+            written[ref] = value
+        changed: dict[DataItemRef, Value] = {}
+        for ref, value in written.items():
+            specified, before = self.lookup(ref, lo)
+            if not specified or before != value:
+                changed[ref] = value
+        return changed
+
+    def materialize(self, version: int) -> dict[DataItemRef, Value]:
+        """The full item→value dict at ``version`` (one binary search per item)."""
+        self.materializations += 1
+        values: dict[DataItemRef, Value] = {}
+        for first, ref in self._order:
+            if first > version:
+                break
+            history = self._history[ref]
+            index = bisect_right(history, version, key=_entry_version)
+            values[ref] = history[index - 1][1]
+        return values
+
+
+class VersionedInterpretation(Interpretation):
+    """A copy-on-write interpretation: a (journal, version) pair.
+
+    Behaves exactly like the dict-backed :class:`Interpretation` over the
+    journal's state at the pinned version.  Item lookups and the exists
+    predicate never build the full mapping; iteration, hashing, ``repr`` and
+    comparisons against foreign interpretations materialize it lazily (once,
+    cached).  Equality between two views of the same journal is decided from
+    the write log alone.
+    """
+
+    __slots__ = ("_journal", "_version", "_cache")
+
+    def __init__(self, journal: StateJournal, version: int) -> None:
+        self._journal = journal
+        self._version = version
+        self._cache: dict[DataItemRef, Value] | None = None
+
+    @property
+    def _values(self) -> dict[DataItemRef, Value]:  # type: ignore[override]
+        cache = self._cache
+        if cache is None:
+            cache = self._journal.materialize(self._version)
+            self._cache = cache
+        return cache
+
+    @property
+    def version(self) -> int:
+        """The journal version this view is pinned to."""
+        return self._version
+
+    def __getitem__(self, ref: DataItemRef) -> Value:
+        specified, value = self._journal.lookup(ref, self._version)
+        if not specified:
+            raise KeyError(ref)
+        return value
+
+    def __contains__(self, ref: object) -> bool:
+        if not isinstance(ref, DataItemRef):
+            return False
+        return self._journal.specifies(ref, self._version)
+
+    def __iter__(self) -> Iterator[DataItemRef]:
+        return self._journal.refs_at(self._version)
+
+    def __len__(self) -> int:
+        return self._journal.size_at(self._version)
+
+    def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
+        if (
+            isinstance(other, VersionedInterpretation)
+            and other._journal is self._journal
+        ):
+            lo, hi = sorted((self._version, other._version))
+            if lo == hi:
+                return True
+            return not self._journal.effective_delta(lo, hi)
+        if not isinstance(other, Interpretation):
+            return NotImplemented
+        return self._values == other._values
+
+    __hash__ = Interpretation.__hash__
+
+    def specifies(self, ref: DataItemRef) -> bool:
+        """Whether this interpretation constrains ``ref`` at all."""
+        return self._journal.specifies(ref, self._version)
+
+    def exists(self, ref: DataItemRef) -> bool:
+        """The ``E(X)`` predicate: item is specified and not MISSING."""
+        specified, value = self._journal.lookup(ref, self._version)
+        return specified and value is not MISSING
+
+
+def write_delta(
+    old: Interpretation, new: Interpretation
+) -> list[tuple[DataItemRef, Value]] | None:
+    """The journal writes separating two views, or ``None`` if unrelated.
+
+    The trace validator's property-2 fast path: for events recorded through
+    a trace, ``old``/``new`` are views of one journal and the write that
+    separates them is read straight off the log instead of diffing two
+    materialized dicts.
+    """
+    if (
+        isinstance(old, VersionedInterpretation)
+        and isinstance(new, VersionedInterpretation)
+        and old._journal is new._journal
+        and old._version <= new._version
+    ):
+        return old._journal.writes_between(old._version, new._version)
+    return None
 
 
 #: The fully unconstrained interpretation.

@@ -6,17 +6,39 @@ an :class:`ExecutionTrace`.  The trace maintains the running interpretation
 ``new`` interpretations, derives per-item value *timelines* for the guarantee
 checker, and can be validated against the seven properties that define a
 valid execution in the paper's Appendix A.2.
+
+The trace layer is the hot path of every scenario, so it is engineered to
+stay near-linear in the number of events:
+
+- ``record()`` is O(1) per event: ``old``/``new`` are copy-on-write views
+  over one shared :class:`~repro.core.interpretations.StateJournal` instead
+  of per-event dict snapshots;
+- every query (:meth:`~ExecutionTrace.writes_to`,
+  :meth:`~ExecutionTrace.events_of_kind`,
+  :meth:`~ExecutionTrace.events_matching`,
+  :meth:`~ExecutionTrace.refs_of_family`) reads record-time indexes —
+  per-item write lists, per-kind and per-(kind, family) event lists — rather
+  than scanning the whole trace;
+- :meth:`~ExecutionTrace.timeline` extends a per-item incrementally
+  collapsed change list, doing O(1) work per appended write, instead of
+  rebuilding from all of the item's writes.
+
+The naive full-scan implementations are retained in
+:class:`ReferenceTraceQueries` / :func:`validate_trace_naive` as the
+executable specification; randomized equivalence tests hold the fast paths
+to them.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right
-from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Iterator, Mapping, Optional, Sequence
 
 from repro.core.errors import TraceError
 from repro.core.events import Event, EventDesc, EventKind
-from repro.core.interpretations import Interpretation
+from repro.core.interpretations import StateJournal, write_delta
 from repro.core.items import MISSING, DataItemRef, Value
 from repro.core.rules import Rule
 from repro.core.templates import Template, match_desc
@@ -51,7 +73,15 @@ class Timeline:
 
     Built from a trace: the item starts at its seeded value (or MISSING) and
     changes at each write event.  Queries are binary searches.
+
+    A timeline is immutable once handed out.  Instances built by
+    :meth:`ExecutionTrace.timeline` share their change arrays with the
+    trace's incremental per-item builder; the builder appends past
+    ``_length`` (invisible here) and copies the arrays before any in-place
+    collapse that would touch an entry this view can see.
     """
+
+    __slots__ = ("_times", "_values", "_length", "horizon")
 
     def __init__(self, changes: list[tuple[Ticks, Value]], horizon: Ticks):
         if not changes or changes[0][0] != 0:
@@ -72,25 +102,40 @@ class Timeline:
                 deduped.append((time, value))
         self._times = [time for time, _ in deduped]
         self._values = [value for _, value in deduped]
+        self._length = len(self._times)
         self.horizon = max(horizon, self._times[-1])
+
+    @classmethod
+    def _over(
+        cls,
+        times: list[Ticks],
+        values: list[Value],
+        length: int,
+        horizon: Ticks,
+    ) -> "Timeline":
+        """A view over pre-collapsed change arrays (no copy, no re-collapse)."""
+        timeline = cls.__new__(cls)
+        timeline._times = times
+        timeline._values = values
+        timeline._length = length
+        timeline.horizon = max(horizon, times[length - 1])
+        return timeline
 
     def value_at(self, time: Ticks) -> Value:
         """The item's value at virtual time ``time``."""
         if time < 0:
             return MISSING
-        index = bisect_right(self._times, time) - 1
+        index = bisect_right(self._times, time, 0, self._length) - 1
         return self._values[index]
 
     def segments(self) -> Iterator[TimelineSegment]:
         """All maximal constant segments, in time order."""
-        for index, start in enumerate(self._times):
-            end = (
-                self._times[index + 1]
-                if index + 1 < len(self._times)
-                else self.horizon
-            )
+        times, values, length = self._times, self._values, self._length
+        for index in range(length):
+            start = times[index]
+            end = times[index + 1] if index + 1 < length else self.horizon
             if end > start:
-                yield TimelineSegment(start, end, self._values[index])
+                yield TimelineSegment(start, end, values[index])
 
     def segments_with_value(self, value: Value) -> Iterator[TimelineSegment]:
         """Maximal segments during which the item held ``value``."""
@@ -100,15 +145,90 @@ class Timeline:
 
     def change_points(self) -> list[tuple[Ticks, Value]]:
         """The (time, new value) change list, starting at time 0."""
-        return list(zip(self._times, self._values))
+        length = self._length
+        return list(zip(self._times[:length], self._values[:length]))
 
     def distinct_values(self) -> list[Value]:
         """Values taken over the trace, in order of first acquisition."""
         seen: list[Value] = []
-        for value in self._values:
+        for value in self._values[: self._length]:
             if value not in seen:
                 seen.append(value)
         return seen
+
+
+class _TimelineBuilder:
+    """One item's incrementally collapsed change list.
+
+    Maintains the invariant that ``(times, values)`` is exactly what
+    :class:`Timeline`'s two-pass collapse would produce for the writes folded
+    in so far, by applying the collapse per appended write: a same-instant
+    write overwrites the last entry (and merges away an adjacent duplicate it
+    re-creates), a no-op value is dropped, anything else appends.
+
+    Handed-out timelines share the arrays, frozen at their length; before an
+    in-place tail mutation that a handed-out view could see, the arrays are
+    copied (copy-on-write), so views never change retroactively.
+    """
+
+    __slots__ = ("_times", "_values", "_consumed", "_shared", "_cached")
+
+    def __init__(self, seed_value: Value) -> None:
+        self._times: list[Ticks] = [0]
+        self._values: list[Value] = [seed_value]
+        self._consumed = 0  # write events folded in so far
+        self._shared = 0  # prefix length visible through a handed-out view
+        self._cached: Optional[Timeline] = None
+
+    def extend(self, writes: Sequence[Event]) -> int:
+        """Fold in writes not yet consumed; returns the number processed."""
+        fresh = len(writes) - self._consumed
+        if fresh:
+            for index in range(self._consumed, len(writes)):
+                event = writes[index]
+                self._push(event.time, event.written_value)
+            self._consumed = len(writes)
+        return fresh
+
+    def _push(self, time: Ticks, value: Value) -> None:
+        times, values = self._times, self._values
+        if times[-1] == time:
+            if len(times) > 1 and values[-2] == value:
+                # The same-instant overwrite re-created an adjacent
+                # duplicate: the entry collapses away entirely.
+                self._unshare_tail()
+                self._times.pop()
+                self._values.pop()
+            elif values[-1] != value:
+                self._unshare_tail()
+                self._values[-1] = value
+        elif values[-1] != value:
+            times.append(time)
+            values.append(value)
+
+    def _unshare_tail(self) -> None:
+        if self._shared >= len(self._times):
+            self._times = list(self._times)
+            self._values = list(self._values)
+            self._shared = 0
+            self._cached = None
+
+    def build(self, horizon: Ticks) -> Timeline:
+        """The current timeline; reuses the last one when nothing changed."""
+        length = len(self._times)
+        effective = max(horizon, self._times[length - 1])
+        cached = self._cached
+        if (
+            cached is not None
+            and cached._times is self._times
+            and cached._length == length
+            and cached.horizon == effective
+        ):
+            return cached
+        timeline = Timeline._over(self._times, self._values, length, horizon)
+        self._shared = length
+        self._cached = timeline
+        return timeline
 
 
 @dataclass
@@ -126,6 +246,9 @@ class Violation:
         return prefix
 
 
+_NO_EVENTS: tuple[Event, ...] = ()
+
+
 class ExecutionTrace:
     """The recorded event sequence of one scenario run.
 
@@ -134,14 +257,30 @@ class ExecutionTrace:
     trace computes the ``old``/``new`` interpretations, which guarantees
     valid-execution properties 2 and 3 by construction — the validator then
     re-checks them independently.
+
+    Recording also maintains the query indexes (per-item writes, per-kind
+    and per-(kind, family) event lists, per-family ref sets), so queries
+    touch only the events they return.
     """
 
     def __init__(self) -> None:
         self._events: list[Event] = []
-        self._current: dict[DataItemRef, Value] = {}
+        self._events_snapshot: tuple[Event, ...] = ()
+        self._journal = StateJournal()
         self._seeded: dict[DataItemRef, Value] = {}
         self.horizon: Ticks = 0
-        self._timeline_cache: dict[DataItemRef, tuple[int, Timeline]] = {}
+        # -- record-time indexes --
+        self._writes_by_item: dict[DataItemRef, list[Event]] = {}
+        self._by_kind: dict[EventKind, list[Event]] = {}
+        self._by_kind_family: dict[tuple[EventKind, str], list[Event]] = {}
+        self._family_refs: dict[str, set[DataItemRef]] = {}
+        self._family_sorted: dict[str, tuple[int, list[DataItemRef]]] = {}
+        self._generated: list[Event] = []
+        self._timelines: dict[DataItemRef, _TimelineBuilder] = {}
+        # -- instrumentation --
+        self._timeline_extend_steps = 0
+        self._timeline_builds = 0
+        self._timeline_cache_hits = 0
 
     # -- recording -----------------------------------------------------------
 
@@ -152,8 +291,10 @@ class ExecutionTrace:
         """
         if self._events:
             raise TraceError("cannot seed a trace after events were recorded")
-        self._current[ref] = value
+        self._journal.seed(ref, value)
         self._seeded[ref] = value
+        self._add_family_ref(ref)
+        self._timelines.pop(ref, None)
 
     def record(
         self,
@@ -163,19 +304,24 @@ class ExecutionTrace:
         rule: Rule | None = None,
         trigger: Event | None = None,
     ) -> Event:
-        """Record one event, computing its interpretations."""
-        if self._events and time < self._events[-1].time:
+        """Record one event, computing its interpretations.  O(1) per event."""
+        events = self._events
+        if events and time < events[-1].time:
             raise TraceError(
-                f"event at {time} recorded after event at {self._events[-1].time}"
+                f"event at {time} recorded after event at {events[-1].time}"
             )
-        old = Interpretation(self._current)
-        if desc.kind.is_write:
+        journal = self._journal
+        old = journal.view()
+        kind = desc.kind
+        if kind.is_write:
             assert desc.item is not None
-            if desc.kind is EventKind.WRITE:
-                self._current[desc.item] = desc.values[0]
+            if kind is EventKind.WRITE:
+                journal.write(desc.item, desc.values[0])
             else:
-                self._current[desc.item] = desc.values[1]
-        new = Interpretation(self._current)
+                journal.write(desc.item, desc.values[1])
+            new = journal.view()
+        else:
+            new = old
         event = Event(
             time=time,
             site=site,
@@ -185,9 +331,40 @@ class ExecutionTrace:
             rule=rule,
             trigger=trigger,
         )
-        self._events.append(event)
-        self.horizon = max(self.horizon, time)
+        events.append(event)
+        self._index_event(event)
+        if time > self.horizon:
+            self.horizon = time
         return event
+
+    def _index_event(self, event: Event) -> None:
+        desc = event.desc
+        kind = desc.kind
+        by_kind = self._by_kind.get(kind)
+        if by_kind is None:
+            by_kind = self._by_kind[kind] = []
+        by_kind.append(event)
+        item = desc.item
+        if item is not None:
+            key = (kind, item.name)
+            by_family = self._by_kind_family.get(key)
+            if by_family is None:
+                by_family = self._by_kind_family[key] = []
+            by_family.append(event)
+            if kind.is_write:
+                writes = self._writes_by_item.get(item)
+                if writes is None:
+                    writes = self._writes_by_item[item] = []
+                writes.append(event)
+            self._add_family_ref(item)
+        if event.rule is not None or event.trigger is not None:
+            self._generated.append(event)
+
+    def _add_family_ref(self, ref: DataItemRef) -> None:
+        refs = self._family_refs.get(ref.name)
+        if refs is None:
+            refs = self._family_refs[ref.name] = set()
+        refs.add(ref)
 
     def close(self, horizon: Ticks) -> None:
         """Extend the trace horizon to the end-of-run time."""
@@ -196,40 +373,72 @@ class ExecutionTrace:
     # -- queries ---------------------------------------------------------------
 
     @property
-    def events(self) -> list[Event]:
-        """All recorded events, in order (do not mutate)."""
-        return self._events
+    def events(self) -> tuple[Event, ...]:
+        """All recorded events, in order (a read-only snapshot)."""
+        snapshot = self._events_snapshot
+        if len(snapshot) != len(self._events):
+            snapshot = self._events_snapshot = tuple(self._events)
+        return snapshot
+
+    @property
+    def seeded(self) -> Mapping[DataItemRef, Value]:
+        """The seeded initial values (read-only view)."""
+        return MappingProxyType(self._seeded)
+
+    @property
+    def generated_events(self) -> tuple[Event, ...]:
+        """Events carrying provenance (a rule and/or trigger), in order."""
+        return tuple(self._generated)
 
     def __len__(self) -> int:
         return len(self._events)
 
+    def _candidates(self, tmpl: Template) -> Sequence[Event]:
+        """The indexed superset of events that can match ``tmpl``."""
+        if tmpl.kind is EventKind.FALSE:
+            return _NO_EVENTS
+        family = tmpl.dispatch_family
+        if family is None:
+            # Item-less (P) or family-wildcard template: every event of the
+            # kind must be consulted.
+            return self._by_kind.get(tmpl.kind, _NO_EVENTS)
+        return self._by_kind_family.get((tmpl.kind, family), _NO_EVENTS)
+
     def events_matching(self, tmpl: Template) -> Iterator[tuple[Event, Bindings]]:
         """All (event, matching interpretation) pairs for a template."""
-        for event in self._events:
+        for event in self._candidates(tmpl):
             bindings = match_desc(tmpl, event.desc)
             if bindings is not None:
                 yield event, bindings
 
     def events_of_kind(self, kind: EventKind) -> Iterator[Event]:
         """All events with the given descriptor kind."""
-        return (e for e in self._events if e.desc.kind is kind)
+        return iter(self._by_kind.get(kind, _NO_EVENTS))
 
     def writes_to(self, ref: DataItemRef) -> Iterator[Event]:
         """All (generated or spontaneous) writes to ``ref``, in order."""
-        for event in self._events:
-            if event.desc.kind.is_write and event.desc.item == ref:
-                yield event
+        return iter(self._writes_by_item.get(ref, _NO_EVENTS))
 
     def timeline(self, ref: DataItemRef) -> Timeline:
-        """The value history of ``ref`` over this trace."""
-        cached = self._timeline_cache.get(ref)
-        if cached is not None and cached[0] == len(self._events):
-            return cached[1]
-        changes: list[tuple[Ticks, Value]] = [(0, self._seeded.get(ref, MISSING))]
-        for event in self.writes_to(ref):
-            changes.append((event.time, event.written_value))
-        timeline = Timeline(changes, self.horizon)
-        self._timeline_cache[ref] = (len(self._events), timeline)
+        """The value history of ``ref`` over this trace.
+
+        Incremental: each call folds in only the writes recorded since the
+        previous call for this item, and returns the cached
+        :class:`Timeline` object when nothing changed.
+        """
+        builder = self._timelines.get(ref)
+        if builder is None:
+            builder = _TimelineBuilder(self._seeded.get(ref, MISSING))
+            self._timelines[ref] = builder
+        self._timeline_extend_steps += builder.extend(
+            self._writes_by_item.get(ref, _NO_EVENTS)
+        )
+        before = builder._cached
+        timeline = builder.build(self.horizon)
+        if timeline is before:
+            self._timeline_cache_hits += 1
+        else:
+            self._timeline_builds += 1
         return timeline
 
     def value_at(self, ref: DataItemRef, time: Ticks) -> Value:
@@ -238,19 +447,34 @@ class ExecutionTrace:
 
     def current_value(self, ref: DataItemRef) -> Value:
         """Value of ``ref`` right now — O(1), no timeline construction."""
-        return self._current.get(ref, MISSING)
+        return self._journal.current_value(ref, MISSING)
 
     def refs_of_family(self, family: str) -> list[DataItemRef]:
         """All ground item refs of a parameterized family seen in the trace."""
-        refs: set[DataItemRef] = set()
-        for ref in self._seeded:
-            if ref.name == family:
-                refs.add(ref)
-        for event in self._events:
-            ref = event.desc.item
-            if ref is not None and ref.name == family:
-                refs.add(ref)
-        return sorted(refs, key=lambda r: (r.name, tuple(map(str, r.args))))
+        refs = self._family_refs.get(family)
+        if not refs:
+            return []
+        cached = self._family_sorted.get(family)
+        if cached is not None and cached[0] == len(refs):
+            return list(cached[1])
+        ordered = sorted(refs, key=lambda r: (r.name, tuple(map(str, r.args))))
+        self._family_sorted[family] = (len(refs), ordered)
+        return list(ordered)
+
+    def stats(self) -> dict[str, int]:
+        """Recording/query counters (surfaced in run reports and tests)."""
+        return {
+            "events_recorded": len(self._events),
+            "items_tracked": len(self._journal),
+            "state_versions": self._journal.version,
+            "interpretation_materializations": self._journal.materializations,
+            "timeline_extend_steps": self._timeline_extend_steps,
+            "timeline_builds": self._timeline_builds,
+            "timeline_cache_hits": self._timeline_cache_hits,
+        }
+
+
+# -- validation (indexed) ----------------------------------------------------
 
 
 def validate_trace(trace: ExecutionTrace, rules: list[Rule]) -> list[Violation]:
@@ -263,7 +487,306 @@ def validate_trace(trace: ExecutionTrace, rules: list[Rule]) -> list[Violation]:
     not reported (it may legitimately have been suppressed by its condition).
     Property 7 (in-order processing of related rules) is checked exactly over
     the recorded generated events.
+
+    Implementation: properties 1-5 are fused into a single pass over the
+    event list (using the interpretation journal's write deltas for the
+    property-2/3 state checks), and properties 6-7 consume the trace's
+    kind/family and provenance indexes; no full pass beyond those two
+    remains.  :func:`validate_trace_naive` is the pass-per-property
+    reference this is tested against.
     """
+    buckets: dict[int, list[Violation]] = {n: [] for n in range(1, 8)}
+    previous: Event | None = None
+    for event in trace.events:
+        desc = event.desc
+        # Property 1: nondecreasing time.
+        if previous is not None and event.time < previous.time:
+            buckets[1].append(Violation(1, "events out of time order", event))
+
+        # Property 2: write events transform interpretations correctly.
+        if desc.kind.is_write:
+            ref = desc.item
+            assert ref is not None
+            if not _write_transforms_state(event, ref):
+                buckets[2].append(
+                    Violation(2, "write event has inconsistent new state", event)
+                )
+        else:
+            if event.new is not event.old and event.new != event.old:
+                buckets[2].append(
+                    Violation(2, "non-write event changed the state", event)
+                )
+
+        # Property 3: interpretations chain.
+        if (
+            previous is not None
+            and event.old is not previous.new
+            and event.old != previous.new
+        ):
+            buckets[3].append(
+                Violation(3, "old state does not chain from previous event", event)
+            )
+
+        # Property 4: spontaneous events carry no provenance.
+        spontaneous_kind = desc.kind in (
+            EventKind.SPONTANEOUS_WRITE,
+            EventKind.PERIODIC,
+        )
+        if spontaneous_kind and (event.rule is not None or event.trigger is not None):
+            buckets[4].append(
+                Violation(4, "spontaneous event carries rule/trigger", event)
+            )
+
+        # Property 5: generated events have consistent provenance.
+        if event.rule is not None:
+            _check_provenance(event, buckets[5])
+
+        previous = event
+
+    # Property 6: rule liveness for unconditional steps.
+    buckets[6] = _check_liveness(trace, rules)
+
+    # Property 7: related rules fire in order.
+    buckets[7] = _check_in_order(trace.generated_events)
+
+    return [violation for n in range(1, 8) for violation in buckets[n]]
+
+
+def _write_transforms_state(event: Event, ref: DataItemRef) -> bool:
+    """Property 2 for a write event: ``new == old.updated(ref, written)``.
+
+    Fast path: when ``old``/``new`` are views of one journal, the check is a
+    constant-time comparison against the journal's write log; the
+    materializing equality check runs only for foreign (hand-built)
+    interpretations or on mismatch.
+    """
+    written = event.written_value
+    delta = write_delta(event.old, event.new)
+    if delta is not None and len(delta) == 1:
+        w_ref, w_value = delta[0]
+        if w_ref == ref and w_value == written:
+            return True
+    return event.new == event.old.updated(ref, written)
+
+
+def _check_provenance(event: Event, violations: list[Violation]) -> None:
+    """Property 5 checks for one generated event."""
+    if event.trigger is None:
+        violations.append(Violation(5, "generated event lacks a trigger", event))
+        return
+    rule = event.rule
+    assert rule is not None
+    bindings = match_desc(rule.lhs, event.trigger.desc)
+    if bindings is None:
+        violations.append(
+            Violation(5, "trigger does not match the rule's LHS", event)
+        )
+        return
+    if not _desc_matches_some_step(rule, event.desc, bindings):
+        violations.append(
+            Violation(
+                5, "event is not an instantiation of any RHS template", event
+            )
+        )
+    if event.trigger.time > event.time:
+        violations.append(Violation(5, "event precedes its trigger", event))
+    if event.time > event.trigger.time + rule.delay:
+        violations.append(
+            Violation(5, "event exceeds its rule's delay bound", event)
+        )
+
+
+def _desc_matches_some_step(rule: Rule, desc: EventDesc, bindings: Bindings) -> bool:
+    """Whether ``desc`` instantiates an RHS template under extended bindings."""
+    for step in rule.steps:
+        if step.template.kind is EventKind.FALSE:
+            continue
+        extended = match_desc(step.template, desc)
+        if extended is None:
+            continue
+        consistent = all(
+            extended.get(name, value) == value for name, value in bindings.items()
+            if name in extended
+        )
+        if consistent:
+            return True
+    return False
+
+
+def _provenance_index(
+    generated: Sequence[Event],
+) -> dict[tuple[int, int], list[Event]]:
+    """Generated events grouped by (rule identity, trigger identity).
+
+    Both keys are object identities: provenance fields reference the exact
+    rule/trigger objects, and every trigger is an event kept alive by the
+    trace, so ids are stable.
+    """
+    index: dict[tuple[int, int], list[Event]] = {}
+    for event in generated:
+        if event.rule is None or event.trigger is None:
+            continue
+        key = (id(event.rule), id(event.trigger))
+        bucket = index.get(key)
+        if bucket is None:
+            bucket = index[key] = []
+        bucket.append(event)
+    return index
+
+
+def _check_liveness(trace: ExecutionTrace, rules: list[Rule]) -> list[Violation]:
+    from repro.core.conditions import TRUE  # local import to avoid cycle noise
+
+    violations: list[Violation] = []
+    provenance: dict[tuple[int, int], list[Event]] | None = None
+    for rule in rules:
+        if rule.is_prohibition:
+            for event, __ in trace.events_matching(rule.lhs):
+                violations.append(
+                    Violation(
+                        6,
+                        f"rule {rule.name!r} prohibits this event",
+                        event,
+                    )
+                )
+            continue
+        if rule.condition is not TRUE:
+            # The LHS condition read local data we no longer have; skip.
+            continue
+        for event, bindings in trace.events_matching(rule.lhs):
+            deadline = event.time + rule.delay
+            if deadline > trace.horizon:
+                continue  # obligation not yet due at end of trace
+            if provenance is None:
+                provenance = _provenance_index(trace.generated_events)
+            previous_time = event.time
+            for step in rule.steps:
+                if step.condition is not TRUE:
+                    break  # later steps' timing depends on this one; stop here
+                found = _find_generated(
+                    provenance, rule, event, step.template, previous_time, deadline
+                )
+                if found is None:
+                    violations.append(
+                        Violation(
+                            6,
+                            f"rule {rule.name!r}: no {step.template} within "
+                            f"delay after trigger",
+                            event,
+                        )
+                    )
+                    break
+                previous_time = found.time
+    return violations
+
+
+def _find_generated(
+    provenance: dict[tuple[int, int], list[Event]],
+    rule: Rule,
+    trigger: Event,
+    tmpl: Template,
+    not_before: Ticks,
+    deadline: Ticks,
+) -> Event | None:
+    for event in provenance.get((id(rule), id(trigger)), ()):
+        if event.time < not_before or event.time > deadline:
+            continue
+        if match_desc(tmpl, event.desc) is not None:
+            return event
+    return None
+
+
+def _check_in_order(generated_events: Sequence[Event]) -> list[Violation]:
+    """Property 7: if two generated events come from *related* rules (same
+    LHS site, same RHS site), their order must match their triggers' order."""
+    violations: list[Violation] = []
+    generated = [
+        e for e in generated_events if e.rule is not None and e.trigger is not None
+    ]
+    by_sites: dict[tuple[str, str], list[Event]] = {}
+    for event in generated:
+        key = (event.trigger.site, event.site)
+        by_sites.setdefault(key, []).append(event)
+    for group in by_sites.values():
+        for index, first in enumerate(group):
+            for second in group[index + 1:]:
+                t1, t3 = first.trigger.time, second.trigger.time
+                t2, t4 = first.time, second.time
+                if t1 == t3 or t2 == t4:
+                    continue
+                if (t1 < t3) != (t2 < t4):
+                    violations.append(
+                        Violation(
+                            7,
+                            "related rules fired out of order "
+                            f"(triggers at {t1} vs {t3}, events at {t2} vs {t4})",
+                            second,
+                        )
+                    )
+    return violations
+
+
+# -- naive reference implementation ------------------------------------------
+#
+# The pre-index implementations, kept as the executable specification of the
+# trace queries and the validator.  tests/core/test_trace_equivalence.py
+# generates randomized traces and asserts the indexed fast paths above agree
+# with these full scans, query by query.
+
+
+class ReferenceTraceQueries:
+    """Full-scan reference implementations of the trace queries.
+
+    Reads only the public snapshot (``trace.events``, ``trace.seeded``,
+    ``trace.horizon``), never the indexes, so a disagreement with
+    :class:`ExecutionTrace`'s fast paths is always an index bug.
+    """
+
+    def __init__(self, trace: ExecutionTrace) -> None:
+        self.trace = trace
+
+    def events_matching(self, tmpl: Template) -> Iterator[tuple[Event, Bindings]]:
+        for event in self.trace.events:
+            bindings = match_desc(tmpl, event.desc)
+            if bindings is not None:
+                yield event, bindings
+
+    def events_of_kind(self, kind: EventKind) -> Iterator[Event]:
+        return (e for e in self.trace.events if e.desc.kind is kind)
+
+    def writes_to(self, ref: DataItemRef) -> Iterator[Event]:
+        for event in self.trace.events:
+            if event.desc.kind.is_write and event.desc.item == ref:
+                yield event
+
+    def refs_of_family(self, family: str) -> list[DataItemRef]:
+        refs: set[DataItemRef] = set()
+        for ref in self.trace.seeded:
+            if ref.name == family:
+                refs.add(ref)
+        for event in self.trace.events:
+            ref = event.desc.item
+            if ref is not None and ref.name == family:
+                refs.add(ref)
+        return sorted(refs, key=lambda r: (r.name, tuple(map(str, r.args))))
+
+    def timeline(self, ref: DataItemRef) -> Timeline:
+        changes: list[tuple[Ticks, Value]] = [
+            (0, self.trace.seeded.get(ref, MISSING))
+        ]
+        for event in self.writes_to(ref):
+            changes.append((event.time, event.written_value))
+        return Timeline(changes, self.trace.horizon)
+
+    def value_at(self, ref: DataItemRef, time: Ticks) -> Value:
+        return self.timeline(ref).value_at(time)
+
+
+def validate_trace_naive(
+    trace: ExecutionTrace, rules: list[Rule]
+) -> list[Violation]:
+    """The original pass-per-property validator (reference implementation)."""
+    queries = ReferenceTraceQueries(trace)
     violations: list[Violation] = []
     events = trace.events
 
@@ -310,62 +833,27 @@ def validate_trace(trace: ExecutionTrace, rules: list[Rule]) -> list[Violation]:
     for event in events:
         if event.rule is None:
             continue
-        if event.trigger is None:
-            violations.append(Violation(5, "generated event lacks a trigger", event))
-            continue
-        rule = event.rule
-        bindings = match_desc(rule.lhs, event.trigger.desc)
-        if bindings is None:
-            violations.append(
-                Violation(5, "trigger does not match the rule's LHS", event)
-            )
-            continue
-        if not _desc_matches_some_step(rule, event.desc, bindings):
-            violations.append(
-                Violation(
-                    5, "event is not an instantiation of any RHS template", event
-                )
-            )
-        if event.trigger.time > event.time:
-            violations.append(Violation(5, "event precedes its trigger", event))
-        if event.time > event.trigger.time + rule.delay:
-            violations.append(
-                Violation(5, "event exceeds its rule's delay bound", event)
-            )
+        _check_provenance(event, violations)
 
     # Property 6: rule liveness for unconditional steps.
-    violations.extend(_check_liveness(trace, rules))
+    violations.extend(_check_liveness_naive(queries, rules))
 
     # Property 7: related rules fire in order.
-    violations.extend(_check_in_order(trace))
+    violations.extend(_check_in_order(events))
 
     return violations
 
 
-def _desc_matches_some_step(rule: Rule, desc: EventDesc, bindings: Bindings) -> bool:
-    """Whether ``desc`` instantiates an RHS template under extended bindings."""
-    for step in rule.steps:
-        if step.template.kind is EventKind.FALSE:
-            continue
-        extended = match_desc(step.template, desc)
-        if extended is None:
-            continue
-        consistent = all(
-            extended.get(name, value) == value for name, value in bindings.items()
-            if name in extended
-        )
-        if consistent:
-            return True
-    return False
-
-
-def _check_liveness(trace: ExecutionTrace, rules: list[Rule]) -> list[Violation]:
+def _check_liveness_naive(
+    queries: ReferenceTraceQueries, rules: list[Rule]
+) -> list[Violation]:
     from repro.core.conditions import TRUE  # local import to avoid cycle noise
 
+    trace = queries.trace
     violations: list[Violation] = []
     for rule in rules:
         if rule.is_prohibition:
-            for event, __ in trace.events_matching(rule.lhs):
+            for event, __ in queries.events_matching(rule.lhs):
                 violations.append(
                     Violation(
                         6,
@@ -375,17 +863,16 @@ def _check_liveness(trace: ExecutionTrace, rules: list[Rule]) -> list[Violation]
                 )
             continue
         if rule.condition is not TRUE:
-            # The LHS condition read local data we no longer have; skip.
             continue
-        for event, bindings in trace.events_matching(rule.lhs):
+        for event, bindings in queries.events_matching(rule.lhs):
             deadline = event.time + rule.delay
             if deadline > trace.horizon:
-                continue  # obligation not yet due at end of trace
+                continue
             previous_time = event.time
             for step in rule.steps:
                 if step.condition is not TRUE:
-                    break  # later steps' timing depends on this one; stop here
-                found = _find_generated(
+                    break
+                found = _find_generated_naive(
                     trace, rule, event, step.template, previous_time, deadline
                 )
                 if found is None:
@@ -402,7 +889,7 @@ def _check_liveness(trace: ExecutionTrace, rules: list[Rule]) -> list[Violation]
     return violations
 
 
-def _find_generated(
+def _find_generated_naive(
     trace: ExecutionTrace,
     rule: Rule,
     trigger: Event,
@@ -417,31 +904,3 @@ def _find_generated(
             if match_desc(tmpl, event.desc) is not None:
                 return event
     return None
-
-
-def _check_in_order(trace: ExecutionTrace) -> list[Violation]:
-    """Property 7: if two generated events come from *related* rules (same
-    LHS site, same RHS site), their order must match their triggers' order."""
-    violations: list[Violation] = []
-    generated = [e for e in trace.events if e.rule is not None and e.trigger is not None]
-    by_sites: dict[tuple[str, str], list[Event]] = {}
-    for event in generated:
-        key = (event.trigger.site, event.site)
-        by_sites.setdefault(key, []).append(event)
-    for group in by_sites.values():
-        for index, first in enumerate(group):
-            for second in group[index + 1:]:
-                t1, t3 = first.trigger.time, second.trigger.time
-                t2, t4 = first.time, second.time
-                if t1 == t3 or t2 == t4:
-                    continue
-                if (t1 < t3) != (t2 < t4):
-                    violations.append(
-                        Violation(
-                            7,
-                            "related rules fired out of order "
-                            f"(triggers at {t1} vs {t3}, events at {t2} vs {t4})",
-                            second,
-                        )
-                    )
-    return violations

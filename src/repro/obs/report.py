@@ -34,6 +34,7 @@ class RunReport:
     guarantees: list[dict] = field(default_factory=list)
     scheduler: dict = field(default_factory=dict)
     traces: dict = field(default_factory=dict)
+    trace_index: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -47,6 +48,7 @@ class RunReport:
             "guarantees": self.guarantees,
             "scheduler": self.scheduler,
             "traces": self.traces,
+            "trace_index": self.trace_index,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -103,6 +105,15 @@ class RunReport:
                 f"  guarantee {entry['name']}: "
                 f"{'standing' if entry['standing'] else 'NOT standing'}, "
                 f"stale {staleness:g}s ({entry['staleness_fraction']:.1%})"
+            )
+        index = self.trace_index
+        if index:
+            lines.append(
+                f"  trace: {index.get('events_recorded', 0)} events over "
+                f"{index.get('items_tracked', 0)} items, "
+                f"{index.get('state_versions', 0)} state versions, "
+                f"{index.get('interpretation_materializations', 0)} "
+                f"materializations"
             )
         return "\n".join(lines)
 
@@ -265,4 +276,7 @@ def build_run_report(cm: Any) -> RunReport:
                 to_seconds(deepest) if deepest is not None else 0.0
             ),
         }
+
+    # -- execution-trace recording/index counters ------------------------------
+    report.trace_index = scenario.trace.stats()
     return report

@@ -30,6 +30,15 @@ class TestVerify:
         assert report.guarantee_reports
         assert "OK" in report.render()
 
+    def test_trace_stats_surfaced(self):
+        cm, *_ = two_site_relational()
+        install_and_drive(cm)
+        report = verify(cm)
+        stats = report.trace_stats
+        assert stats["events_recorded"] == len(cm.scenario.trace.events)
+        assert stats["state_versions"] > 0
+        assert "trace:" in report.render()
+
     def test_silent_failure_is_surfaced_as_a_gap(self):
         plan = FailurePlan()
         plan.add(

@@ -171,3 +171,98 @@ class TestValidator:
         assert any(
             v.property_number == 7 for v in validate_trace(trace, [])
         )
+
+
+class TestTimelineEdgeCases:
+    def test_same_instant_overwrite_recreates_adjacent_duplicate(self):
+        # Last-wins at t=20 turns (20, "b") into (20, "a"), re-creating an
+        # adjacent duplicate of the (10, "a") entry, which must then
+        # collapse away entirely (the two-pass collapse).
+        timeline = Timeline([(10, "a"), (20, "b"), (20, "a")], horizon=100)
+        assert timeline.change_points() == [(0, MISSING), (10, "a")]
+        assert timeline.value_at(25) == "a"
+
+    def test_same_instant_overwrite_in_recorded_trace(self, trace):
+        trace.record(10, "a", write_desc(X, "a"))
+        trace.record(20, "a", write_desc(X, "b"))
+        trace.record(20, "a", write_desc(X, "a"))
+        trace.close(100)
+        assert trace.timeline(X).change_points() == [(0, MISSING), (10, "a")]
+
+    def test_handed_out_timeline_frozen_under_tail_collapse(self, trace):
+        trace.record(10, "a", write_desc(X, "a"))
+        trace.record(20, "a", write_desc(X, "b"))
+        trace.close(30)
+        before = trace.timeline(X)
+        points = before.change_points()
+        # A same-instant overwrite back to "a" pops the (20, "b") entry from
+        # the incremental builder — the already handed-out view must not
+        # change retroactively (copy-on-write).
+        trace.record(20, "a", write_desc(X, "a"))
+        after = trace.timeline(X)
+        assert before.change_points() == points
+        assert before.value_at(25) == "b"
+        assert after.change_points() == [(0, MISSING), (10, "a")]
+        assert after.value_at(25) == "a"
+
+    def test_close_extends_horizon_of_later_timelines_only(self, trace):
+        trace.record(10, "a", write_desc(X, 1))
+        early = trace.timeline(X)
+        assert early.horizon == 10
+        trace.close(50)
+        late = trace.timeline(X)
+        assert late.horizon == 50
+        assert list(late.segments())[-1].end == 50
+        assert early.horizon == 10  # handed-out timelines stay frozen
+
+    def test_close_never_shrinks_horizon(self, trace):
+        trace.record(10, "a", write_desc(X, 1))
+        trace.close(100)
+        trace.close(40)
+        assert trace.horizon == 100
+
+    def test_value_at_before_time_zero(self, trace):
+        trace.seed(X, 7)
+        trace.record(10, "a", write_desc(X, 1))
+        trace.close(20)
+        timeline = trace.timeline(X)
+        assert timeline.value_at(-1) is MISSING
+        assert timeline.value_at(0) == 7
+        assert Timeline([(0, 5)], horizon=10).value_at(-3) is MISSING
+
+
+class TestEventsSnapshot:
+    def test_events_is_a_read_only_tuple(self, trace):
+        trace.record(10, "a", write_desc(X, 1))
+        events = trace.events
+        assert isinstance(events, tuple)
+        assert not hasattr(events, "append")
+
+    def test_snapshot_is_stable_while_trace_grows(self, trace):
+        trace.record(10, "a", write_desc(X, 1))
+        snapshot = trace.events
+        trace.record(20, "a", write_desc(X, 2))
+        assert len(snapshot) == 1
+        assert len(trace.events) == 2
+        assert trace.events[:1] == snapshot
+
+
+class TestIncrementalTimelineWork:
+    def test_interleaved_timeline_calls_do_constant_work_per_write(self, trace):
+        # The regression this guards: timeline() used to rebuild from every
+        # write of the item, making record+query loops quadratic.  The probe
+        # counter counts writes folded into timeline builders; N interleaved
+        # calls after N writes must fold each write exactly once.
+        n = 200
+        for index in range(n):
+            trace.record(10 * (index + 1), "a", write_desc(X, index))
+            trace.timeline(X)
+        assert trace.stats()["timeline_extend_steps"] == n
+
+    def test_timeline_object_reused_when_nothing_changed(self, trace):
+        trace.record(10, "a", write_desc(X, 1))
+        first = trace.timeline(X)
+        assert trace.timeline(X) is first
+        assert trace.stats()["timeline_cache_hits"] == 1
+        trace.record(20, "a", write_desc(X, 2))
+        assert trace.timeline(X) is not first

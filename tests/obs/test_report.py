@@ -81,6 +81,16 @@ class TestRunReport:
         parsed = json.loads(report.to_json())
         assert parsed == json.loads(json.dumps(report.to_dict(), default=str))
 
+    def test_trace_index_counters(self):
+        __, cm = run_salary()
+        report = cm.run_report()
+        index = report.trace_index
+        assert index == cm.scenario.trace.stats()
+        assert index["events_recorded"] == len(cm.scenario.trace.events)
+        assert index["state_versions"] > 0
+        assert "trace:" in report.render()
+        assert report.to_dict()["trace_index"] == index
+
     def test_write_to_file(self, tmp_path):
         import json
 
