@@ -7,12 +7,58 @@ Subcommands:
 - ``menu`` — print the toolkit's interface and strategy menus with their
   paper-style rule shapes;
 - ``demo`` — run the quickstart scenario inline.
+
+The top-level ``--profile <experiment>`` flag runs one experiment under
+:mod:`cProfile` and prints the top 25 functions by cumulative time — the
+quickest way to see where an experiment's wall clock goes (historically:
+rule dispatch, which is why the rule compiler exists).  ``--profile-out``
+additionally saves the printed digest to a file for CI artifacts.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _profile_experiment(experiment: str, out_path: str | None) -> int:
+    import cProfile
+    import io
+    import pstats
+
+    from repro.experiments.runner import EXPERIMENTS
+
+    if experiment not in EXPERIMENTS:
+        print(
+            f"unknown experiment {experiment!r} "
+            f"(have: {', '.join(EXPERIMENTS)})",
+            file=sys.stderr,
+        )
+        return 2
+    __, run = EXPERIMENTS[experiment]
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run()
+    profiler.disable()
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(25)
+    digest = buffer.getvalue()
+    verdict = getattr(result, "claim_holds", None)
+    header = f"profile of experiment {experiment}"
+    if verdict is not None:
+        header += f" (verdict: {'REPRODUCED' if verdict else 'NOT REPRODUCED'})"
+    print(header)
+    print(digest)
+    if out_path is not None:
+        from pathlib import Path
+
+        Path(out_path).write_text(
+            header + "\n" + digest, encoding="utf-8"
+        )
+        print(f"profile written to {out_path}")
+    return 0
 
 
 def _print_menu() -> None:
@@ -78,6 +124,19 @@ def main(argv: list[str] | None = None) -> int:
         description="Reproduction of the ICDE 1996 constraint-management "
         "toolkit paper.",
     )
+    parser.add_argument(
+        "--profile",
+        metavar="EXPERIMENT",
+        default=None,
+        help="run one experiment under cProfile and print the top 25 "
+        "functions by cumulative time",
+    )
+    parser.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        default=None,
+        help="also write the profile digest to PATH (with --profile)",
+    )
     sub = parser.add_subparsers(dest="command")
     experiments = sub.add_parser(
         "experiments", help="run the reproduction experiments"
@@ -90,6 +149,10 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("demo", help="run the quickstart scenario")
     args = parser.parse_args(argv)
 
+    if args.profile is not None:
+        return _profile_experiment(args.profile, args.profile_out)
+    if args.profile_out is not None:
+        parser.error("--profile-out requires --profile")
     if args.command == "experiments":
         from repro.experiments.runner import main as runner_main
 

@@ -28,6 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
+from repro.core.compile import CompiledRule, compile_rule
+from repro.core.errors import CompileError
 from repro.core.events import EventDesc, EventKind
 from repro.core.rules import Rule
 from repro.core.templates import Matcher, compile_matcher
@@ -35,12 +37,19 @@ from repro.core.templates import Matcher, compile_matcher
 
 @dataclass(frozen=True)
 class InstalledRule:
-    """One installed rule with its routing and pre-compiled matcher."""
+    """One installed rule with its routing and pre-compiled matcher.
+
+    ``program`` is the rule's compiled program (:mod:`repro.core.compile`);
+    ``None`` when compilation was disabled (``install(compiled=False)``) or
+    fell back, in which case dispatch runs the tree-walking reference path
+    through ``matcher``.
+    """
 
     rule: Rule
     rhs_site: Optional[str]
     matcher: Matcher = field(compare=False)
     serial: int
+    program: Optional[CompiledRule] = field(default=None, compare=False)
 
     def __str__(self) -> str:
         return f"#{self.serial} {self.rule.name}: {self.rule}"
@@ -59,13 +68,29 @@ class RuleIndex:
         self._catch_all: dict[EventKind, list[InstalledRule]] = {}
         self._all: list[InstalledRule] = []
 
-    def add(self, rule: Rule, rhs_site: Optional[str]) -> InstalledRule:
-        """Install a rule; returns its index entry."""
+    def add(
+        self, rule: Rule, rhs_site: Optional[str], compiled: bool = True
+    ) -> InstalledRule:
+        """Install a rule; returns its index entry.
+
+        With ``compiled`` (the default) the rule is also compiled into an
+        executable program stored next to the matcher; a
+        :class:`~repro.core.errors.CompileError` silently falls back to the
+        interpreted path (``installed.program is None`` — callers that want
+        to count fallbacks inspect that).
+        """
+        program: Optional[CompiledRule] = None
+        if compiled:
+            try:
+                program = compile_rule(rule)
+            except CompileError:
+                program = None
         installed = InstalledRule(
             rule=rule,
             rhs_site=rhs_site,
             matcher=compile_matcher(rule.lhs),
             serial=len(self._all),
+            program=program,
         )
         self._all.append(installed)
         kind = rule.lhs.kind

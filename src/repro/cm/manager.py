@@ -397,6 +397,8 @@ class ConstraintManager:
         per_site = {site: shell.stats() for site, shell in self.shells.items()}
         total = {
             "rules_installed": 0,
+            "rules_compiled": 0,
+            "rules_fallback": 0,
             "events_processed": 0,
             "candidates_considered": 0,
             "rules_fired": 0,

@@ -62,11 +62,19 @@ from repro.sim.scheduler import Simulator
 
 @dataclass(frozen=True)
 class FireMessage:
-    """Cross-site rule firing: 'run this rule's RHS with these bindings'."""
+    """Cross-site rule firing: 'run this rule's RHS with these bindings'.
+
+    A compiled firing carries the compiled program and its flat binding
+    slot tuple (``program``/``slots``); the receiving shell runs the
+    program's RHS plan against *its* local store and translators.  An
+    interpreted firing carries the classic name/value ``bindings`` pairs.
+    """
 
     rule: Rule
     bindings: tuple[tuple[str, object], ...]
     trigger: Event
+    program: object = None
+    slots: tuple = ()
 
 
 class CMShell:
@@ -107,7 +115,10 @@ class CMShell:
         )
         self._m_fired = metrics.counter("shell_rules_fired", site=site)
         self._m_failures = metrics.counter("shell_failure_notices", site=site)
+        self._m_compiled = metrics.counter("shell_rules_compiled", site=site)
+        self._m_fallback = metrics.counter("shell_rules_fallback", site=site)
         self._fired_by_rule: dict[str, object] = {}
+        self._rules_by_name: dict[str, Rule] = {}
         self._chain_depth = 0
         #: Offset of this site's local clock from true time, in ticks.
         #: Strategy execution never needs clocks (Section 7.2), but rules
@@ -144,29 +155,53 @@ class CMShell:
             )
         return translator
 
+    #: Default for :meth:`install`'s ``compiled`` flag.  Set the class (or
+    #: instance) attribute to ``False`` to force the tree-walking reference
+    #: evaluator everywhere — the debugging escape hatch.
+    compile_rules = True
+
     def install(
         self,
         rule: Rule,
         rhs_site: str | None = None,
         *,
         phase: Optional[Ticks] = None,
+        compiled: bool | None = None,
     ) -> None:
         """Install a strategy rule whose LHS is at this site.
 
         The rule is keyed into the shell's dispatch index by its LHS
-        ``(kind, family)`` discriminator.  A periodic LHS (``P(p)``) also
-        starts its timer here; ``phase`` is then the tick-of-day of the
-        first firing (e.g. 17:00 for end-of-day strategies) — without it
-        the timer starts at the epoch and fires every period.  ``rhs_site``
-        defaults to this site (local execution).
+        ``(kind, family)`` discriminator and compiled into an executable
+        program (:mod:`repro.core.compile`); rules the compiler cannot
+        specialize fall back to the tree-walking reference evaluator
+        (``stats()['rules_fallback']``), and ``compiled=False`` forces the
+        fallback for debugging.  A periodic LHS (``P(p)``) also starts its
+        timer here; ``phase`` is then the tick-of-day of the first firing
+        (e.g. 17:00 for end-of-day strategies) — without it the timer
+        starts at the epoch and fires every period.  ``rhs_site`` defaults
+        to this site (local execution).
         """
+        existing = self._rules_by_name.get(rule.name)
+        if existing is not None and existing != rule:
+            raise ConfigurationError(
+                f"rule {rule.name!r} is already installed at site "
+                f"{self.site!r} with a different definition; rule names key "
+                f"firing counters and must be unique per shell"
+            )
         if rule.lhs.kind is EventKind.PERIODIC:
             self._install_timer(rule, phase)
         elif phase is not None:
             raise SpecError(
                 f"rule {rule.name!r}: phase only applies to periodic rules"
             )
-        self._index.add(rule, rhs_site)
+        if compiled is None:
+            compiled = self.compile_rules
+        installed = self._index.add(rule, rhs_site, compiled=compiled)
+        if installed.program is not None:
+            self._m_compiled.value += 1
+        elif compiled:
+            self._m_fallback.value += 1
+        self._rules_by_name[rule.name] = rule
         if rule.name not in self._fired_by_rule:
             self._fired_by_rule[rule.name] = self.obs.metrics.counter(
                 "rule_fired", site=self.site, rule=rule.name
@@ -239,6 +274,8 @@ class CMShell:
         """
         return {
             "rules_installed": len(self._index),
+            "rules_compiled": self._m_compiled.value,
+            "rules_fallback": self._m_fallback.value,
             "events_processed": self._m_events.value,
             "candidates_considered": self._m_candidates.value,
             "rules_fired": self._m_fired.value,
@@ -284,9 +321,46 @@ class CMShell:
                 obs.tracer.finish(span, self.sim.now)
 
     def _dispatch(self, event: Event) -> None:
-        for installed in self._index.candidates(event.desc):
-            self._m_candidates.value += 1
-            bindings = installed.matcher(event.desc)
+        desc = event.desc
+        site = self.site
+        store = self.store
+        m_candidates = self._m_candidates
+        for installed in self._index.candidates(desc):
+            m_candidates.value += 1
+            program = installed.program
+            if program is not None:
+                # Compiled hot path: slot matcher -> fused binder/condition
+                # closure -> compiled RHS plan.  No AST in sight.
+                slots = program.match(desc)
+                if slots is None:
+                    continue
+                lhs = program.lhs
+                if lhs is not None:
+                    try:
+                        if not lhs(slots, store):
+                            continue
+                    except (BindingError, TypeError):
+                        # Unbindable condition (e.g. arithmetic over a cache
+                        # that is still MISSING): not applicable yet.
+                        continue
+                rule = installed.rule
+                self._m_fired.value += 1
+                self._fired_by_rule[rule.name].value += 1
+                rhs_site = installed.rhs_site
+                if rhs_site is None or rhs_site == site:
+                    self._execute_compiled_rhs(program, slots, event)
+                else:
+                    self.network.send(
+                        site,
+                        rhs_site,
+                        FireMessage(
+                            rule, (), event, program=program,
+                            slots=tuple(slots),
+                        ),
+                    )
+                continue
+            # Interpreted reference path (compiled=False or compile fallback).
+            bindings = installed.matcher(desc)
             if bindings is None:
                 continue
             rule = installed.rule
@@ -295,11 +369,11 @@ class CMShell:
             self._m_fired.value += 1
             self._fired_by_rule[rule.name].value += 1
             rhs_site = installed.rhs_site
-            if rhs_site is None or rhs_site == self.site:
+            if rhs_site is None or rhs_site == site:
                 self._execute_rhs(rule, bindings, event)
             else:
                 self.network.send(
-                    self.site,
+                    site,
                     rhs_site,
                     FireMessage(rule, tuple(bindings.items()), event),
                 )
@@ -331,9 +405,14 @@ class CMShell:
                 )
                 obs.tracer.push(span)
             try:
-                self._execute_rhs(
-                    payload.rule, dict(payload.bindings), payload.trigger
-                )
+                if payload.program is not None:
+                    self._execute_compiled_rhs(
+                        payload.program, list(payload.slots), payload.trigger
+                    )
+                else:
+                    self._execute_rhs(
+                        payload.rule, dict(payload.bindings), payload.trigger
+                    )
             finally:
                 if span is not None:
                     obs.tracer.pop()
@@ -360,6 +439,66 @@ class CMShell:
             if not applicable:
                 continue
             self._emit(step.template, step_bindings, rule, trigger)
+
+    def _execute_compiled_rhs(
+        self, program, slots: list, trigger: Event
+    ) -> None:
+        """Run a compiled rule program's RHS plan.
+
+        Semantically identical to :meth:`_execute_rhs` over the equivalent
+        bindings dict, but flat: ``now`` is one slot store instead of a
+        per-step dict copy, step conditions are pre-compiled closures, and
+        each emission's item/value accessors were resolved at install time.
+        """
+        rule = program.rule
+        slots[program.now_slot] = self.sim.now + self.clock_skew
+        store = self.store
+        for step in program.steps:
+            condition = step.condition
+            if condition is not None:
+                try:
+                    if not condition(slots, store):
+                        continue
+                except (BindingError, TypeError):
+                    continue  # unevaluable condition = not applicable
+            kind = step.kind
+            if kind is EventKind.WRITE_REQUEST:
+                ref = step.make_ref(slots)
+                self.translator_for(ref.name).request_write(
+                    ref, step.make_value(slots), rule=rule, trigger=trigger
+                )
+            elif kind is EventKind.READ_REQUEST:
+                if step.enumerating:
+                    translator = self.translator_for(step.family)
+                    for ref in translator.enumerate_refs(step.family):
+                        translator.request_read(ref, rule=rule, trigger=trigger)
+                else:
+                    ref = step.make_ref(slots)
+                    self.translator_for(ref.name).request_read(
+                        ref, rule=rule, trigger=trigger
+                    )
+            else:  # EventKind.WRITE — the only other compiled emission
+                ref = step.make_ref(slots)
+                if ref.name in self.translators:
+                    raise SpecError(
+                        f"rule {rule.name!r} writes {ref.name!r} directly; "
+                        f"database items need a WR (write request) event"
+                    )
+                event = self.store.write(
+                    ref, step.make_value(slots), self.sim.now,
+                    rule=rule, trigger=trigger,
+                )
+                self._chain_depth += 1
+                try:
+                    if self._chain_depth > self.MAX_CHAIN_DEPTH:
+                        raise SpecError(
+                            f"rule chaining exceeded depth "
+                            f"{self.MAX_CHAIN_DEPTH} at {ref} "
+                            f"(self-triggering rule set?)"
+                        )
+                    self._process_event(event)
+                finally:
+                    self._chain_depth -= 1
 
     def _emit(self, template, bindings: Bindings, rule: Rule, trigger: Event) -> None:
         kind = template.kind

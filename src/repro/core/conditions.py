@@ -137,14 +137,19 @@ class Call(Expr):
         return found
 
 
-_ARITH = {
+#: Binary arithmetic operators, shared with the rule compiler
+#: (:mod:`repro.core.compile`) so both evaluators agree on semantics.
+ARITH_OPS = {
     "+": lambda a, b: a + b,
     "-": lambda a, b: a - b,
     "*": lambda a, b: a * b,
     "/": lambda a, b: a / b,
 }
 
-_COMPARE = {
+#: Binary comparison operators.  ``==``/``!=`` accept MISSING operands;
+#: ordered comparisons against MISSING raise :class:`BindingError` (both
+#: evaluators enforce this identically).
+COMPARE_OPS = {
     "<": lambda a, b: a < b,
     "<=": lambda a, b: a <= b,
     ">": lambda a, b: a > b,
@@ -152,6 +157,9 @@ _COMPARE = {
     "==": lambda a, b: a == b,
     "!=": lambda a, b: a != b,
 }
+
+_ARITH = ARITH_OPS
+_COMPARE = COMPARE_OPS
 
 
 def _resolve_operand(expr: Expr, bindings: Bindings, local: LocalData) -> Value:

@@ -28,6 +28,16 @@ class DslSyntaxError(SpecError):
         self.column = column
 
 
+class CompileError(ReproError):
+    """A rule could not be compiled into an executable program.
+
+    Raised by :func:`repro.core.compile.compile_rule` for expression or
+    template shapes the compiler does not specialize.  Callers (the
+    CM-Shell's ``install``) treat it as "fall back to the tree-walking
+    reference evaluator", never as a hard failure.
+    """
+
+
 class BindingError(ReproError):
     """A rule fired with unbound right-hand-side variables, or a template
     was instantiated with an incomplete interpretation."""

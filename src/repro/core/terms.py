@@ -112,6 +112,19 @@ class ItemPattern:
                 found.add(arg.name)
         return found
 
+    def variables_in_order(self) -> list[str]:
+        """Variable names by first occurrence (stable slot-layout order).
+
+        The rule compiler assigns each template variable a fixed slot
+        index; first-occurrence order makes the layout deterministic and
+        independent of set-iteration order.
+        """
+        ordered: list[str] = []
+        for arg in self.args:
+            if isinstance(arg, Var) and arg.name not in ordered:
+                ordered.append(arg.name)
+        return ordered
+
 
 def pattern(name: str, *args: Any) -> ItemPattern:
     """Convenience constructor; bare strings become variables.

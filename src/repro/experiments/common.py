@@ -235,6 +235,8 @@ def attach_observability(
         "candidates_considered": 0,
         "rules_fired": 0,
         "rules_installed": 0,
+        "rules_compiled": 0,
+        "rules_fallback": 0,
     }
     for site in cm.scenario.network.sites:
         for key, value in cm.shell(site).stats().items():

@@ -30,10 +30,14 @@ class ScheduledEvent:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _sim: "Simulator | None" = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Prevent the callback from running (no-op if already run)."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._note_cancelled()
 
 
 class Simulator:
@@ -42,6 +46,7 @@ class Simulator:
     def __init__(self) -> None:
         self._now: Ticks = 0
         self._queue: list[ScheduledEvent] = []
+        self._cancelled_pending = 0
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
@@ -70,7 +75,9 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule at {time} ticks; current time is {self._now}"
             )
-        event = ScheduledEvent(time=time, seq=next(self._seq), callback=callback)
+        event = ScheduledEvent(
+            time=time, seq=next(self._seq), callback=callback, _sim=self
+        )
         heapq.heappush(self._queue, event)
         if len(self._queue) > self.max_queue_depth:
             self.max_queue_depth = len(self._queue)
@@ -86,10 +93,26 @@ class Simulator:
         """Stop the run loop after the currently executing callback."""
         self._stopped = True
 
+    def _note_cancelled(self) -> None:
+        """Heap hygiene: compact when cancelled entries dominate the queue.
+
+        Cancelled events stay in the heap as tombstones until they surface
+        at the top; a workload that schedules and cancels aggressively
+        (e.g. timeout guards) would otherwise grow the queue without bound.
+        When more than half the queue is tombstones, rebuilding it is O(n)
+        and amortizes to O(1) per cancellation.
+        """
+        self._cancelled_pending += 1
+        if self._cancelled_pending * 2 > len(self._queue):
+            self._queue = [e for e in self._queue if not e.cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled_pending = 0
+
     def peek(self) -> Ticks | None:
         """Time of the next pending event, or ``None`` if the queue is empty."""
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
+            self._cancelled_pending -= 1
         return self._queue[0].time if self._queue else None
 
     def step(self) -> bool:
@@ -97,6 +120,7 @@ class Simulator:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
             self._now = event.time
             self.events_processed += 1

@@ -1,0 +1,96 @@
+"""Lifecycle edge cases: repeated runs, repeated closes, horizon boundaries.
+
+These pin down the "what happens if you do it twice" semantics that the
+experiments rely on implicitly: extending a run, re-closing a trace, and
+events scheduled exactly at the run horizon.
+"""
+
+from __future__ import annotations
+
+from repro.cm import ConstraintManager, Scenario
+from repro.core.items import DataItemRef
+from repro.core.timebase import seconds
+from repro.core.trace import ExecutionTrace
+from repro.core.events import spontaneous_write_desc
+from repro.sim.scheduler import Simulator
+
+
+class TestRepeatedScenarioRun:
+    def test_second_run_extends_the_first(self):
+        scenario = Scenario(seed=0)
+        fired: list[float] = []
+        scenario.sim.at(seconds(5), lambda: fired.append(5.0))
+        scenario.sim.at(seconds(15), lambda: fired.append(15.0))
+        scenario.run(until=seconds(10))
+        assert fired == [5.0]
+        assert scenario.sim.now == seconds(10)
+        scenario.run(until=seconds(20))
+        assert fired == [5.0, 15.0]
+        assert scenario.sim.now == seconds(20)
+        assert scenario.trace.horizon == seconds(20)
+
+    def test_rerun_at_same_horizon_is_idempotent(self):
+        scenario = Scenario(seed=0)
+        scenario.sim.at(seconds(1), lambda: None)
+        scenario.run(until=seconds(10))
+        events_before = scenario.sim.events_processed
+        scenario.run(until=seconds(10))
+        assert scenario.sim.events_processed == events_before
+        assert scenario.sim.now == seconds(10)
+        assert scenario.trace.horizon == seconds(10)
+
+    def test_cm_run_passthrough_can_be_called_twice(self):
+        cm = ConstraintManager(Scenario(seed=0))
+        cm.add_site("sf")
+        cm.run(until=seconds(5))
+        cm.run(until=seconds(9))
+        assert cm.scenario.sim.now == seconds(9)
+
+
+class TestTraceClose:
+    def test_close_twice_keeps_the_larger_horizon(self):
+        trace = ExecutionTrace()
+        trace.close(seconds(10))
+        trace.close(seconds(10))
+        assert trace.horizon == seconds(10)
+        # A later, *smaller* close must not shrink the horizon either.
+        trace.close(seconds(3))
+        assert trace.horizon == seconds(10)
+
+    def test_timelines_stable_across_repeated_close(self):
+        trace = ExecutionTrace()
+        x = DataItemRef("X")
+        trace.record(seconds(1), "a", spontaneous_write_desc(x, None, 1.0))
+        trace.close(seconds(10))
+        first = trace.timeline(x).change_points()
+        trace.close(seconds(10))
+        assert trace.timeline(x).change_points() == first
+
+
+class TestHorizonBoundary:
+    def test_event_exactly_at_horizon_runs(self):
+        sim = Simulator()
+        fired: list[int] = []
+        sim.at(seconds(10), lambda: fired.append(1))
+        sim.run(until=seconds(10))
+        assert fired == [1]
+        assert sim.now == seconds(10)
+
+    def test_event_one_tick_past_horizon_stays_queued(self):
+        sim = Simulator()
+        fired: list[int] = []
+        sim.at(seconds(10) + 1, lambda: fired.append(1))
+        sim.run(until=seconds(10))
+        assert fired == []
+        assert sim.now == seconds(10)
+        # ... and still runs on the next run() call.
+        sim.run(until=seconds(11))
+        assert fired == [1]
+
+    def test_simultaneous_horizon_events_all_run_in_order(self):
+        sim = Simulator()
+        fired: list[int] = []
+        for index in range(3):
+            sim.at(seconds(10), lambda i=index: fired.append(i))
+        sim.run(until=seconds(10))
+        assert fired == [0, 1, 2]

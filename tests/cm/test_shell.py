@@ -5,7 +5,7 @@ import pytest
 from cm_helpers import two_site_relational
 
 from repro.core.dsl import parse_rule
-from repro.core.errors import SpecError
+from repro.core.errors import ConfigurationError, SpecError
 from repro.core.events import EventKind
 from repro.core.items import MISSING, DataItemRef
 from repro.core.timebase import seconds
@@ -185,3 +185,40 @@ class TestBinderEvaluation:
         )
         cm.run(until=seconds(10))
         assert shell.store.read_local(DataItemRef("Seen", ("e1",))) == 9
+
+
+class TestInstallValidation:
+    def test_duplicate_name_with_different_rule_rejected(self):
+        cm, __, ___, ____, _____ = two_site_relational()
+        shell = cm.shell("sf")
+        first = parse_rule(
+            "N(salary1(n), b) -> [5] WR(salary2(n), b)", name="prop"
+        )
+        imposter = parse_rule(
+            "N(salary1(n), b) & b > 0 -> [1] WR(salary2(n), b)", name="prop"
+        )
+        shell.install(first, "ny")
+        with pytest.raises(ConfigurationError, match="prop"):
+            shell.install(imposter, "ny")
+        # The index must be unchanged by the rejected install.
+        assert shell.stats()["rules_installed"] == 1
+
+    def test_reinstalling_identical_rule_is_allowed(self):
+        cm, __, ___, ____, _____ = two_site_relational()
+        shell = cm.shell("sf")
+        rule = parse_rule(
+            "N(salary1(n), b) -> [5] WR(salary2(n), b)", name="prop"
+        )
+        shell.install(rule, "ny")
+        shell.install(rule, "ny")
+
+    def test_same_name_allowed_on_different_shells(self):
+        cm, __, ___, ____, _____ = two_site_relational()
+        rule_sf = parse_rule(
+            "N(salary1(n), b) -> [5] WR(salary2(n), b)", name="prop"
+        )
+        rule_ny = parse_rule(
+            "N(salary2(n), b) -> [5] W(Echo(n), b)", name="prop"
+        )
+        cm.shell("sf").install(rule_sf, "ny")
+        cm.shell("ny").install(rule_ny, "ny")

@@ -104,3 +104,36 @@ class TestRunControl:
         sim.at(9, lambda: None)
         handle.cancel()
         assert sim.peek() == 9
+
+    def test_cancelled_tombstones_are_compacted(self):
+        # A schedule-then-cancel workload must not grow the heap without
+        # bound: once tombstones dominate, the queue is rebuilt in place.
+        sim = Simulator()
+        keeper = sim.at(10_000, lambda: None)
+        handles = [sim.at(t + 1, lambda: None) for t in range(1000)]
+        for handle in handles:
+            handle.cancel()
+        assert not keeper.cancelled
+        assert len(sim._queue) <= 2
+        assert sim.peek() == 10_000
+
+    def test_compaction_preserves_order_and_delivery(self):
+        sim = Simulator()
+        ran: list[int] = []
+        for t in range(1, 501):
+            sim.at(t, lambda t=t: ran.append(t))
+        victims = [sim.at(600 + t, lambda: None) for t in range(600)]
+        for handle in victims:
+            handle.cancel()
+        sim.run()
+        assert ran == list(range(1, 501))
+        assert sim.events_processed == 500
+
+    def test_cancel_after_run_does_not_corrupt_queue(self):
+        sim = Simulator()
+        handle = sim.at(1, lambda: None)
+        sim.at(2, lambda: None)
+        sim.run()
+        handle.cancel()  # already executed; must stay a no-op
+        sim.at(3, lambda: None)
+        assert sim.peek() == 3
