@@ -392,3 +392,86 @@ def test_instrumentation_overhead_no_sink():
         f"exceeds the 5% budget "
         f"({best_instrumented * 1e3:.2f}ms vs {best_baseline * 1e3:.2f}ms)"
     )
+
+
+def _build_lint_cm(n_rules: int):
+    """A two-site configuration with ``n_rules`` chained private-write
+    rules installed directly on one shell (plus the wired salary sources),
+    sized for lint-throughput measurement."""
+    from repro.cm import CMRID
+    from repro.core.interfaces import InterfaceKind
+    from repro.ris.relational import RelationalDatabase
+
+    cm = ConstraintManager(Scenario(seed=0))
+    cm.add_site("sf")
+    cm.add_site("ny")
+    branch = RelationalDatabase("branch")
+    branch.execute(
+        "CREATE TABLE employees (empid TEXT PRIMARY KEY, salary REAL)"
+    )
+    rid = CMRID("relational", "branch").bind(
+        "salary1",
+        params=("n",),
+        table="employees",
+        key_column="empid",
+        value_column="salary",
+    )
+    rid.offer("salary1", InterfaceKind.NOTIFY, bound_seconds=2.0)
+    rid.offer("salary1", InterfaceKind.READ, bound_seconds=1.0)
+    cm.add_source("sf", branch, rid)
+    shell = cm.shell("sf")
+    # A periodic head keeps the whole chain reachable (no CM401 noise);
+    # each link triggers on the previous link's private write.
+    cm.locations.register("Stage0", "sf")
+    shell.install(parse_rule("P(3600) -> [1] W(Stage0, 0)", name="head"))
+    for i in range(1, n_rules):
+        cm.locations.register(f"Stage{i}", "sf")
+        shell.install(
+            parse_rule(
+                f"W(Stage{i - 1}, b) -> [1] W(Stage{i}, b)",
+                name=f"link{i}",
+            )
+        )
+    return cm
+
+
+@pytest.mark.parametrize("n_rules", [10, 100, 1000])
+def test_lint_rules(benchmark, n_rules):
+    from repro.analysis import lint_manager
+
+    cm = _build_lint_cm(n_rules)
+
+    def run() -> int:
+        return len(lint_manager(cm).diagnostics)
+
+    findings = benchmark(run)
+    cm.stop()
+    assert findings == 0  # the chain is lint-clean by construction
+    _record_micro(f"lint_rules_{n_rules}", run, {"rules": n_rules})
+
+
+def test_lint_scales_near_linearly():
+    # 100x the rules must cost well under 100x^2 the time: allow 100x the
+    # per-rule budget times a generous constant, i.e. assert the total is
+    # within 8x of linear extrapolation from the small configuration.
+    def timed(n_rules: int) -> float:
+        from repro.analysis import lint_manager
+
+        cm = _build_lint_cm(n_rules)
+        lint_manager(cm)  # warm-up
+        best = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            lint_manager(cm)
+            best = min(best, time.perf_counter() - started)
+        cm.stop()
+        return best
+
+    small, large = timed(10), timed(1000)
+    ratio = large / small
+    update_bench_json(
+        "core_micro",
+        "lint_scaling",
+        {"t_10": small, "t_1000": large, "ratio": ratio},
+    )
+    assert ratio < 800, f"lint scaled {ratio:.0f}x for 100x the rules"

@@ -20,7 +20,8 @@ from repro.workloads import BankingWorkload
 SIMULATED_DAYS = 3
 
 
-def main() -> None:
+def build():
+    """Wire the two ledgers and install the end-of-day batch strategy."""
     scenario = Scenario(seed=31)
     cm = ConstraintManager(scenario)
 
@@ -69,10 +70,20 @@ def main() -> None:
     )
     suggestions = cm.suggest(constraint, eod_fire_at=clock_time(17))
     eod = next(s for s in suggestions if s.strategy.kind == "eod-batch")
+    cm.install(constraint, eod)
+    return cm, eod
+
+
+def build_for_lint():
+    """CM-Lint hook: the wired bank, before any transactions."""
+    return build()[0]
+
+
+def main() -> None:
+    cm, eod = build()
     print("installing:", eod.strategy.name)
     for guarantee in eod.guarantees:
         print("  guarantees:", guarantee)
-    cm.install(constraint, eod)
 
     workload = BankingWorkload(
         cm, account_count=8, days=SIMULATED_DAYS, rate=0.02

@@ -123,7 +123,8 @@ class JobQueueTranslator(CMTranslator):
 # --- 3. wire it up with a DSL-written strategy ------------------------------------
 
 
-def main() -> None:
+def build():
+    """Wire the custom source, translator, and DSL strategy."""
     scenario = Scenario(seed=77)
     cm = ConstraintManager(scenario)
 
@@ -176,6 +177,17 @@ def main() -> None:
     # Hand-issued guarantee for the custom strategy: the dashboard only
     # shows depths the queue actually had ("follows").
     guarantee = follows("depth", "dash_depth")
+    return cm, queue, translator, dashboard, guarantee
+
+
+def build_for_lint():
+    """CM-Lint hook: the custom wiring, before any queue activity."""
+    return build()[0]
+
+
+def main() -> None:
+    cm, queue, translator, dashboard, guarantee = build()
+    scenario = cm.scenario
 
     # Workload: spontaneous enqueue/claim activity.  Queue mutations go
     # through apply_spontaneous_write so the trace sees them; the helper

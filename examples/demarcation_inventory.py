@@ -26,7 +26,8 @@ from repro.ris.relational import RelationalDatabase
 from repro.workloads import InventoryWorkload
 
 
-def main() -> None:
+def build():
+    """Wire both counters and install the demarcation protocol."""
     scenario = Scenario(seed=99)
     cm = ConstraintManager(scenario)
 
@@ -74,6 +75,17 @@ def main() -> None:
         demarcation_policy=SlackPolicy.SPLIT,
         native=dict(initial_x=0.0, initial_y=1000.0, initial_limit=100.0),
     )
+    return cm, demarcation
+
+
+def build_for_lint():
+    """CM-Lint hook: the wired inventory before any sales."""
+    return build()[0]
+
+
+def main() -> None:
+    cm, demarcation = build()
+    scenario = cm.scenario
     print("installed:", demarcation.installed.strategy.name)
     for guarantee in demarcation.guarantees:
         print("  guarantees:", guarantee)

@@ -31,7 +31,8 @@ from repro.core.timebase import format_ticks
 from repro.ris.legacy import LegacySystem
 
 
-def main() -> None:
+def build():
+    """Wire both tickers and install the monitor strategy."""
     scenario = Scenario(seed=13)
     cm = ConstraintManager(scenario)
 
@@ -54,11 +55,22 @@ def main() -> None:
     constraint = cm.declare(CopyConstraint("X", "Y"))
     suggestions = cm.suggest(constraint, rule_delay=seconds(0.5))
     suggestion = suggestions[0]
-    print("suggested:", suggestion.strategy.name)
     guarantee = suggestion.guarantees[0]
     assert isinstance(guarantee, MonitorGuarantee)
-    print("guarantee:", guarantee)
     installed = cm.install(constraint, suggestion)
+    return cm, installed, guarantee
+
+
+def build_for_lint():
+    """CM-Lint hook: the wired monitor before any feed activity."""
+    return build()[0]
+
+
+def main() -> None:
+    cm, installed, guarantee = build()
+    scenario = cm.scenario
+    print("suggested:", installed.strategy.name)
+    print("guarantee:", guarantee)
 
     # An external replication process keeps Y roughly in sync with X; the
     # CM neither controls nor trusts it — it just watches.
@@ -100,3 +112,8 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+
+#: See e6_monitor: the two monitor rules race on the shared flag by
+#: design; either write order is acceptable to the auditor.
+LINT_SUPPRESS = ("CM501:monitor_X",)

@@ -223,3 +223,16 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+
+def build_for_lint():
+    """CM-Lint hook: the federation with both copy constraints installed."""
+    cm, __ = build()
+    phones = cm.declare(
+        CopyConstraint("whois_phone", "master_phone", params=("n",))
+    )
+    cm.install(phones, cm.suggest(phones, polling_period=seconds(30))[0])
+    cm.constraint(
+        CopyConstraint("lookup_email", "master_email", params=("n",))
+    ).strategy("propagation")
+    return cm

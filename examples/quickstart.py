@@ -138,3 +138,17 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+
+def build_for_lint():
+    """CM-Lint hook: both interface generations, wired and installed."""
+    managers = []
+    for offer_notify in (True, False):
+        cm, __ = build(offer_notify)
+        constraint = cm.declare(
+            CopyConstraint("salary1", "salary2", params=("n",))
+        )
+        suggestions = cm.suggest(constraint, polling_period=seconds(10))
+        cm.install(constraint, suggestions[0])
+        managers.append(cm)
+    return managers

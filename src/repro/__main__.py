@@ -13,6 +13,14 @@ The top-level ``--profile <experiment>`` flag runs one experiment under
 quickest way to see where an experiment's wall clock goes (historically:
 rule dispatch, which is why the rule compiler exists).  ``--profile-out``
 additionally saves the printed digest to a file for CI artifacts.
+
+The top-level ``--lint <target>`` flag (or ``--lint --all``) statically
+analyzes a wired configuration without running any events: it builds the
+trigger graph and runs the CM-Lint check battery (see
+:mod:`repro.analysis`) over the named experiment or ``example:<stem>``
+script.  ``--json PATH`` writes the structured findings; the exit code is
+1 when any error-severity finding survives the target's allowlist.
+``--lint-codes`` prints the diagnostic-code reference.
 """
 
 from __future__ import annotations
@@ -59,6 +67,43 @@ def _profile_experiment(experiment: str, out_path: str | None) -> int:
         )
         print(f"profile written to {out_path}")
     return 0
+
+
+def _lint(target: str | None, lint_all: bool, json_path: str | None) -> int:
+    from repro.analysis.reporters import render_text, write_json
+    from repro.analysis.targets import (
+        available_targets,
+        lint_all as run_all,
+        lint_target,
+    )
+    from repro.core.errors import ConfigurationError
+
+    if lint_all:
+        results = run_all()
+    elif target is not None:
+        try:
+            results = {target: lint_target(target)}
+        except ConfigurationError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    else:
+        print(
+            "--lint needs a target or --all "
+            f"(targets: {', '.join(available_targets())})",
+            file=sys.stderr,
+        )
+        return 2
+    print(render_text(results))
+    if json_path is not None:
+        path = write_json(results, json_path)
+        print(f"lint report written to {path}")
+    return 0 if all(report.ok for report in results.values()) else 1
+
+
+def _print_lint_codes() -> None:
+    from repro.analysis import describe_codes
+
+    print(describe_codes())
 
 
 def _print_menu() -> None:
@@ -137,6 +182,33 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also write the profile digest to PATH (with --profile)",
     )
+    parser.add_argument(
+        "--lint",
+        metavar="TARGET",
+        nargs="?",
+        const="",
+        default=None,
+        help="statically analyze a wired configuration (an experiment id "
+        "or example:<stem>) without running it; exit 1 on error findings",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        dest="lint_all",
+        help="with --lint: analyze every experiment and example script",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        dest="lint_json",
+        default=None,
+        help="with --lint: also write the findings as JSON to PATH",
+    )
+    parser.add_argument(
+        "--lint-codes",
+        action="store_true",
+        help="print the CM-Lint diagnostic-code reference and exit",
+    )
     sub = parser.add_subparsers(dest="command")
     experiments = sub.add_parser(
         "experiments", help="run the reproduction experiments"
@@ -149,6 +221,14 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("demo", help="run the quickstart scenario")
     args = parser.parse_args(argv)
 
+    if args.lint_codes:
+        _print_lint_codes()
+        return 0
+    if args.lint is not None or args.lint_all:
+        target = args.lint if args.lint else None
+        return _lint(target, args.lint_all, args.lint_json)
+    if args.lint_json is not None:
+        parser.error("--json requires --lint")
     if args.profile is not None:
         return _profile_experiment(args.profile, args.profile_out)
     if args.profile_out is not None:

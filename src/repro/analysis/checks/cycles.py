@@ -1,0 +1,197 @@
+"""Cycle & echo detection (CM3xx) over the trigger graph.
+
+A cycle in the trigger graph means a set of rules that can re-trigger each
+other.  Three classes, in decreasing severity:
+
+- **unguarded hard cycle** (CM301): every edge of some cycle is
+  unconditional and non-echo — once entered, the rules fire forever (the
+  runtime's chain-depth limit will eventually kill the run).
+- **echo cycle** (CM302): the cycle closes only through a write→notify
+  *echo* edge — a committed CM write re-entering as a spontaneous-write
+  notification.  Translators suppress their own writes, so this is benign
+  in a correct deployment, but it is exactly the failure mode the echo
+  ablation demonstrates: one leaky translator and the loop is live.
+- **guarded cycle** (CM303): a condition guards some edge of every cycle;
+  the loop terminates as long as the guard converges (e.g. cached
+  propagation's ``cache(n) != b`` stops re-propagating once the cache
+  agrees).  Reported as info, showing the guarding condition.
+
+Self-loops are cycles of length one and classify identically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.analysis.diagnostics import diagnostic
+from repro.analysis.graph import Edge, TriggerGraph
+
+CHECK = "cycles"
+
+
+def _sccs(
+    node_count: int, edges_of: Callable[[int], list[Edge]]
+) -> list[list[int]]:
+    """Tarjan's strongly connected components, iteratively.
+
+    Returns only the non-trivial SCCs: size > 1, or a single node with a
+    self-edge.
+    """
+    index_of: dict[int, int] = {}
+    lowlink: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    result: list[list[int]] = []
+    counter = 0
+
+    for root in range(node_count):
+        if root in index_of:
+            continue
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            node, edge_index = work[-1]
+            if edge_index == 0:
+                index_of[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            out = edges_of(node)
+            while edge_index < len(out):
+                succ = out[edge_index].dst
+                edge_index += 1
+                if succ not in index_of:
+                    work[-1] = (node, edge_index)
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == index_of[node]:
+                component: list[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or any(
+                    e.dst == node for e in edges_of(node)
+                ):
+                    result.append(sorted(component))
+            if work:
+                parent, __ = work[-1]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return result
+
+
+def _cyclic_within(
+    members: set[int],
+    graph: TriggerGraph,
+    keep: Callable[[Edge], bool],
+) -> bool:
+    """Whether the member-induced subgraph (edges passing ``keep``) has a
+    cycle."""
+
+    def edges_of(node: int) -> list[Edge]:
+        return [
+            e
+            for e in graph.out_edges(node)
+            if e.dst in members and keep(e)
+        ]
+
+    # Reuse Tarjan over the full index space; nodes outside ``members``
+    # simply have no edges and form trivial components.
+    return bool(_sccs(len(graph.nodes), edges_of))
+
+
+def _describe(graph: TriggerGraph, members: list[int]) -> str:
+    names = [graph.nodes[m].name for m in members]
+    sites = sorted({graph.nodes[m].site for m in members})
+    return (
+        f"{' -> '.join(names)} (site{'s' if len(sites) > 1 else ''} "
+        f"{', '.join(sites)})"
+    )
+
+
+def check_cycles(ctx, report) -> None:
+    graph: TriggerGraph = ctx.graph
+    for members in _sccs(len(graph.nodes), graph.out_edges):
+        member_set = set(members)
+        anchor = graph.nodes[members[0]]
+        internal = [
+            e
+            for m in members
+            for e in graph.out_edges(m)
+            if e.dst in member_set
+        ]
+        if _cyclic_within(
+            member_set, graph, lambda e: not e.guarded and not e.echo
+        ):
+            report.add(
+                diagnostic(
+                    "CM301",
+                    f"unguarded trigger cycle: "
+                    f"{_describe(graph, members)}; these rules re-trigger "
+                    f"each other unconditionally",
+                    site=anchor.site,
+                    rule=anchor.name,
+                    check=CHECK,
+                    hint=(
+                        "guard one edge of the cycle with a convergence "
+                        "condition (e.g. only propagate when the value "
+                        "actually changed)"
+                    ),
+                )
+            )
+        elif _cyclic_within(member_set, graph, lambda e: not e.echo):
+            guards = sorted(
+                {e.guard for e in internal if e.guard and not e.echo}
+            )
+            report.add(
+                diagnostic(
+                    "CM303",
+                    f"guarded trigger cycle: {_describe(graph, members)}; "
+                    f"benign while the guard(s) "
+                    f"{guards} converge",
+                    site=anchor.site,
+                    rule=anchor.name,
+                    check=CHECK,
+                )
+            )
+        else:
+            echo_families = sorted(
+                {
+                    graph.nodes[e.src].family or "?"
+                    for e in internal
+                    if e.echo
+                }
+            )
+            report.add(
+                diagnostic(
+                    "CM302",
+                    f"echo-closed trigger cycle: "
+                    f"{_describe(graph, members)}; live only if a "
+                    f"translator leaks its own writes on "
+                    f"{', '.join(echo_families)} back as notifications",
+                    site=anchor.site,
+                    rule=anchor.name,
+                    check=CHECK,
+                    hint=(
+                        "translators must suppress notifications for "
+                        "CM-initiated writes (the echo ablation shows "
+                        "what happens otherwise)"
+                    ),
+                )
+            )
+
+
+def find_cycles(graph: TriggerGraph) -> list[list[int]]:
+    """Public helper: all non-trivial SCCs of the graph (tests use it)."""
+    return _sccs(len(graph.nodes), graph.out_edges)
+
+
+__all__ = ["check_cycles", "find_cycles"]

@@ -1,0 +1,175 @@
+"""Dead & shadowed rules (CM4xx).
+
+A strategy rule is *dead* when no chain of events can ever reach its LHS:
+the trigger graph has no path to it from any **root** — an event source
+the outside world or the scheduler drives directly:
+
+- periodic rules and periodic-notify interfaces (the shell's timers);
+- spontaneous-write-triggered interfaces (notify / conditional notify) for
+  families whose source has *not* promised no-spontaneous-writes — the
+  applications' own updates.
+
+A rule is *shadowed* when another rule at the same shell matches a
+superset of its events with no extra guard and the identical right-hand
+side: dispatch fires **all** matching rules, so both fire and the RHS is
+duplicated (double write requests are the usual symptom).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.analysis.diagnostics import diagnostic
+from repro.analysis.graph import Node, TriggerGraph, guard_conjuncts
+from repro.core.events import EventKind
+from repro.core.interfaces import InterfaceKind
+from repro.core.templates import Template
+from repro.core.terms import FAMILY_WILDCARD, Const, Term
+
+CHECK = "dead-rules"
+
+#: Interface kinds that promise the family is never spontaneously written.
+_QUIET_KINDS = (InterfaceKind.NO_SPONTANEOUS_WRITE,)
+
+
+def graph_roots(graph: TriggerGraph, interfaces) -> list[Node]:
+    """Nodes the outside world (applications, timers) drives directly."""
+    roots: list[Node] = []
+    for node in graph.nodes:
+        lhs = node.rule.lhs
+        if lhs.kind is EventKind.PERIODIC:
+            roots.append(node)
+            continue
+        if lhs.kind is EventKind.SPONTANEOUS_WRITE:
+            family = lhs.item_family
+            quiet = (
+                family is not None
+                and family != FAMILY_WILDCARD
+                and any(interfaces.has(family, k) for k in _QUIET_KINDS)
+            )
+            if not quiet:
+                roots.append(node)
+    return roots
+
+
+def reachable_from_roots(graph: TriggerGraph, interfaces) -> set[int]:
+    """Indices reachable from any root over non-echo edges."""
+    seen: set[int] = set()
+    queue = deque(n.index for n in graph_roots(graph, interfaces))
+    seen.update(queue)
+    while queue:
+        node = queue.popleft()
+        for edge in graph.out_edges(node):
+            if edge.echo or edge.dst in seen:
+                continue
+            seen.add(edge.dst)
+            queue.append(edge.dst)
+    return seen
+
+
+def _term_subsumes(general: Term, specific: Term) -> bool:
+    if isinstance(general, Const):
+        return isinstance(specific, Const) and general.value == specific.value
+    return True  # variables and wildcards accept anything
+
+
+def template_subsumes(general: Template, specific: Template) -> bool:
+    """Every ground event matching ``specific`` also matches ``general``."""
+    if general.kind is not specific.kind:
+        return False
+    if general.kind is EventKind.FALSE:
+        return False
+    if (general.item is None) != (specific.item is None):
+        return False
+    if general.item is not None and specific.item is not None:
+        if (
+            general.item.name != specific.item.name
+            and general.item.name != FAMILY_WILDCARD
+        ):
+            return False
+        if len(general.item.args) != len(specific.item.args):
+            return False
+        for g, s in zip(general.item.args, specific.item.args):
+            if not _term_subsumes(g, s):
+                return False
+    if len(general.values) != len(specific.values):
+        return False
+    for g, s in zip(general.values, specific.values):
+        if not _term_subsumes(g, s):
+            return False
+    return True
+
+
+def check_dead_rules(ctx, report) -> None:
+    graph: TriggerGraph = ctx.graph
+    reachable = reachable_from_roots(graph, ctx.interfaces)
+    for node in graph.strategy_nodes():
+        if node.index in reachable:
+            continue
+        report.add(
+            diagnostic(
+                "CM401",
+                f"rule {node.rule.name!r} (LHS {node.rule.lhs}) is "
+                f"unreachable: no source event or periodic timer can ever "
+                f"trigger it",
+                site=node.site,
+                rule=node.rule.name,
+                check=CHECK,
+                hint=(
+                    "check that the triggering interface is offered and "
+                    "that an upstream rule produces the LHS event"
+                ),
+            )
+        )
+
+    # Shadowing: group strategy nodes by site + LHS kind + LHS family so
+    # the pairwise scan only touches plausibly-overlapping rules (a concrete
+    # family can only be subsumed by the same family or the wildcard, so
+    # wildcard-LHS rules are cross-checked against every family's bucket).
+    groups: dict[tuple[str, EventKind, object], list[Node]] = {}
+    wildcards: dict[tuple[str, EventKind], list[Node]] = {}
+    for node in graph.strategy_nodes():
+        family = node.rule.lhs.item_family
+        if family == FAMILY_WILDCARD:
+            wildcards.setdefault(
+                (node.site, node.rule.lhs.kind), []
+            ).append(node)
+        groups.setdefault(
+            (node.site, node.rule.lhs.kind, family), []
+        ).append(node)
+    for (site, kind, family), members in groups.items():
+        generals = list(members)
+        if family != FAMILY_WILDCARD:
+            generals += wildcards.get((site, kind), [])
+        if len(generals) < 2:
+            continue
+        for specific in members:
+            for general in generals:
+                if _shadows(general, specific):
+                    report.add(
+                        diagnostic(
+                            "CM402",
+                            f"rule {specific.rule.name!r} is shadowed by "
+                            f"{general.rule.name!r}: the same events match "
+                            f"both and their right-hand sides are "
+                            f"identical, so every trigger fires the RHS "
+                            f"twice",
+                            site=specific.site,
+                            rule=specific.rule.name,
+                            check=CHECK,
+                            hint="remove one of the duplicated rules",
+                        )
+                    )
+                    break  # one shadow finding per rule is enough
+
+
+def _shadows(general: Node, specific: Node) -> bool:
+    """True when ``general`` makes ``specific`` fire its RHS twice."""
+    return (
+        general is not specific
+        and general.rule.name != specific.rule.name
+        and template_subsumes(general.rule.lhs, specific.rule.lhs)
+        and not guard_conjuncts(general.rule)  # general may not fire
+        and general.rule.steps == specific.rule.steps
+        and general.rhs_site == specific.rhs_site
+    )

@@ -1,0 +1,143 @@
+"""Interface compliance (CM1xx): every operation a strategy rule performs
+on a source item must be granted by an installed interface rule.
+
+This is the static form of the paper's configuration-time interface survey:
+a write request needs a write interface, a read request a read interface, a
+notification-triggered LHS some notify-flavoured interface, and every
+referenced family must have a registered source (or be shell-private) at
+all.  The runtime performs some of these checks lazily (a missing
+translator surfaces as a ``ConfigurationError`` on first dispatch); the
+lint check — and the eager validation it backs — moves them to install
+time.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import diagnostic
+from repro.analysis.graph import Node
+from repro.core.events import EventKind
+from repro.core.interfaces import InterfaceKind
+from repro.core.terms import FAMILY_WILDCARD
+
+CHECK = "interface-compliance"
+
+
+def _flag_unknown(ctx, report, node: Node, family: str, what: str) -> None:
+    report.add(
+        diagnostic(
+            "CM104",
+            f"rule {node.rule.name!r} {what} family {family!r}, which no "
+            f"registered source provides",
+            site=node.site,
+            rule=node.rule.name,
+            check=CHECK,
+            hint=(
+                "register the source (cm.add_source / site().source()) "
+                "before installing the strategy, or use a W event for "
+                "shell-private items"
+            ),
+        )
+    )
+
+
+def check_interface_compliance(ctx, report) -> None:
+    interfaces = ctx.interfaces
+    for node in ctx.graph.strategy_nodes():
+        rule = node.rule
+        lhs = rule.lhs
+        if lhs.kind is EventKind.NOTIFY:
+            family = lhs.item_family
+            if (
+                family is not None
+                and family != FAMILY_WILDCARD
+                and not ctx.is_private(family)
+            ):
+                if not ctx.family_known(family):
+                    _flag_unknown(ctx, report, node, family, "triggers on")
+                elif not any(
+                    interfaces.has(family, k)
+                    for k in (
+                        InterfaceKind.NOTIFY,
+                        InterfaceKind.CONDITIONAL_NOTIFY,
+                        InterfaceKind.PERIODIC_NOTIFY,
+                    )
+                ):
+                    report.add(
+                        diagnostic(
+                            "CM103",
+                            f"rule {rule.name!r} triggers on N({family}) "
+                            f"but {family!r} offers no notify interface; "
+                            f"the rule will never fire",
+                            site=node.site,
+                            rule=rule.name,
+                            check=CHECK,
+                            hint=(
+                                f"offer a notify interface for {family!r} "
+                                f"in its CM-RID, or use a polling strategy"
+                            ),
+                        )
+                    )
+        if ctx.scope == "shell" and node.rhs_site != node.site:
+            # Single-shell view: the RHS executes at a remote site whose
+            # translators and interfaces are out of scope here.
+            continue
+        for step in rule.steps:
+            template = step.template
+            family = template.item_family
+            if family is None or family == FAMILY_WILDCARD:
+                continue
+            kind = template.kind
+            if kind is EventKind.WRITE_REQUEST:
+                if not ctx.family_known(family) or ctx.is_private(family):
+                    _flag_unknown(
+                        ctx, report, node, family, "requests a write on"
+                    )
+                elif not interfaces.has(family, InterfaceKind.WRITE):
+                    report.add(
+                        diagnostic(
+                            "CM101",
+                            f"rule {rule.name!r} requests WR({family}) but "
+                            f"{family!r} offers no write interface",
+                            site=node.rhs_site,
+                            rule=rule.name,
+                            check=CHECK,
+                            hint=(
+                                f"offer a write interface for {family!r} "
+                                f"in its CM-RID"
+                            ),
+                        )
+                    )
+            elif kind is EventKind.READ_REQUEST:
+                if not ctx.family_known(family) or ctx.is_private(family):
+                    _flag_unknown(
+                        ctx, report, node, family, "requests a read on"
+                    )
+                elif not interfaces.has(family, InterfaceKind.READ):
+                    report.add(
+                        diagnostic(
+                            "CM102",
+                            f"rule {rule.name!r} requests RR({family}) but "
+                            f"{family!r} offers no read interface",
+                            site=node.rhs_site,
+                            rule=rule.name,
+                            check=CHECK,
+                            hint=(
+                                f"offer a read interface for {family!r} "
+                                f"in its CM-RID"
+                            ),
+                        )
+                    )
+            elif kind is EventKind.WRITE:
+                if ctx.has_translator(family, node.rhs_site):
+                    report.add(
+                        diagnostic(
+                            "CM105",
+                            f"rule {rule.name!r} writes W({family}) "
+                            f"directly, but {family!r} is a database "
+                            f"family at site {node.rhs_site!r}",
+                            site=node.rhs_site,
+                            rule=rule.name,
+                            check=CHECK,
+                            hint="emit a WR (write request) instead",
+                        )
+                    )

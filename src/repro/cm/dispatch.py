@@ -104,6 +104,21 @@ class RuleIndex:
             self._buckets.setdefault((kind, family), []).append(installed)
         return installed
 
+    def remove(self, installed: InstalledRule) -> None:
+        """Withdraw an entry previously returned by :meth:`add`.
+
+        Used by strict installation mode to roll back a rule whose lint
+        findings reject it; serials of surviving entries are untouched, so
+        installation-order iteration stays correct.
+        """
+        self._all.remove(installed)
+        kind = installed.rule.lhs.kind
+        family = installed.rule.lhs.dispatch_family
+        if family is None and installed.rule.lhs.item is not None:
+            self._catch_all[kind].remove(installed)
+        else:
+            self._buckets[(kind, family)].remove(installed)
+
     def candidates(self, desc: EventDesc) -> list[InstalledRule]:
         """Rules whose LHS might match ``desc``, in installation order."""
         family = desc.item.name if desc.item is not None else None

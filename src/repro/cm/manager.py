@@ -309,10 +309,19 @@ class ConstraintManager:
                     needs.append((family, InterfaceKind.WRITE))
                 elif step.template.kind is EventKind.READ_REQUEST:
                     needs.append((family, InterfaceKind.READ))
+        from repro.core.terms import FAMILY_WILDCARD
+
         private = {family for family, __ in strategy.private_families}
         for family, kind in needs:
-            if family in private or not self.locations.known(family):
+            if family in private or family == FAMILY_WILDCARD:
                 continue
+            if not self.locations.known(family):
+                raise ConfigurationError(
+                    f"strategy {strategy.name!r} references family "
+                    f"{family!r} ({kind.value} interface needed), but no "
+                    f"source is registered for it; add the source with "
+                    f"cm.add_source(...) before installing the strategy"
+                )
             if kind is InterfaceKind.NOTIFY:
                 satisfied = any(
                     interfaces.has(family, k)

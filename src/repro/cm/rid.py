@@ -221,13 +221,33 @@ class CMRID:
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "CMRID":
-        """Parse the plain-dict (file) form."""
+        """Parse the plain-dict (file) form.
+
+        Malformed input — missing required fields, unknown interface-kind
+        names, duplicate bindings, offers for unbound families — raises
+        :class:`ConfigurationError` naming the offending entry, so a bad
+        CM-RID file fails at load time with actionable context instead of
+        a bare ``KeyError`` deep in the wiring.
+        """
+        for required in ("source_kind", "source_name"):
+            if required not in data:
+                raise ConfigurationError(
+                    f"CM-RID is missing the required field {required!r} "
+                    f"(got fields: {sorted(data)})"
+                )
         rid = cls(
             source_kind=data["source_kind"],
             source_name=data["source_name"],
             protocol=dict(data.get("protocol", {})),
         )
+        where = f"CM-RID for {rid.source_kind!r} source {rid.source_name!r}"
         for family, binding_data in data.get("bindings", {}).items():
+            if not isinstance(binding_data, dict):
+                raise ConfigurationError(
+                    f"{where}: binding for family {family!r} must be a "
+                    f"mapping with 'locator'/'params', got "
+                    f"{type(binding_data).__name__}"
+                )
             rid.bind(
                 family,
                 params=tuple(binding_data.get("params", ())),
@@ -235,10 +255,24 @@ class CMRID:
             )
         for family, offers in data.get("offers", {}).items():
             for offer in offers:
+                if "kind" not in offer:
+                    raise ConfigurationError(
+                        f"{where}: offer for family {family!r} is missing "
+                        f"'kind' (entry: {offer!r})"
+                    )
+                try:
+                    kind = InterfaceKind(offer["kind"])
+                except ValueError:
+                    raise ConfigurationError(
+                        f"{where}: offer for family {family!r} names "
+                        f"unknown interface kind {offer['kind']!r} "
+                        f"(valid: "
+                        f"{', '.join(k.value for k in InterfaceKind)})"
+                    ) from None
                 window = offer.get("window_seconds")
                 rid.offer(
                     family,
-                    InterfaceKind(offer["kind"]),
+                    kind,
                     bound_seconds=offer.get("bound_seconds", 0.0),
                     period_seconds=offer.get("period_seconds"),
                     condition=offer.get("condition", ""),

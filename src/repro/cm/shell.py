@@ -167,6 +167,7 @@ class CMShell:
         *,
         phase: Optional[Ticks] = None,
         compiled: bool | None = None,
+        strict: bool = False,
     ) -> None:
         """Install a strategy rule whose LHS is at this site.
 
@@ -180,6 +181,12 @@ class CMShell:
         (e.g. 17:00 for end-of-day strategies) — without it the timer
         starts at the epoch and fires every period.  ``rhs_site`` defaults
         to this site (local execution).
+
+        With ``strict=True`` the shell lints itself (the single-site
+        subset of CM-Lint: interface compliance, variable safety, cycle
+        detection) after indexing the rule; any error-severity finding
+        rolls the rule back and raises :class:`ConfigurationError`, so a
+        strictly-installed shell is always lint-clean.
         """
         existing = self._rules_by_name.get(rule.name)
         if existing is not None and existing != rule:
@@ -188,15 +195,26 @@ class CMShell:
                 f"{self.site!r} with a different definition; rule names key "
                 f"firing counters and must be unique per shell"
             )
-        if rule.lhs.kind is EventKind.PERIODIC:
-            self._install_timer(rule, phase)
-        elif phase is not None:
+        if rule.lhs.kind is not EventKind.PERIODIC and phase is not None:
             raise SpecError(
                 f"rule {rule.name!r}: phase only applies to periodic rules"
             )
         if compiled is None:
             compiled = self.compile_rules
         installed = self._index.add(rule, rhs_site, compiled=compiled)
+        if strict:
+            from repro.analysis import lint_shell
+
+            errors = lint_shell(self).errors
+            if errors:
+                self._index.remove(installed)
+                raise ConfigurationError(
+                    f"strict install of rule {rule.name!r} at site "
+                    f"{self.site!r} rejected by lint:\n  "
+                    + "\n  ".join(str(finding) for finding in errors)
+                )
+        if rule.lhs.kind is EventKind.PERIODIC:
+            self._install_timer(rule, phase)
         if installed.program is not None:
             self._m_compiled.value += 1
         elif compiled:

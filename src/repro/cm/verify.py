@@ -41,6 +41,11 @@ class VerificationReport:
     #: Trace recording/index counters (:meth:`ExecutionTrace.stats`) at
     #: verification time — how much work the indexed hot path actually did.
     trace_stats: dict[str, int] = field(default_factory=dict)
+    #: Static CM-Lint findings over the wired configuration
+    #: (:func:`repro.analysis.lint_manager`) — surfaced alongside the
+    #: dynamic layers so a post-run report also shows what was knowable
+    #: before the run.  Error findings fail :attr:`ok`.
+    diagnostics: list = field(default_factory=list)
 
     @property
     def guarantees_ok(self) -> bool:
@@ -53,9 +58,23 @@ class VerificationReport:
         return not self.trace_violations
 
     @property
+    def lint_ok(self) -> bool:
+        """No error-severity static findings."""
+        from repro.analysis.diagnostics import Severity
+
+        return not any(
+            d.severity is Severity.ERROR for d in self.diagnostics
+        )
+
+    @property
     def ok(self) -> bool:
-        """All three validation layers passed."""
-        return self.guarantees_ok and self.trace_ok and not self.silent_gaps
+        """All validation layers (static and dynamic) passed."""
+        return (
+            self.guarantees_ok
+            and self.trace_ok
+            and not self.silent_gaps
+            and self.lint_ok
+        )
 
     def render(self) -> str:
         """Human-readable multi-line summary of the findings."""
@@ -75,6 +94,10 @@ class VerificationReport:
                 f"  SILENT GAP: board believes {name!r} but the trace "
                 f"refutes it (undetected failure?)"
             )
+        if self.diagnostics:
+            lines.append(f"  {len(self.diagnostics)} lint finding(s):")
+            for finding in self.diagnostics[:5]:
+                lines.append(f"    {finding}")
         if self.trace_stats:
             lines.append(
                 "  trace: {events_recorded} events, {items_tracked} items, "
@@ -86,9 +109,25 @@ class VerificationReport:
         return "\n".join(lines)
 
 
-def verify(cm: ConstraintManager) -> VerificationReport:
-    """Run all post-hoc validation layers over a finished scenario."""
+def verify(
+    cm: ConstraintManager,
+    *,
+    lint: bool = True,
+    lint_suppress: tuple[str, ...] = (),
+) -> VerificationReport:
+    """Run all post-hoc validation layers over a finished scenario.
+
+    ``lint`` (default on) also runs the static CM-Lint battery over the
+    still-wired configuration and attaches its findings; pass
+    ``lint_suppress`` codes (``"CM501"`` / ``"CM501:rule-name"``) for
+    findings that are expected in this scenario.
+    """
     report = VerificationReport()
+    if lint:
+        from repro.analysis import lint_manager
+
+        lint_report = lint_manager(cm, suppress=lint_suppress)
+        report.diagnostics = list(lint_report.diagnostics)
     report.guarantee_reports = cm.check_guarantees()
     rules = [
         rule

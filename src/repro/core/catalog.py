@@ -230,8 +230,12 @@ def _suggest_copy(
 
     if src_readable and dst_writable:
         period: Ticks = context.option("polling_period", seconds(60))
+        # Polling chains two rule firings (P -> RR, then R -> WR), so the
+        # worst case charges the rule delay twice; the margin absorbs
+        # clock skew and the cross-site request hop.
         kappa = (
             period
+            + delay
             + interfaces.bound(src, InterfaceKind.READ)
             + delay
             + interfaces.bound(dst, InterfaceKind.WRITE)

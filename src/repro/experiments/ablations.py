@@ -296,3 +296,24 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+
+#: The out-of-order ablation deliberately runs the catalog's propagation
+#: strategy over a channel whose jitter (up to 2s) exceeds the latency
+#: headroom its κ assumes — CM-Lint correctly flags the metric guarantee
+#: as statically infeasible (CM601), which is the very effect the ablation
+#: measures.  Keep the finding visible but allowlisted.
+LINT_SUPPRESS = ("CM601",)
+
+
+def build_for_lint():
+    """CM-Lint hook: the baseline wiring plus the out-of-order variant."""
+    return [
+        build_salary_scenario(strategy_kind="propagation", seed=10).cm,
+        build_salary_scenario(
+            strategy_kind="propagation",
+            seed=10,
+            in_order=False,
+            latency=UniformLatency(seconds(0.01), seconds(2.0)),
+        ).cm,
+    ]

@@ -216,3 +216,8 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+
+def build_for_lint():
+    """CM-Lint hook: a small federation (the sweep only changes N)."""
+    return build_federation(replica_count=2, seed=9)[0]

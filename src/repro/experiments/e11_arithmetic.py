@@ -171,3 +171,11 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+
+def build_for_lint():
+    """CM-Lint hook: both cache transports."""
+    return [
+        build_arithmetic_cm(11, transport, 5.0)[0]
+        for transport in ("notify", "poll")
+    ]

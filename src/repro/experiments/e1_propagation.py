@@ -120,3 +120,8 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+
+def build_for_lint():
+    """CM-Lint hook: the wired configuration this experiment runs."""
+    return build_salary_scenario(strategy_kind="propagation", seed=0).cm

@@ -143,3 +143,8 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+
+def build_for_lint():
+    """CM-Lint hook: the polling configuration at the default period."""
+    return build_salary_scenario(strategy_kind="polling", seed=1).cm

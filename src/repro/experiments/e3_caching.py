@@ -99,3 +99,11 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+
+def build_for_lint():
+    """CM-Lint hook: both strategies the experiment compares."""
+    return [
+        build_salary_scenario(strategy_kind=kind, seed=2).cm
+        for kind in ("propagation", "cached-propagation")
+    ]

@@ -180,3 +180,9 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+
+def build_for_lint():
+    """CM-Lint hook: the inventory wiring (the protocol itself is a
+    programmed native strategy, so only its interface rules are nodes)."""
+    return build_inventory_cm(3, SlackPolicy.EXACT)[0]

@@ -177,3 +177,8 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+
+def build_for_lint():
+    """CM-Lint hook: the referential-integrity configuration."""
+    return build_referential_cm(seed=4)

@@ -185,3 +185,17 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+
+def build_for_lint():
+    """CM-Lint hook: the monitor configuration (κ verdicts not needed)."""
+    return build_monitor_cm(seed=5)[0]
+
+
+#: Both monitor rules (one per ticker site) raise the shared divergence
+#: flag; CM-Lint correctly reports the write-write race (CM501), but the
+#: monitor design is insensitive to it — either order leaves Flag=true
+#: with a valid timebound, and the auditor treats Flag=true
+#: conservatively.  Allowlist the finding rather than restructure the
+#: paper's strategy.
+LINT_SUPPRESS = ("CM501:monitor_X",)

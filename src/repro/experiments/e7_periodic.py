@@ -162,3 +162,8 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+
+def build_for_lint():
+    """CM-Lint hook: the end-of-day banking configuration."""
+    return build_banking_cm(seed=6)

@@ -210,3 +210,9 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+
+def build_for_lint():
+    """CM-Lint hook: the baseline wiring (failure plans are runtime-only,
+    so the no-failure configuration is the statically relevant one)."""
+    return build_salary_scenario(strategy_kind="propagation", seed=7).cm

@@ -144,3 +144,19 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
+
+
+def build_for_lint():
+    """CM-Lint hook: both interface generations the experiment swaps
+    between (notify-capable, then read-only with polling)."""
+    return [
+        build_salary_scenario(
+            strategy_kind="propagation", seed=8, offer_notify=True
+        ).cm,
+        build_salary_scenario(
+            strategy_kind="polling",
+            seed=8,
+            offer_notify=False,
+            polling_period=10.0,
+        ).cm,
+    ]

@@ -35,6 +35,10 @@ class RunReport:
     scheduler: dict = field(default_factory=dict)
     traces: dict = field(default_factory=dict)
     trace_index: dict = field(default_factory=dict)
+    #: Static CM-Lint findings over the configuration (list of
+    #: ``Diagnostic.to_dict()`` entries), so a persisted run report records
+    #: what was statically knowable about the wiring that produced it.
+    lint: list[dict] = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return {
@@ -49,6 +53,7 @@ class RunReport:
             "scheduler": self.scheduler,
             "traces": self.traces,
             "trace_index": self.trace_index,
+            "lint": self.lint,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -282,4 +287,11 @@ def build_run_report(cm: Any) -> RunReport:
 
     # -- execution-trace recording/index counters ------------------------------
     report.trace_index = scenario.trace.stats()
+
+    # -- static lint findings over the (still-wired) configuration -------------
+    from repro.analysis import lint_manager
+
+    report.lint = [
+        finding.to_dict() for finding in lint_manager(cm).diagnostics
+    ]
     return report

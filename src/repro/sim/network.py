@@ -34,6 +34,13 @@ class LatencyModel:
         """Return a latency sample.  Subclasses must override."""
         raise NotImplementedError
 
+    def worst_case(self) -> Optional[Ticks]:
+        """The largest latency :meth:`sample` can return, or ``None`` when
+        the distribution is unbounded.  Static analysis (guarantee
+        feasibility in :mod:`repro.analysis`) sums these along trigger
+        paths; an unbounded model makes a metric bound unprovable."""
+        return None
+
 
 @dataclass(frozen=True)
 class FixedLatency(LatencyModel):
@@ -42,6 +49,9 @@ class FixedLatency(LatencyModel):
     latency: Ticks
 
     def sample(self, rng) -> Ticks:
+        return self.latency
+
+    def worst_case(self) -> Optional[Ticks]:
         return self.latency
 
 
@@ -58,6 +68,9 @@ class UniformLatency(LatencyModel):
 
     def sample(self, rng) -> Ticks:
         return rng.randint(self.low, self.high)
+
+    def worst_case(self) -> Optional[Ticks]:
+        return self.high
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,246 @@
+"""Positive and negative tests for each CM-Lint check family.
+
+Every check family gets at least one configuration it must flag (with the
+expected code) and one it must pass.  Broken rules are installed directly
+on the shells, bypassing the manager's eager validation — lint must catch
+what sneaks past installation.
+"""
+
+from analysis_helpers import bare_two_site, codes_of, salary_cm
+
+from repro import parse_rules
+from repro.analysis import lint_manager
+
+
+def rule(text: str):
+    (parsed,) = parse_rules(text)
+    return parsed
+
+
+class TestInterfaceCompliance:
+    def test_catalog_configuration_is_clean(self):
+        cm = salary_cm("propagation")
+        report = lint_manager(cm)
+        cm.stop()
+        assert report.ok and not report.diagnostics
+
+    def test_write_request_without_write_interface_cm101(self):
+        cm = bare_two_site(offer_write=False)
+        cm.shell("sf").install(
+            rule("rule fwd: N(salary1(n), b) -> [1] WR(salary2(n), b)"),
+            rhs_site="ny",
+        )
+        report = lint_manager(cm)
+        cm.stop()
+        assert "CM101" in codes_of(report)
+        assert not report.ok
+
+    def test_read_request_without_read_interface_cm102(self):
+        cm = bare_two_site()
+        # hq's read interface exists; target a family that lacks one by
+        # withdrawing it: salary1 keeps read, so use a fresh source-less
+        # family via private registration is CM104 — instead drop reads.
+        cm2 = bare_two_site(offer_notify=False)
+        # salary1 still offers read; rebuild with no read is not supported
+        # by the helper, so test RR against salary2 after stripping:
+        cm.stop()
+        shell = cm2.shell("ny")
+        offers = cm2.shells["sf"].translators["salary1"].rid.offers
+        offers["salary1"] = [
+            offer
+            for offer in offers["salary1"]
+            if offer.kind.value != "read"
+        ]
+        shell.install(
+            rule("rule poll: P(60) -> [1] RR(salary1(n))"), rhs_site="sf"
+        )
+        report = lint_manager(cm2)
+        cm2.stop()
+        assert "CM102" in codes_of(report)
+
+    def test_notify_trigger_without_notify_interface_cm103(self):
+        cm = bare_two_site(offer_notify=False)
+        cm.shell("sf").install(
+            rule("rule fwd: N(salary1(n), b) -> [1] WR(salary2(n), b)"),
+            rhs_site="ny",
+        )
+        report = lint_manager(cm)
+        cm.stop()
+        assert "CM103" in codes_of(report)
+
+    def test_unknown_family_cm104(self):
+        cm = bare_two_site()
+        cm.shell("sf").install(
+            rule("rule fwd: N(salary1(n), b) -> [1] WR(ghost(n), b)"),
+            rhs_site="sf",
+        )
+        report = lint_manager(cm)
+        cm.stop()
+        assert "CM104" in codes_of(report)
+
+    def test_direct_write_on_database_family_cm105(self):
+        cm = bare_two_site()
+        cm.shell("ny").install(
+            rule("rule raw: N(salary1(n), b) -> [1] W(salary2(n), b)"),
+            rhs_site="ny",
+        )
+        report = lint_manager(cm)
+        cm.stop()
+        assert "CM105" in codes_of(report)
+
+
+class TestVariableSafety:
+    def test_unbound_condition_variable_cm201(self):
+        cm = bare_two_site()
+        cm.shell("sf").install(
+            rule(
+                "rule guarded: N(salary1(n), b) & limit > b "
+                "-> [1] WR(salary2(n), b)"
+            ),
+            rhs_site="ny",
+        )
+        report = lint_manager(cm)
+        cm.stop()
+        assert "CM201" in codes_of(report)
+
+    def test_bound_variables_pass(self):
+        cm = bare_two_site()
+        cm.shell("sf").install(
+            rule(
+                "rule guarded: N(salary1(n), b) & b > 0 "
+                "-> [1] WR(salary2(n), b)"
+            ),
+            rhs_site="ny",
+        )
+        report = lint_manager(cm)
+        cm.stop()
+        assert "CM201" not in codes_of(report)
+
+
+class TestCycles:
+    def test_unguarded_private_write_cycle_cm301(self):
+        cm = bare_two_site()
+        sf = cm.shell("sf")
+        cm.locations.register("PingV", "sf")
+        cm.locations.register("PongV", "sf")
+        sf.install(rule("rule ping: W(PingV, b) -> [1] W(PongV, b)"))
+        sf.install(rule("rule pong: W(PongV, b) -> [1] W(PingV, b)"))
+        report = lint_manager(cm)
+        cm.stop()
+        assert "CM301" in codes_of(report)
+        assert not report.ok
+
+    def test_guarded_cycle_is_info_cm303(self):
+        cm = bare_two_site()
+        sf = cm.shell("sf")
+        cm.locations.register("PingV", "sf")
+        cm.locations.register("PongV", "sf")
+        sf.install(
+            rule("rule ping: W(PingV, b) & b > 0 -> [1] W(PongV, b)")
+        )
+        sf.install(rule("rule pong: W(PongV, b) -> [1] W(PingV, b)"))
+        report = lint_manager(cm)
+        cm.stop()
+        codes = codes_of(report)
+        assert "CM303" in codes
+        assert "CM301" not in codes
+
+    def test_echo_cycle_is_warning_cm302(self):
+        # salary2 offers write AND notify: a rule triggering on N(salary2)
+        # that writes salary2 back closes a cycle only through the
+        # write->notify echo edge.
+        from repro.core.interfaces import InterfaceKind
+
+        cm = bare_two_site()
+        rid_b = cm.shells["ny"].translators["salary2"].rid
+        rid_b.offer("salary2", InterfaceKind.NOTIFY, bound_seconds=2.0)
+        cm.shell("ny").install(
+            rule("rule echoer: N(salary2(n), b) -> [1] WR(salary2(n), b)"),
+            rhs_site="ny",
+        )
+        report = lint_manager(cm)
+        cm.stop()
+        codes = codes_of(report)
+        assert "CM302" in codes
+        assert "CM301" not in codes
+
+    def test_acyclic_configuration_passes(self):
+        cm = salary_cm("propagation")
+        report = lint_manager(cm)
+        cm.stop()
+        assert not any(code.startswith("CM3") for code in codes_of(report))
+
+
+class TestDeadAndShadowedRules:
+    def test_unreachable_rule_cm401(self):
+        cm = bare_two_site()
+        cm.locations.register("Never", "sf")
+        cm.locations.register("NeverOut", "sf")
+        # Nothing ever writes the private family 'Never': no Ws root (it
+        # has no translator), no periodic rule, no upstream writer.
+        cm.shell("sf").install(
+            rule("rule orphan: W(Never, b) -> [1] W(NeverOut, b)")
+        )
+        report = lint_manager(cm)
+        cm.stop()
+        assert "CM401" in codes_of(report)
+
+    def test_shadowed_rule_cm402(self):
+        cm = bare_two_site()
+        sf = cm.shell("sf")
+        # Identical right-hand sides; the general LHS matches a superset
+        # of the specific one's events, so every specific trigger fires
+        # the RHS twice.
+        sf.install(
+            rule("rule specific: N(salary1(n), 100) -> [1] WR(salary2(n), 100)"),
+            rhs_site="ny",
+        )
+        sf.install(
+            rule("rule general: N(salary1(n), b) -> [1] WR(salary2(n), 100)"),
+            rhs_site="ny",
+        )
+        report = lint_manager(cm)
+        cm.stop()
+        assert "CM402" in codes_of(report)
+
+    def test_catalog_strategies_have_no_dead_rules(self):
+        for kind in ("propagation", "cached-propagation", "polling"):
+            cm = salary_cm(kind)
+            report = lint_manager(cm)
+            cm.stop()
+            assert not any(
+                code.startswith("CM4") for code in codes_of(report)
+            ), kind
+
+
+class TestWriteConflicts:
+    def test_unordered_cross_site_writers_cm501(self):
+        cm = bare_two_site()
+        cm.locations.register("Shared", "ny")
+        cm.shell("sf").install(
+            rule("rule from_sf: N(salary1(n), b) -> [1] W(Shared, b)"),
+            rhs_site="ny",
+        )
+        cm.shell("ny").install(
+            rule("rule from_ny: P(60) -> [1] W(Shared, 0)"),
+            rhs_site="ny",
+        )
+        report = lint_manager(cm)
+        cm.stop()
+        assert "CM501" in codes_of(report)
+
+    def test_same_site_writers_are_ordered(self):
+        cm = bare_two_site()
+        cm.locations.register("Shared", "ny")
+        sf = cm.shell("sf")
+        sf.install(
+            rule("rule one: N(salary1(n), b) -> [1] W(Shared, b)"),
+            rhs_site="ny",
+        )
+        sf.install(
+            rule("rule two: P(60) -> [1] W(Shared, 0)"),
+            rhs_site="ny",
+        )
+        report = lint_manager(cm)
+        cm.stop()
+        assert "CM501" not in codes_of(report)

@@ -1,0 +1,95 @@
+"""Tests for the guarantee-feasibility check (CM6xx).
+
+The check is conservative: a κ it rejects (CM601) is unachievable even on
+a perfect run, because the static bound sums only promised interface
+bounds, declared rule delays, and worst-case channel latencies.
+"""
+
+from analysis_helpers import codes_of, salary_cm
+
+from repro.analysis.checks import ALL_CHECKS
+from repro.analysis.lint import manager_context, run_checks
+from repro.core.guarantees import follows
+
+FEASIBILITY = [e for e in ALL_CHECKS if e[0] == "guarantee-feasibility"]
+
+
+def lint_with_guarantees(cm, guarantees):
+    """Run only the feasibility check with a substituted guarantee list."""
+    context = manager_context(cm)
+    context.guarantees = list(guarantees)
+    return run_checks(context, checks=FEASIBILITY)
+
+
+class TestFeasibility:
+    def test_catalog_kappa_is_feasible(self):
+        cm = salary_cm("propagation")
+        report = run_checks(manager_context(cm), checks=FEASIBILITY)
+        cm.stop()
+        assert "CM601" not in codes_of(report)
+
+    def test_polling_kappa_is_feasible(self):
+        # Regression: the catalog's polling κ must account for BOTH rule
+        # firings in the chain (P -> RR, then R -> WR); before the fix its
+        # formula charged the delay once and linted 0.05s infeasible.
+        cm = salary_cm("polling")
+        report = run_checks(manager_context(cm), checks=FEASIBILITY)
+        cm.stop()
+        assert "CM601" not in codes_of(report)
+
+    def test_too_small_kappa_cm601(self):
+        cm = salary_cm("propagation")
+        report = lint_with_guarantees(
+            cm, [follows("salary1", "salary2", within_seconds=0.5)]
+        )
+        cm.stop()
+        assert "CM601" in codes_of(report)
+        assert not report.ok
+
+    def test_generous_kappa_passes(self):
+        cm = salary_cm("propagation")
+        report = lint_with_guarantees(
+            cm, [follows("salary1", "salary2", within_seconds=3600.0)]
+        )
+        cm.stop()
+        assert "CM601" not in codes_of(report)
+
+    def test_no_delivery_path_cm602(self):
+        # Swap the direction: nothing carries salary2 changes to salary1.
+        cm = salary_cm("propagation")
+        report = lint_with_guarantees(
+            cm, [follows("salary2", "salary1", within_seconds=60.0)]
+        )
+        cm.stop()
+        assert "CM602" in codes_of(report)
+
+    def test_guarded_only_paths_cm603(self):
+        cm = salary_cm("cached-propagation")
+        report = run_checks(manager_context(cm), checks=FEASIBILITY)
+        cm.stop()
+        assert "CM603" in codes_of(report)
+
+    def test_unqualified_guarantees_are_ignored(self):
+        cm = salary_cm("propagation")
+        report = lint_with_guarantees(
+            cm, [follows("salary1", "salary2")]  # no κ: nothing to check
+        )
+        cm.stop()
+        assert not codes_of(report)
+
+    def test_unbounded_channel_latency_cm604(self):
+        from repro.experiments.common import build_salary_scenario
+        from repro.sim.network import ExponentialLatency
+        from repro.core.timebase import seconds
+
+        cm = build_salary_scenario(
+            strategy_kind="propagation",
+            seed=0,
+            latency=ExponentialLatency(seconds(0.01), seconds(0.05)),
+        ).cm
+        report = run_checks(manager_context(cm), checks=FEASIBILITY)
+        cm.stop()
+        codes = codes_of(report)
+        assert "CM604" in codes
+        # Unprovable is not the same as infeasible: no CM601.
+        assert "CM601" not in codes

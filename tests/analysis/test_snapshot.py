@@ -1,0 +1,69 @@
+"""Expected-diagnostics snapshot over every lintable target.
+
+``expected_diagnostics.json`` pins the codes each experiment and example
+produces (including deliberately suppressed findings).  A new finding, a
+vanished finding, or a target going missing all fail here, so drift in the
+shipped configurations — or in the checks themselves — is caught in review.
+
+To refresh after an intentional change::
+
+    PYTHONPATH=src python tests/analysis/test_snapshot.py --refresh
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+SNAPSHOT = Path(__file__).with_name("expected_diagnostics.json")
+
+
+def current_snapshot():
+    from repro.analysis.targets import lint_all
+
+    snapshot = {}
+    for name, report in sorted(lint_all().items()):
+        snapshot[name] = {
+            "codes": sorted(d.code for d in report.diagnostics),
+            "suppressed": sorted(d.code for d in report.suppressed),
+            "ok": report.ok,
+        }
+    return snapshot
+
+
+class TestSnapshot:
+    def test_all_targets_match_expected_diagnostics(self):
+        expected = json.loads(SNAPSHOT.read_text())
+        actual = current_snapshot()
+        assert actual == expected, (
+            "lint findings drifted from tests/analysis/"
+            "expected_diagnostics.json; if the change is intentional, "
+            "refresh with: PYTHONPATH=src python "
+            "tests/analysis/test_snapshot.py --refresh"
+        )
+
+    def test_no_target_has_unsuppressed_errors(self):
+        expected = json.loads(SNAPSHOT.read_text())
+        for name, entry in expected.items():
+            assert entry["ok"], name
+
+
+class TestLintSpeed:
+    def test_single_target_lints_well_under_a_second(self):
+        from repro.analysis.targets import lint_target
+
+        start = time.perf_counter()
+        report = lint_target("e1_propagation")
+        elapsed = time.perf_counter() - start
+        assert report.ok
+        assert elapsed < 1.0, f"lint took {elapsed:.2f}s"
+
+
+if __name__ == "__main__":
+    if "--refresh" in sys.argv:
+        SNAPSHOT.write_text(
+            json.dumps(current_snapshot(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"refreshed {SNAPSHOT}")
+    else:
+        print(__doc__)

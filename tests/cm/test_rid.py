@@ -88,3 +88,58 @@ class TestDictRoundTrip:
             == clock_time(8)
         )
         assert restored.binding("salary1").params == ("n",)
+
+
+class TestMalformedFiles:
+    """A bad CM-RID file must fail at load time with the offending entry
+    in the error, never with a bare KeyError/ValueError."""
+
+    def test_missing_source_kind(self):
+        with pytest.raises(ConfigurationError, match="source_kind"):
+            CMRID.from_dict({"source_name": "branch"})
+
+    def test_missing_source_name(self):
+        with pytest.raises(ConfigurationError, match="source_name"):
+            CMRID.from_dict({"source_kind": "relational"})
+
+    def test_unknown_interface_kind_named(self):
+        data = sample_rid().to_dict()
+        data["offers"]["salary1"][0]["kind"] = "telepathy"
+        with pytest.raises(ConfigurationError) as excinfo:
+            CMRID.from_dict(data)
+        message = str(excinfo.value)
+        assert "telepathy" in message
+        assert "salary1" in message
+        # The error teaches the valid vocabulary.
+        assert InterfaceKind.NOTIFY.value in message
+
+    def test_offer_missing_kind_field(self):
+        data = sample_rid().to_dict()
+        del data["offers"]["salary1"][0]["kind"]
+        with pytest.raises(ConfigurationError, match="salary1"):
+            CMRID.from_dict(data)
+
+    def test_offer_for_unbound_family_in_file(self):
+        data = sample_rid().to_dict()
+        data["offers"]["ghost"] = [{"kind": "read", "bound_seconds": 1.0}]
+        with pytest.raises(ConfigurationError, match="ghost"):
+            CMRID.from_dict(data)
+
+    def test_non_mapping_binding_rejected(self):
+        with pytest.raises(ConfigurationError, match="salary1"):
+            CMRID.from_dict(
+                {
+                    "source_kind": "relational",
+                    "source_name": "branch",
+                    "bindings": {"salary1": "employees.salary"},
+                }
+            )
+
+    def test_duplicate_binding_via_load_then_bind(self):
+        rid = CMRID.from_dict(sample_rid().to_dict())
+        with pytest.raises(ConfigurationError, match="already bound"):
+            rid.bind("salary1", table="x", key_column="k", value_column="v")
+
+    def test_well_formed_file_still_roundtrips(self):
+        data = sample_rid().to_dict()
+        assert CMRID.from_dict(data).to_dict() == data

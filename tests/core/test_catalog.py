@@ -111,7 +111,7 @@ class TestCopySuggestions:
         metric = next(
             n for n in guarantee_names(suggestions[0]) if "κ=" in n
         )
-        assert "65s" in metric  # 60 + 1 + 1 + 2 + 1 margin
+        assert "66s" in metric  # 60 + 1 + 1 + 1 + 2 + 1 margin (two rule firings)
 
     def test_notify_only_both_sides_offers_monitor(self):
         context = make_context(
