@@ -1,0 +1,84 @@
+"""Bench the wire runtime: sim-vs-wire equivalence plus socket latency.
+
+Runs the randomized equivalence harness on several seeds (the wire
+execution must be Appendix-A valid with guarantee verdicts identical to
+the sim kernel's) and one dedicated wire run whose per-channel
+``wire_latency_ms`` histograms digest what loopback TCP actually cost in
+real milliseconds.  Writes ``BENCH_wire_runtime.json`` for CI upload.
+"""
+
+import time
+
+from bench_helpers import write_bench_json
+
+from repro.core.timebase import seconds
+from repro.experiments.common import build_salary_scenario
+from repro.runtime import AsyncRuntime, run_equivalence
+from repro.workloads import PersonnelWorkload
+
+SEEDS = (0, 1, 2)
+#: Conservative on purpose: CI runners are noisy, and the scenario's
+#: tightest rule-delay bound (1 virtual second) must stay comfortably
+#: above event-loop scheduling jitter (50 wall ms of headroom at 20x).
+TIME_SCALE = 20.0
+VIRTUAL_SECONDS = 40.0
+
+
+def wire_latency_digest() -> dict:
+    """One wire run; real-ms latency stats per channel."""
+    salary = build_salary_scenario(
+        strategy_kind="propagation",
+        seed=0,
+        runtime=AsyncRuntime(time_scale=TIME_SCALE),
+    )
+    PersonnelWorkload(
+        salary.cm,
+        employee_count=6,
+        rate=0.5,
+        duration=seconds(VIRTUAL_SECONDS - 10.0),
+    )
+    started = time.perf_counter()
+    salary.cm.run(until=seconds(VIRTUAL_SECONDS))
+    wall = time.perf_counter() - started
+    registry = salary.scenario.obs.metrics
+    channels = {}
+    for hist in registry.series("wire_latency_ms"):
+        if not hist.count:
+            continue
+        labels = dict(hist.labels)
+        channels[f"{labels['src']}->{labels['dst']}"] = {
+            "count": hist.count,
+            "mean_ms": round(hist.mean, 3),
+            "min_ms": round(hist.min, 3),
+            "max_ms": round(hist.max, 3),
+        }
+    network = salary.scenario.network
+    return {
+        "time_scale": TIME_SCALE,
+        "virtual_seconds": VIRTUAL_SECONDS,
+        "wall_seconds": round(wall, 3),
+        "messages_delivered": network.messages_delivered,
+        "channels": channels,
+    }
+
+
+def test_wire_equivalence_and_latency(benchmark):
+    def run_all():
+        reports = [run_equivalence(seed=s) for s in SEEDS]
+        return reports, wire_latency_digest()
+
+    reports, latency = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert all(r.ok for r in reports), "\n".join(r.render() for r in reports)
+    assert latency["messages_delivered"] >= 1
+    benchmark.extra_info["equivalence_ok"] = True
+    benchmark.extra_info["seeds"] = list(SEEDS)
+    write_bench_json(
+        "wire_runtime",
+        {
+            "seeds": list(SEEDS),
+            "equivalence": {
+                str(report.seed): report.to_dict() for report in reports
+            },
+            "wire_latency": latency,
+        },
+    )

@@ -8,6 +8,9 @@ The package provides:
   strategies), guarantees, execution traces, and trace-based checkers.
 - :mod:`repro.sim` — the deterministic discrete-event substrate standing in
   for the paper's real network and wall clock.
+- :mod:`repro.runtime` — the runtime seam: the :class:`Runtime` protocol
+  with a sim-kernel implementation and a wire implementation that runs
+  CM-Shells as asyncio tasks over real sockets (length-prefixed JSON-RPC).
 - :mod:`repro.ris` — from-scratch heterogeneous information sources
   (relational DBMS, flat-file store, object store, bibliographic server,
   whois directory, flaky legacy system).
@@ -83,6 +86,16 @@ from repro.obs import (
     SpanTree,
     Tracer,
 )
+from repro.runtime import (
+    AsyncRuntime,
+    ChannelFaults,
+    RunConfig,
+    Runtime,
+    SimRuntime,
+    WireFaultPlan,
+    resolve_runtime,
+    run_equivalence,
+)
 from repro.sim.scheduler import Simulator
 
 #: Alias for readers who know the class by the paper's component name.
@@ -134,6 +147,15 @@ __all__ = [
     "JsonlSink",
     "PrometheusExporter",
     "RunReport",
+    # runtimes (sim kernel and wire/asyncio)
+    "Runtime",
+    "SimRuntime",
+    "AsyncRuntime",
+    "RunConfig",
+    "ChannelFaults",
+    "WireFaultPlan",
+    "resolve_runtime",
+    "run_equivalence",
     # substrate
     "Simulator",
     "InterfaceKind",
@@ -146,4 +168,4 @@ __all__ = [
     "to_seconds",
 ]
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"

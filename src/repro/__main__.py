@@ -217,6 +217,24 @@ def main(argv: list[str] | None = None) -> int:
     experiments.add_argument("--list", action="store_true")
     experiments.add_argument("--json", metavar="PATH", default=None)
     experiments.add_argument("--quiet", action="store_true")
+    experiments.add_argument(
+        "--runtime",
+        choices=("sim", "async"),
+        default=None,
+        help="run under the 'sim' kernel (default) or the 'async' wire "
+        "runtime (asyncio shells over real sockets)",
+    )
+    experiments.add_argument(
+        "--time-scale",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="with --runtime async: virtual seconds per wall second",
+    )
+    experiments.add_argument(
+        "--seed", type=int, default=None,
+        help="override every experiment's default seed",
+    )
     sub.add_parser("menu", help="print the interface and strategy menus")
     sub.add_parser("demo", help="run the quickstart scenario")
     args = parser.parse_args(argv)
@@ -243,6 +261,12 @@ def main(argv: list[str] | None = None) -> int:
             forwarded.extend(["--json", args.json])
         if args.quiet:
             forwarded.append("--quiet")
+        if args.runtime is not None:
+            forwarded.extend(["--runtime", args.runtime])
+        if args.time_scale is not None:
+            forwarded.extend(["--time-scale", str(args.time_scale)])
+        if args.seed is not None:
+            forwarded.extend(["--seed", str(args.seed)])
         return runner_main(forwarded)
     if args.command == "menu":
         _print_menu()

@@ -41,10 +41,16 @@ from repro.cm.translators import translator_for
 from repro.obs import Instrumentation
 from repro.obs.report import RunReport, build_run_report
 from repro.ris.base import RawInformationSource
+from repro.runtime.api import (
+    Clock,
+    Runtime,
+    RuntimeSpec,
+    TransportAPI,
+    resolve_runtime,
+)
 from repro.sim.failures import FailurePlan
-from repro.sim.network import LatencyModel, Network
+from repro.sim.network import LatencyModel
 from repro.sim.rng import RngRegistry
-from repro.sim.scheduler import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.cm.builder import ConstraintBuilder, SiteBuilder
@@ -52,41 +58,54 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 
 @dataclass
 class Scenario:
-    """The simulated world one experiment runs in."""
+    """The world one experiment runs in — simulated or over the wire.
+
+    ``runtime`` selects the execution substrate (:mod:`repro.runtime`):
+    ``"sim"`` (default) is the deterministic discrete-event kernel,
+    ``"async"`` runs shells as asyncio tasks over real loopback sockets.
+    ``sim`` and ``network`` keep their historical names and surfaces —
+    whichever runtime is active, they satisfy the :class:`Clock` and
+    :class:`TransportAPI` protocols everything downstream codes against.
+    """
 
     seed: int = 0
     default_latency: Optional[LatencyModel] = None
     failure_plan: FailurePlan = field(default_factory=FailurePlan)
     in_order: bool = True
-    sim: Simulator = field(init=False)
+    runtime: RuntimeSpec = "sim"
+    sim: Clock = field(init=False)
     rngs: RngRegistry = field(init=False)
-    network: Network = field(init=False)
+    network: TransportAPI = field(init=False)
     trace: ExecutionTrace = field(init=False)
     #: The scenario-wide observability bundle (metrics registry, span
     #: tracer, sinks).  Shells, the network, and translators all share it.
     obs: Instrumentation = field(init=False)
+    #: The resolved runtime instance bound to this scenario.
+    runtime_impl: Runtime = field(init=False)
 
     def __post_init__(self) -> None:
         reset_event_sequence()
         if self.failure_plan is None:  # tolerate explicit None
             self.failure_plan = FailurePlan()
-        self.sim = Simulator()
         self.rngs = RngRegistry(self.seed)
         self.obs = Instrumentation()
-        self.network = Network(
-            self.sim,
-            rng_registry=self.rngs,
-            default_latency=self.default_latency,
-            failure_plan=self.failure_plan,
-            in_order=self.in_order,
-            obs=self.obs,
-        )
+        self.runtime_impl = resolve_runtime(self.runtime)
+        self.sim, self.network = self.runtime_impl.build(self)
         self.trace = ExecutionTrace()
 
+    @property
+    def runtime_name(self) -> str:
+        """The active runtime's registered name ("sim" or "async")."""
+        return self.runtime_impl.name
+
     def run(self, until: Ticks) -> None:
-        """Advance the simulation and close the trace at the horizon."""
-        self.sim.run(until=until)
+        """Advance the scenario and close the trace at the horizon."""
+        self.runtime_impl.run(self, until)
         self.trace.close(until)
+
+    def shutdown(self) -> None:
+        """Release runtime resources (sockets, tasks); sim is a no-op."""
+        self.runtime_impl.shutdown(self)
 
 
 @dataclass

@@ -53,11 +53,11 @@ from repro.cm.failures import FailureNotice
 from repro.cm.store import ShellStore
 from repro.cm.translator import CMTranslator
 from repro.obs import Instrumentation
+from repro.runtime.api import Clock, TransportAPI
 from repro.sim.failures import FailurePlan
-from repro.sim.network import Message, Network
+from repro.sim.network import Message
 from repro.sim.process import PeriodicTimer
 from repro.sim.rng import RngRegistry
-from repro.sim.scheduler import Simulator
 
 
 @dataclass(frozen=True)
@@ -83,8 +83,8 @@ class CMShell:
     def __init__(
         self,
         site: str,
-        sim: Simulator,
-        network: Network,
+        sim: Clock,
+        network: TransportAPI,
         trace: ExecutionTrace,
         failure_plan: FailurePlan,
         rngs: RngRegistry,
@@ -224,18 +224,6 @@ class CMShell:
             self._fired_by_rule[rule.name] = self.obs.metrics.counter(
                 "rule_fired", site=self.site, rule=rule.name
             )
-
-    def install_rule(self, rule: Rule, rhs_site: str | None) -> None:
-        """Deprecated alias for :meth:`install` (non-periodic rules)."""
-        self.install(rule, rhs_site)
-
-    def install_periodic_rule(
-        self, rule: Rule, rhs_site: str | None, phase: Optional[Ticks] = None
-    ) -> None:
-        """Deprecated alias for :meth:`install` (periodic rules)."""
-        if rule.lhs.kind is not EventKind.PERIODIC:
-            raise SpecError(f"rule {rule.name!r} has no periodic LHS")
-        self.install(rule, rhs_site, phase=phase)
 
     def _install_timer(self, rule: Rule, phase: Optional[Ticks]) -> None:
         """Start the timer driving a ``P(p)``-triggered rule."""

@@ -21,8 +21,10 @@ from repro.core.items import DataItemRef
 from repro.core.timebase import seconds
 from repro.experiments.common import (
     ExperimentResult,
+    RunConfig,
     attach_observability,
     build_salary_scenario,
+    resolve_config,
 )
 from repro.sim.network import UniformLatency
 from repro.workloads import UpdateStream
@@ -36,9 +38,16 @@ CLAIM = (
 
 
 def run_in_order_ablation(
-    seed: int = 10, updates: int = 300, duration: float = 150.0
+    config: RunConfig | None = None,
+    *,
+    seed: int = 10,
+    updates: int = 300,
+    duration: float = 150.0,
 ) -> ExperimentResult:
     """Run the propagation scenario with and without FIFO channels."""
+    config = resolve_config(config)
+    seed = config.resolve_seed(seed)
+    updates = config.scaled(updates)
     result = ExperimentResult(
         experiment="Ablation: in-order delivery (Appendix A property 7)",
         claim=CLAIM,
@@ -59,6 +68,7 @@ def run_in_order_ablation(
             # High jitter relative to the update gap makes overtaking likely
             # once the FIFO clamp is gone.
             latency=UniformLatency(seconds(0.01), seconds(2.0)),
+            runtime=config.runtime_spec(),
         )
 
         counter = iter(range(1, updates + 1))
@@ -128,8 +138,15 @@ ECHO_CLAIM = (
 )
 
 
-def run_echo_ablation(seed: int = 11, duration: float = 120.0) -> ExperimentResult:
+def run_echo_ablation(
+    config: RunConfig | None = None,
+    *,
+    seed: int = 11,
+    duration: float = 120.0,
+) -> ExperimentResult:
     """Measure notify traffic with echo suppression on and off."""
+    config = resolve_config(config)
+    seed = config.resolve_seed(seed)
     result = ExperimentResult(
         experiment="Ablation: trigger-echo suppression",
         claim=ECHO_CLAIM,
@@ -139,7 +156,10 @@ def run_echo_ablation(seed: int = 11, duration: float = 120.0) -> ExperimentResu
 
     counts = {}
     for suppress in (True, False):
-        salary = build_salary_scenario(strategy_kind="propagation", seed=seed)
+        salary = build_salary_scenario(
+            strategy_kind="propagation", seed=seed,
+            runtime=config.runtime_spec(),
+        )
         if not suppress:
             translator = salary.cm.shell("ny").translator_for("salary2")
             # Expose the echo: pretend every native write is spontaneous by
@@ -198,6 +218,8 @@ SKEW_CLAIM = (
 
 
 def run_clock_skew_ablation(
+    config: RunConfig | None = None,
+    *,
     skews_seconds: tuple[float, ...] = (0.0, -1.0, -10.0),
     seed: int = 12,
 ) -> ExperimentResult:
@@ -213,6 +235,8 @@ def run_clock_skew_ablation(
     from repro.core.timebase import to_seconds
     from repro.experiments.e6_monitor import build_monitor_cm
 
+    config = resolve_config(config)
+    seed = config.resolve_seed(seed)
     result = ExperimentResult(
         experiment="Ablation: clock skew (Section 7.2)",
         claim=SKEW_CLAIM,
@@ -226,7 +250,9 @@ def run_clock_skew_ablation(
     )
     outcomes = {}
     for skew_s in skews_seconds:
-        cm, installed, catalog_kappa = build_monitor_cm(seed)
+        cm, installed, catalog_kappa = build_monitor_cm(
+            seed, runtime=config.runtime_spec()
+        )
         cm.shell("site-y").clock_skew = seconds(skew_s)
         rng = cm.scenario.rngs.stream("skew-workload")
         time = 5.0

@@ -14,8 +14,20 @@ from repro.core.errors import ConfigurationError
 from repro.core.interfaces import InterfaceKind
 from repro.core.timebase import Ticks, seconds
 from repro.ris.relational import RelationalDatabase
+from repro.runtime.api import RunConfig, RuntimeSpec, resolve_config
 from repro.sim.failures import FailurePlan
 from repro.sim.network import FixedLatency, LatencyModel
+
+__all__ = [
+    "ExperimentResult",
+    "RunConfig",
+    "SalaryScenario",
+    "attach_observability",
+    "build_salary_scenario",
+    "format_table",
+    "pick_suggestion",
+    "resolve_config",
+]
 
 
 @dataclass
@@ -49,19 +61,23 @@ def build_salary_scenario(
     failure_plan: Optional[FailurePlan] = None,
     in_order: bool = True,
     service: Optional[ServiceModel] = None,
+    runtime: RuntimeSpec = "sim",
 ) -> SalaryScenario:
     """Build and install the salary copy-constraint scenario.
 
     ``strategy_kind`` picks among the catalog's suggestions
     (``propagation``, ``cached-propagation``, ``polling``).  Disabling
     ``offer_notify`` reproduces the Section 4.2.3 interface change that
-    forces a polling strategy.
+    forces a polling strategy.  ``runtime`` selects the execution
+    substrate — pass a :class:`~repro.runtime.api.RunConfig`'s
+    ``runtime_spec()`` to run the same wiring over real sockets.
     """
     scenario = Scenario(
         seed=seed,
         default_latency=latency or FixedLatency(seconds(0.05)),
         failure_plan=failure_plan or FailurePlan(),
         in_order=in_order,
+        runtime=runtime,
     )
     cm = ConstraintManager(scenario)
     cm.add_site("sf")

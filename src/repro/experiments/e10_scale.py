@@ -25,9 +25,12 @@ from repro.core.items import DataItemRef
 from repro.core.timebase import seconds, to_seconds
 from repro.experiments.common import (
     ExperimentResult,
+    RunConfig,
     attach_observability,
     pick_suggestion,
+    resolve_config,
 )
+from repro.runtime.api import RuntimeSpec
 from repro.ris.relational import RelationalDatabase
 from repro.workloads import UpdateStream
 from repro.workloads.generators import random_walk
@@ -39,10 +42,10 @@ CLAIM = (
 
 
 def build_federation(
-    replica_count: int, seed: int
+    replica_count: int, seed: int, runtime: RuntimeSpec = "sim"
 ) -> tuple[ConstraintManager, list[str]]:
     """A hub source plus N replica sites, one copy constraint per replica."""
-    scenario = Scenario(seed=seed)
+    scenario = Scenario(seed=seed, runtime=runtime)
     cm = ConstraintManager(scenario)
     cm.add_site("hub")
     hub_db = RelationalDatabase("hub-db")
@@ -120,6 +123,8 @@ def _percentile(values: list[float], fraction: float) -> float:
 
 
 def run(
+    config: RunConfig | None = None,
+    *,
     replica_counts: tuple[int, ...] = (1, 2, 4, 8),
     people: int = 10,
     rate: float = 1.0,
@@ -127,6 +132,9 @@ def run(
     seed: int = 9,
 ) -> ExperimentResult:
     """Sweep federation sizes; report latency percentiles and message counts."""
+    config = resolve_config(config)
+    seed = config.resolve_seed(seed)
+    people = config.scaled(people)
     result = ExperimentResult(
         experiment="E10 scale-out (Sections 4.3, 7.2)",
         claim=CLAIM,
@@ -141,7 +149,9 @@ def run(
     )
     p95_by_size: dict[int, float] = {}
     for replica_count in replica_counts:
-        cm, families = build_federation(replica_count, seed)
+        cm, families = build_federation(
+            replica_count, seed, runtime=config.runtime_spec()
+        )
         def phone_numbers(stream, key):
             return f"555-{stream.rng.randint(1000, 9999)}"
 
@@ -187,6 +197,8 @@ def run(
 
 
 def run_scaled(
+    config: RunConfig | None = None,
+    *,
     replica_counts: tuple[int, ...] = (8, 16),
     people: int = 25,
     rate: float = 2.0,
@@ -201,6 +213,7 @@ def run_scaled(
     reads the per-kind event index instead of rescanning the trace.
     """
     return run(
+        config,
         replica_counts=replica_counts,
         people=people,
         rate=rate,

@@ -24,8 +24,14 @@ from repro.core.guarantees.arithmetic import sum_timeline
 from repro.core.interfaces import InterfaceKind
 from repro.core.items import MISSING, DataItemRef
 from repro.core.timebase import Ticks, seconds, to_seconds
-from repro.experiments.common import ExperimentResult, attach_observability
+from repro.experiments.common import (
+    ExperimentResult,
+    RunConfig,
+    attach_observability,
+    resolve_config,
+)
 from repro.ris.relational import RelationalDatabase
+from repro.runtime.api import RuntimeSpec
 
 CLAIM = (
     "X = Y + Z is managed by distributed copies plus a local recompute; "
@@ -34,9 +40,11 @@ CLAIM = (
 )
 
 
-def build_arithmetic_cm(seed: int, transport: str, period_s: float):
+def build_arithmetic_cm(
+    seed: int, transport: str, period_s: float, runtime: RuntimeSpec = "sim"
+):
     """Three sites holding X, Y, Z with the decomposition installed."""
-    scenario = Scenario(seed=seed)
+    scenario = Scenario(seed=seed, runtime=runtime)
     cm = ConstraintManager(scenario)
     databases = {}
     for site, family in (("sx", "X"), ("sy", "Y"), ("sz", "Z")):
@@ -94,12 +102,17 @@ def measure_staleness(cm: ConstraintManager) -> float:
 
 
 def run(
+    config: RunConfig | None = None,
+    *,
     update_count: int = 60,
     mean_gap_seconds: float = 8.0,
     polling_period_seconds: float = 5.0,
     seed: int = 11,
 ) -> ExperimentResult:
     """Run both cache transports; report guarantee verdicts and staleness."""
+    config = resolve_config(config)
+    seed = config.resolve_seed(seed)
+    update_count = config.scaled(update_count)
     result = ExperimentResult(
         experiment="E11 arithmetic decomposition (Section 7.1)",
         claim=CLAIM,
@@ -115,7 +128,8 @@ def run(
     staleness: dict[str, float] = {}
     for transport in ("notify", "poll"):
         cm, databases, installed = build_arithmetic_cm(
-            seed, transport, polling_period_seconds
+            seed, transport, polling_period_seconds,
+            runtime=config.runtime_spec(),
         )
         rng = cm.scenario.rngs.stream("e11-workload")
         time = 5.0

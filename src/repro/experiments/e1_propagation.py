@@ -17,8 +17,10 @@ from repro.core.timebase import seconds, to_seconds
 from repro.core.trace import validate_trace
 from repro.experiments.common import (
     ExperimentResult,
+    RunConfig,
     attach_observability,
     build_salary_scenario,
+    resolve_config,
 )
 from repro.workloads import PersonnelWorkload
 
@@ -29,12 +31,17 @@ CLAIM = (
 
 
 def run(
+    config: RunConfig | None = None,
+    *,
     rates: tuple[float, ...] = (0.2, 1.0, 5.0),
     employee_count: int = 20,
     duration_seconds: float = 300.0,
     seed: int = 0,
 ) -> ExperimentResult:
     """Sweep the spontaneous-update rate; all guarantees must hold."""
+    config = resolve_config(config)
+    seed = config.resolve_seed(seed)
+    employee_count = config.scaled(employee_count)
     result = ExperimentResult(
         experiment="E1 propagation (Section 4.2)",
         claim=CLAIM,
@@ -52,7 +59,8 @@ def run(
     )
     for rate in rates:
         salary = build_salary_scenario(
-            strategy_kind="propagation", seed=seed
+            strategy_kind="propagation", seed=seed,
+            runtime=config.runtime_spec(),
         )
         workload = PersonnelWorkload(
             salary.cm,

@@ -20,8 +20,10 @@ from repro.core.guarantees import leads
 from repro.core.timebase import seconds, to_seconds
 from repro.experiments.common import (
     ExperimentResult,
+    RunConfig,
     attach_observability,
     build_salary_scenario,
+    resolve_config,
 )
 from repro.workloads import UpdateStream
 from repro.workloads.generators import random_walk
@@ -34,12 +36,16 @@ CLAIM = (
 
 
 def run(
+    config: RunConfig | None = None,
+    *,
     periods: tuple[float, ...] = (1.0, 5.0, 20.0, 60.0),
     mean_inter_update: float = 10.0,
     duration_seconds: float = 1200.0,
     seed: int = 1,
 ) -> ExperimentResult:
     """Sweep polling periods; report guarantee verdicts and missed fractions."""
+    config = resolve_config(config)
+    seed = config.resolve_seed(seed)
     result = ExperimentResult(
         experiment="E2 polling (Section 4.2.3)",
         claim=CLAIM,
@@ -60,6 +66,7 @@ def run(
             strategy_kind="polling",
             seed=seed,
             polling_period=period,
+            runtime=config.runtime_spec(),
         )
         stream = UpdateStream(
             salary.cm,

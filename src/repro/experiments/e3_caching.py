@@ -17,8 +17,10 @@ from repro.core.events import EventKind
 from repro.core.timebase import seconds
 from repro.experiments.common import (
     ExperimentResult,
+    RunConfig,
     attach_observability,
     build_salary_scenario,
+    resolve_config,
 )
 from repro.workloads import UpdateStream
 from repro.workloads.generators import duplicate_heavy
@@ -30,12 +32,16 @@ CLAIM = (
 
 
 def run(
+    config: RunConfig | None = None,
+    *,
     duplicate_ratios: tuple[float, ...] = (0.0, 0.5, 0.9),
     update_count_rate: float = 2.0,
     duration_seconds: float = 300.0,
     seed: int = 2,
 ) -> ExperimentResult:
     """Compare naive vs cached write-request counts across duplicate ratios."""
+    config = resolve_config(config)
+    seed = config.resolve_seed(seed)
     result = ExperimentResult(
         experiment="E3 cached propagation (Section 3.2 fn. 3)",
         claim=CLAIM,
@@ -53,7 +59,9 @@ def run(
         counts: dict[str, int] = {}
         guarantees_ok = True
         for kind in ("propagation", "cached-propagation"):
-            salary = build_salary_scenario(strategy_kind=kind, seed=seed)
+            salary = build_salary_scenario(
+                strategy_kind=kind, seed=seed, runtime=config.runtime_spec()
+            )
             UpdateStream(
                 salary.cm,
                 "salary1",

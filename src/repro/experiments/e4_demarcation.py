@@ -19,8 +19,14 @@ from repro.cm import CMRID, ConstraintManager, Scenario
 from repro.constraints import InequalityConstraint
 from repro.core.interfaces import InterfaceKind
 from repro.core.timebase import seconds
-from repro.experiments.common import ExperimentResult, attach_observability
+from repro.experiments.common import (
+    ExperimentResult,
+    RunConfig,
+    attach_observability,
+    resolve_config,
+)
 from repro.protocols.demarcation import SlackPolicy
+from repro.runtime.api import RuntimeSpec
 from repro.ris.relational import RelationalDatabase
 from repro.workloads import InventoryWorkload
 
@@ -31,10 +37,10 @@ CLAIM = (
 
 
 def build_inventory_cm(
-    seed: int, policy: SlackPolicy
+    seed: int, policy: SlackPolicy, runtime: RuntimeSpec = "sim"
 ) -> tuple[ConstraintManager, object]:
     """Two sites, two relational DBs, the demarcation protocol installed."""
-    scenario = Scenario(seed=seed)
+    scenario = Scenario(seed=seed, runtime=runtime)
     cm = ConstraintManager(scenario)
     cm.add_site("storefront")
     cm.add_site("warehouse")
@@ -86,6 +92,8 @@ def build_inventory_cm(
 
 
 def run(
+    config: RunConfig | None = None,
+    *,
     policies: tuple[SlackPolicy, ...] = (
         SlackPolicy.EXACT,
         SlackPolicy.EAGER,
@@ -96,6 +104,8 @@ def run(
     seed: int = 3,
 ) -> ExperimentResult:
     """Drive the inventory workload under each slack policy."""
+    config = resolve_config(config)
+    seed = config.resolve_seed(seed)
     result = ExperimentResult(
         experiment="E4 demarcation protocol (Section 6.1)",
         claim=CLAIM,
@@ -113,7 +123,9 @@ def run(
     denied_by_policy: dict[SlackPolicy, float] = {}
     requests_by_policy: dict[SlackPolicy, int] = {}
     for policy in policies:
-        cm, installed = build_inventory_cm(seed, policy)
+        cm, installed = build_inventory_cm(
+            seed, policy, runtime=config.runtime_spec()
+        )
         protocol = installed.native_protocol
         InventoryWorkload(
             cm.scenario.sim,

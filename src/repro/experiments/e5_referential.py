@@ -19,8 +19,14 @@ from repro.cm import CMRID, ConstraintManager, Scenario
 from repro.constraints import ReferentialConstraint
 from repro.core.interfaces import InterfaceKind
 from repro.core.timebase import DAY, clock_time, days, hours, seconds, to_seconds
-from repro.experiments.common import ExperimentResult, attach_observability
+from repro.experiments.common import (
+    ExperimentResult,
+    RunConfig,
+    attach_observability,
+    resolve_config,
+)
 from repro.ris.relational import RelationalDatabase
+from repro.runtime.api import RuntimeSpec
 
 CLAIM = (
     "orphaned project records exist transiently but never for longer than "
@@ -28,9 +34,11 @@ CLAIM = (
 )
 
 
-def build_referential_cm(seed: int) -> ConstraintManager:
+def build_referential_cm(
+    seed: int, runtime: RuntimeSpec = "sim"
+) -> ConstraintManager:
     """Two relational sites with the project->salary referential constraint."""
-    scenario = Scenario(seed=seed)
+    scenario = Scenario(seed=seed, runtime=runtime)
     cm = ConstraintManager(scenario)
     cm.add_site("projects-site")
     cm.add_site("payroll-site")
@@ -75,12 +83,17 @@ def build_referential_cm(seed: int) -> ConstraintManager:
 
 
 def run(
+    config: RunConfig | None = None,
+    *,
     simulated_days: int = 4,
     employees_per_day: int = 12,
     orphan_fraction: float = 0.3,
     seed: int = 4,
 ) -> ExperimentResult:
     """Churn records for several days; measure every violation window."""
+    config = resolve_config(config)
+    seed = config.resolve_seed(seed)
+    employees_per_day = config.scaled(employees_per_day)
     result = ExperimentResult(
         experiment="E5 referential integrity (Section 6.2)",
         claim=CLAIM,
@@ -93,7 +106,7 @@ def run(
             "grace_h",
         ],
     )
-    cm = build_referential_cm(seed)
+    cm = build_referential_cm(seed, runtime=config.runtime_spec())
     rng = cm.scenario.rngs.stream("referential-workload")
     orphans_created = 0
     salary_deletions = 0

@@ -25,8 +25,14 @@ from repro.core.guarantees.monitor import MonitorGuarantee
 from repro.core.interfaces import InterfaceKind
 from repro.core.items import DataItemRef
 from repro.core.timebase import seconds, to_seconds
-from repro.experiments.common import ExperimentResult, attach_observability
+from repro.experiments.common import (
+    ExperimentResult,
+    RunConfig,
+    attach_observability,
+    resolve_config,
+)
 from repro.ris.legacy import LegacySystem
+from repro.runtime.api import RuntimeSpec
 
 CLAIM = (
     "the Flag/Tb monitoring guarantee is sound at and above the computed "
@@ -34,9 +40,11 @@ CLAIM = (
 )
 
 
-def build_monitor_cm(seed: int) -> tuple[ConstraintManager, object, float]:
+def build_monitor_cm(
+    seed: int, runtime: RuntimeSpec = "sim"
+) -> tuple[ConstraintManager, object, float]:
     """Two notify-only legacy feeds with the monitor strategy installed."""
-    scenario = Scenario(seed=seed)
+    scenario = Scenario(seed=seed, runtime=runtime)
     cm = ConstraintManager(scenario)
     cm.add_site("site-x")
     cm.add_site("site-y")
@@ -67,6 +75,8 @@ def build_monitor_cm(seed: int) -> tuple[ConstraintManager, object, float]:
 
 
 def run(
+    config: RunConfig | None = None,
+    *,
     kappa_factors: tuple[float, ...] = (0.02, 0.2, 1.0, 2.0),
     value_count: int = 60,
     mean_gap_seconds: float = 10.0,
@@ -74,12 +84,17 @@ def run(
     seed: int = 5,
 ) -> ExperimentResult:
     """Sweep kappa over one trace; audit past queries via the application."""
+    config = resolve_config(config)
+    seed = config.resolve_seed(seed)
+    value_count = config.scaled(value_count)
     result = ExperimentResult(
         experiment="E6 monitor strategy (Section 6.3)",
         claim=CLAIM,
         headers=["kappa_s", "factor", "sound", "claims", "covered_s"],
     )
-    cm, installed, catalog_kappa = build_monitor_cm(seed)
+    cm, installed, catalog_kappa = build_monitor_cm(
+        seed, runtime=config.runtime_spec()
+    )
     rng = cm.scenario.rngs.stream("monitor-workload")
     # An external replication process: X changes, Y copies it shortly after;
     # occasionally Y lags a long time (divergence bursts).

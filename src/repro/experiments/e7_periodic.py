@@ -22,8 +22,14 @@ from repro.constraints import CopyConstraint
 from repro.core.guarantees import PeriodicCopyGuarantee
 from repro.core.interfaces import InterfaceKind
 from repro.core.timebase import DAY, clock_time, seconds
-from repro.experiments.common import ExperimentResult, attach_observability
+from repro.experiments.common import (
+    ExperimentResult,
+    RunConfig,
+    attach_observability,
+    resolve_config,
+)
 from repro.ris.relational import RelationalDatabase
+from repro.runtime.api import RuntimeSpec
 from repro.workloads import BankingWorkload
 
 CLAIM = (
@@ -33,9 +39,11 @@ CLAIM = (
 )
 
 
-def build_banking_cm(seed: int) -> ConstraintManager:
+def build_banking_cm(
+    seed: int, runtime: RuntimeSpec = "sim"
+) -> ConstraintManager:
     """Branch + head office with the end-of-day batch strategy installed."""
-    scenario = Scenario(seed=seed)
+    scenario = Scenario(seed=seed, runtime=runtime)
     cm = ConstraintManager(scenario)
     cm.add_site("branch")
     cm.add_site("head-office")
@@ -92,11 +100,16 @@ def build_banking_cm(seed: int) -> ConstraintManager:
 
 
 def run(
+    config: RunConfig | None = None,
+    *,
     simulated_days: int = 3,
     account_count: int = 10,
     seed: int = 6,
 ) -> ExperimentResult:
     """Run several banking days; check the periodic guarantee and the analyst."""
+    config = resolve_config(config)
+    seed = config.resolve_seed(seed)
+    account_count = config.scaled(account_count)
     result = ExperimentResult(
         experiment="E7 periodic guarantee (Section 6.4)",
         claim=CLAIM,
@@ -109,7 +122,7 @@ def run(
             "analyst_consistent",
         ],
     )
-    cm = build_banking_cm(seed)
+    cm = build_banking_cm(seed, runtime=config.runtime_spec())
     workload = BankingWorkload(
         cm, account_count=account_count, days=simulated_days, rate=0.01
     )

@@ -27,8 +27,10 @@ from __future__ import annotations
 from repro.core.timebase import seconds
 from repro.experiments.common import (
     ExperimentResult,
+    RunConfig,
     attach_observability,
     build_salary_scenario,
+    resolve_config,
 )
 from repro.sim.failures import FailureKind, FailurePlan, FailureWindow
 from repro.workloads import UpdateStream
@@ -41,7 +43,9 @@ CLAIM = (
 )
 
 
-def _run_case(case: str, seed: int, duration: float = 300.0) -> tuple:
+def _run_case(
+    case: str, seed: int, duration: float = 300.0, runtime="sim"
+) -> tuple:
     failure_plan = FailurePlan()
     if case == "metric":
         failure_plan.add(
@@ -64,7 +68,10 @@ def _run_case(case: str, seed: int, duration: float = 300.0) -> tuple:
             )
         )
     salary = build_salary_scenario(
-        strategy_kind="propagation", seed=seed, failure_plan=failure_plan
+        strategy_kind="propagation",
+        seed=seed,
+        failure_plan=failure_plan,
+        runtime=runtime,
     )
     if case == "logical":
         # The HQ database crashes (and later recovers); the CM detects this
@@ -118,8 +125,12 @@ def _run_case(case: str, seed: int, duration: float = 300.0) -> tuple:
     return outcome, salary.cm
 
 
-def run(seed: int = 7) -> ExperimentResult:
+def run(
+    config: RunConfig | None = None, *, seed: int = 7
+) -> ExperimentResult:
     """Run the healthy/metric/logical/silent cases and assemble the matrix."""
+    config = resolve_config(config)
+    seed = config.resolve_seed(seed)
     result = ExperimentResult(
         experiment="E8 failure handling (Section 5)",
         claim=CLAIM,
@@ -134,7 +145,7 @@ def run(seed: int = 7) -> ExperimentResult:
     )
     outcomes = {}
     for case in ("healthy", "metric", "logical", "silent"):
-        outcome, case_cm = _run_case(case, seed)
+        outcome, case_cm = _run_case(case, seed, runtime=config.runtime_spec())
         outcomes[case] = outcome
         result.rows.append(
             [

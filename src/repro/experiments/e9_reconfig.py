@@ -21,8 +21,10 @@ from __future__ import annotations
 from repro.core.timebase import seconds
 from repro.experiments.common import (
     ExperimentResult,
+    RunConfig,
     attach_observability,
     build_salary_scenario,
+    resolve_config,
 )
 from repro.workloads import UpdateStream
 from repro.workloads.generators import random_walk
@@ -47,8 +49,15 @@ def _dict_entries(data: dict, prefix: str = "") -> set[str]:
     return entries
 
 
-def run(seed: int = 8, duration: float = 300.0) -> ExperimentResult:
+def run(
+    config: RunConfig | None = None,
+    *,
+    seed: int = 8,
+    duration: float = 300.0,
+) -> ExperimentResult:
     """Perform the notify->read interface change and diff the configurations."""
+    config = resolve_config(config)
+    seed = config.resolve_seed(seed)
     result = ExperimentResult(
         experiment="E9 reconfiguration (Sections 4.2.3, 4.3)",
         claim=CLAIM,
@@ -68,6 +77,7 @@ def run(seed: int = 8, duration: float = 300.0) -> ExperimentResult:
             seed=seed,
             offer_notify=offer_notify,
             polling_period=10.0,
+            runtime=config.runtime_spec(),
         )
         UpdateStream(
             salary.cm,

@@ -35,9 +35,9 @@ from repro.experiments import (
     e10_scale,
     e11_arithmetic,
 )
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, RunConfig
 
-EXPERIMENTS: dict[str, tuple[str, Callable[[], object]]] = {
+EXPERIMENTS: dict[str, tuple[str, Callable[..., object]]] = {
     "e1": ("propagation strategy (Section 4.2)", e1_propagation.run),
     "e2": ("polling strategy (Section 4.2.3)", e2_polling.run),
     "e3": ("cached propagation (Section 3.2 fn. 3)", e3_caching.run),
@@ -89,6 +89,35 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print one verdict line per experiment instead of full tables",
     )
+    parser.add_argument(
+        "--runtime",
+        choices=("sim", "async"),
+        default="sim",
+        help="execution runtime: 'sim' (deterministic discrete-event kernel) "
+        "or 'async' (asyncio shells over real sockets)",
+    )
+    parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=20.0,
+        metavar="FACTOR",
+        help="with --runtime async: virtual seconds per wall second "
+        "(default 20; higher is faster but shrinks the wall-clock "
+        "headroom behind every timing bound)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override every experiment's default seed",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        metavar="FACTOR",
+        help="multiply experiment workload sizes (entity counts) by FACTOR",
+    )
     args = parser.parse_args(argv)
     if args.list:
         for key, (description, __) in EXPERIMENTS.items():
@@ -99,11 +128,17 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         print(f"unknown experiment(s): {unknown}", file=sys.stderr)
         return 2
+    config = RunConfig(
+        runtime=args.runtime,
+        seed=args.seed,
+        scale=args.scale,
+        time_scale=args.time_scale,
+    )
     failures = 0
     collected: dict[str, dict] = {}
     for key in selected:
         __, run = EXPERIMENTS[key]
-        result = run()
+        result = run(config, **config.options)
         assert isinstance(result, ExperimentResult)
         if args.quiet:
             verdict = "REPRODUCED" if result.claim_holds else "NOT REPRODUCED"

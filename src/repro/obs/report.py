@@ -193,6 +193,24 @@ def build_run_report(cm: Any) -> RunReport:
             "max_in_flight": int(gauge.high) if gauge is not None else 0,
         }
         entry.update(hist.summary())
+        wire_ms = registry.get(
+            "wire_latency_ms", src=labels.get("src"), dst=labels.get("dst")
+        )
+        if wire_ms is not None and wire_ms.count:
+            # Wire-runtime channels record real milliseconds next to the
+            # virtual-tick series; summarize the exact stats only (the
+            # histogram's buckets — and so its quantiles — are tick-scaled).
+            entry["wire_ms"] = {
+                "count": wire_ms.count,
+                "mean_ms": round(wire_ms.mean, 3),
+                "min_ms": round(wire_ms.min, 3),
+                "max_ms": round(wire_ms.max, 3),
+            }
+            drops = registry.value(
+                "wire_fault_drops", src=labels.get("src"), dst=labels.get("dst")
+            )
+            if drops:
+                entry["wire_fault_drops"] = drops
         channels.append(entry)
     report.network = {
         "messages_sent": network.messages_sent,

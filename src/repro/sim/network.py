@@ -208,9 +208,7 @@ class Network:
         if self.in_order:
             deliver_at = max(deliver_at, self._last_delivery.get(channel, 0))
         self._last_delivery[channel] = deliver_at
-        sent, latency_hist, in_flight = self._metrics_for(channel)
-        sent.value += 1
-        latency_hist.observe(deliver_at - now)
+        in_flight = self._metrics_for(channel)[2]
         in_flight.inc()
         message = Message(
             src=src, dst=dst, payload=payload, sent_at=now, deliver_at=deliver_at
@@ -233,10 +231,18 @@ class Network:
         return message
 
     def _deliver(self, message: Message) -> None:
-        self._metrics_for((message.src, message.dst))[2].dec()
+        delivered, latency_hist, in_flight = self._metrics_for(
+            (message.src, message.dst)
+        )
+        in_flight.dec()
         if self.failure_plan.logically_failed(message.dst, self.sim.now):
             self.messages_dropped += 1
             return
+        # Channel metrics count *deliveries*: a message dropped at a failed
+        # destination must not inflate the channel's message count, and the
+        # latency histogram records only hops that actually completed.
+        delivered.value += 1
+        latency_hist.observe(message.deliver_at - message.sent_at)
         if message.span is not None:
             tracer = self.obs.tracer
             tracer.push(message.span)

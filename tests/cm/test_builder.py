@@ -1,9 +1,10 @@
 """Tests for the fluent wiring API and the unified install() surface.
 
 The builders must be a pure veneer: a scenario wired fluently behaves
-identically to one wired through the classic imperative calls, and the
-deprecated ``install_rule`` / ``install_periodic_rule`` aliases must keep
-working unchanged.  Also covered here: the failure-propagation fix — remote
+identically to one wired through the classic imperative calls, and
+``install()`` is the one installation entry point (the old
+``install_rule`` / ``install_periodic_rule`` aliases are gone).  Also
+covered here: the failure-propagation fix — remote
 notices now reach ``on_failure`` listeners, and the status board stays
 deduplicated under the resulting fan-in.
 """
@@ -166,24 +167,24 @@ class TestConstraintBuilder:
 
 
 class TestUnifiedInstall:
-    def test_deprecated_aliases_still_install(self):
+    def test_install_handles_both_rule_shapes(self):
         cm, __, ___, ____, _____ = two_site_relational()
         shell = cm.shell("sf")
         cm.locations.register("Tick", "sf")
-        shell.install_rule(
+        shell.install(
             parse_rule("N(salary1(n), b) -> [5] WR(salary2(n), b)", name="old"),
             "ny",
         )
-        shell.install_periodic_rule(
+        shell.install(
             parse_rule("P(10) -> [1] W(Tick(), 1)", name="tick"), "sf"
         )
         assert {r.name for r in shell.rules} == {"old", "tick"}
 
-    def test_install_periodic_rule_rejects_non_periodic_lhs(self):
+    def test_deprecated_aliases_are_gone(self):
         cm, __, ___, ____, _____ = two_site_relational()
-        rule = parse_rule("N(salary1(n), b) -> [5] W(salary2(n), b)")
-        with pytest.raises(SpecError, match="no periodic LHS"):
-            cm.shell("sf").install_periodic_rule(rule, "ny")
+        shell = cm.shell("sf")
+        assert not hasattr(shell, "install_rule")
+        assert not hasattr(shell, "install_periodic_rule")
 
     def test_install_rejects_phase_on_non_periodic_rule(self):
         cm, __, ___, ____, _____ = two_site_relational()

@@ -13,7 +13,7 @@ from repro.core.timebase import seconds
 
 def install_propagation(cm):
     rule = parse_rule("N(salary1(n), b) -> [5] WR(salary2(n), b)", name="prop")
-    cm.shell("sf").install_rule(rule, "ny")
+    cm.shell("sf").install(rule, "ny")
     cm.shell("sf").translator_for("salary1").setup_notify("salary1")
     return rule
 
@@ -34,7 +34,7 @@ class TestRuleFiring:
     def test_non_matching_events_ignored(self):
         cm, __, ___, ____, _____ = two_site_relational()
         rule = parse_rule("N(other(n), b) -> [5] WR(salary2(n), b)")
-        cm.shell("sf").install_rule(rule, "ny")
+        cm.shell("sf").install(rule, "ny")
         cm.shell("sf").translator_for("salary1").setup_notify("salary1")
         cm.scenario.sim.at(
             seconds(1), lambda: cm.spontaneous_write("salary1", ("e1",), 7.0)
@@ -47,7 +47,7 @@ class TestRuleFiring:
         rule = parse_rule(
             "N(salary1(n), b) & b > 100 -> [5] WR(salary2(n), b)"
         )
-        cm.shell("sf").install_rule(rule, "ny")
+        cm.shell("sf").install(rule, "ny")
         cm.shell("sf").translator_for("salary1").setup_notify("salary1")
         cm.scenario.sim.at(
             seconds(1), lambda: cm.spontaneous_write("salary1", ("e1",), 50.0)
@@ -66,7 +66,7 @@ class TestRuleFiring:
             name="cached",
         )
         cm.locations.register("Cache", "ny")
-        cm.shell("sf").install_rule(rule, "ny")
+        cm.shell("sf").install(rule, "ny")
         cm.shell("sf").translator_for("salary1").setup_notify("salary1")
         for t, value in ((1, 5.0), (2, 5.0), (3, 6.0)):
             cm.scenario.sim.at(
@@ -84,7 +84,7 @@ class TestRuleFiring:
         cm, __, ___, ____, _____ = two_site_relational()
         rule = parse_rule("N(salary1(n), b) -> [5] W(Copy(n), b)", name="keep")
         cm.locations.register("Copy", "sf")
-        cm.shell("sf").install_rule(rule, "sf")
+        cm.shell("sf").install(rule, "sf")
         cm.shell("sf").translator_for("salary1").setup_notify("salary1")
         cm.scenario.sim.at(
             seconds(1), lambda: cm.spontaneous_write("salary1", ("e1",), 7.0)
@@ -104,7 +104,7 @@ class TestRuleFiring:
     def test_writing_database_item_directly_rejected(self):
         cm, __, ___, ____, _____ = two_site_relational()
         rule = parse_rule("N(salary1(n), b) -> [5] W(salary1(n), b)")
-        cm.shell("sf").install_rule(rule, "sf")
+        cm.shell("sf").install(rule, "sf")
         cm.shell("sf").translator_for("salary1").setup_notify("salary1")
         cm.scenario.sim.at(
             seconds(1), lambda: cm.spontaneous_write("salary1", ("e1",), 7.0)
@@ -121,8 +121,8 @@ class TestPeriodicRules:
         forward = parse_rule(
             "R(salary1(n), b) -> [5] WR(salary2(n), b)", name="fwd"
         )
-        cm.shell("sf").install_periodic_rule(poll, "sf")
-        cm.shell("sf").install_rule(forward, "ny")
+        cm.shell("sf").install(poll, "sf")
+        cm.shell("sf").install(forward, "ny")
         cm.run(until=seconds(25))
         assert hq.query("SELECT salary FROM employees") == [(42.0,)]
         p_events = [
@@ -140,8 +140,8 @@ class TestPeriodicRules:
         forward = parse_rule(
             "R(salary1(n), b) -> [5] WR(salary2(n), b)", name="fwd"
         )
-        cm.shell("sf").install_periodic_rule(poll, "sf")
-        cm.shell("sf").install_rule(forward, "ny")
+        cm.shell("sf").install(poll, "sf")
+        cm.shell("sf").install(forward, "ny")
         cm.run(until=seconds(15))
         rows = hq.query("SELECT empid, salary FROM employees ORDER BY empid")
         assert rows == [("e1", 1.0), ("e2", 2.0)]
@@ -151,9 +151,7 @@ class TestPeriodicRules:
 
         cm, branch, __, ___, ____ = two_site_relational(offer_notify=False)
         poll = parse_rule("P(86400) -> [1] RR(salary1(n))", name="daily")
-        cm.shell("sf").install_periodic_rule(
-            poll, "sf", phase=clock_time(17)
-        )
+        cm.shell("sf").install(poll, "sf", phase=clock_time(17))
         cm.run(until=DAY)
         p_events = [
             e for e in cm.scenario.trace.events
@@ -161,11 +159,11 @@ class TestPeriodicRules:
         ]
         assert [e.time for e in p_events] == [clock_time(17)]
 
-    def test_non_periodic_rule_rejected_as_timer(self):
+    def test_phase_on_non_periodic_rule_rejected(self):
         cm, __, ___, ____, _____ = two_site_relational()
         rule = parse_rule("N(salary1(n), b) -> [5] WR(salary2(n), b)")
         with pytest.raises(SpecError):
-            cm.shell("sf").install_periodic_rule(rule, "ny")
+            cm.shell("sf").install(rule, "ny", phase=seconds(1))
 
 
 class TestBinderEvaluation:
@@ -178,7 +176,7 @@ class TestBinderEvaluation:
             name="capture",
         )
         cm.locations.register("Seen", "sf")
-        shell.install_rule(rule, "sf")
+        shell.install(rule, "sf")
         shell.translator_for("salary1").setup_notify("salary1")
         cm.scenario.sim.at(
             seconds(1), lambda: cm.spontaneous_write("salary1", ("e1",), 7.0)

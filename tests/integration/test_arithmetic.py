@@ -122,9 +122,9 @@ class TestChainDepthGuard:
         rule = parse_rule("W(Loop, b) -> [1] W(Loop, b)", name="loop")
         cm.locations.register("Loop", "sf")
         shell = cm.shell("sf")
-        shell.install_rule(rule, "sf")
+        shell.install(rule, "sf")
         kick = parse_rule("N(salary1(n), b) -> [1] W(Loop, b)", name="kick")
-        shell.install_rule(kick, "sf")
+        shell.install(kick, "sf")
         shell.translator_for("salary1").setup_notify("salary1")
         cm.scenario.sim.at(
             seconds(1), lambda: cm.spontaneous_write("salary1", ("e1",), 1.0)

@@ -1,0 +1,119 @@
+"""Tests for channel fault plans, the payload codec, and the resequencer."""
+
+import pytest
+
+from repro.cm.failures import FailureNotice
+from repro.core.timebase import seconds
+from repro.runtime.channels import (
+    ChannelFaults,
+    ChannelReceiver,
+    WireFaultPlan,
+    decode_payload,
+    encode_payload,
+)
+from repro.sim.failures import FailureKind
+
+
+class TestChannelFaults:
+    def test_defaults_are_clean(self):
+        faults = ChannelFaults()
+        assert not faults.any
+
+    @pytest.mark.parametrize("name", ["drop", "dup", "reorder"])
+    def test_probability_bounds_enforced(self, name):
+        with pytest.raises(ValueError):
+            ChannelFaults(**{name: 1.5})
+        with pytest.raises(ValueError):
+            ChannelFaults(**{name: -0.1})
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelFaults(delay=-1)
+
+    def test_any_triggers_on_each_knob(self):
+        assert ChannelFaults(drop=0.1).any
+        assert ChannelFaults(dup=0.1).any
+        assert ChannelFaults(reorder=0.1).any
+        assert ChannelFaults(delay=5).any
+
+    def test_plan_per_channel_override(self):
+        plan = WireFaultPlan(default=ChannelFaults(drop=0.5)).set(
+            "a", "b", ChannelFaults(dup=1.0)
+        )
+        assert plan.for_channel("a", "b").dup == 1.0
+        assert plan.for_channel("a", "b").drop == 0.0
+        assert plan.for_channel("b", "a").drop == 0.5
+
+
+class TestPayloadCodec:
+    def notice(self, kind):
+        return FailureNotice(
+            site="sf",
+            source_name="branch",
+            kind=kind,
+            time=seconds(5),
+            detail="db wedged",
+            recovered=False,
+        )
+
+    def test_failure_notice_serializes_fully(self):
+        original = self.notice(FailureKind.LOGICAL)
+        encoded = encode_payload(original, handle=0)
+        assert encoded["type"] == "failure-notice"
+        decoded = decode_payload(encoded, handles={})
+        # Equal but not identical: the notice really crossed a codec, it
+        # was not smuggled through the in-process handle table.
+        assert decoded == original
+        assert decoded is not original
+        assert decoded.kind is FailureKind.LOGICAL
+
+    def test_translator_defined_kind_passes_through_as_string(self):
+        decoded = decode_payload(
+            encode_payload(self.notice("crash"), handle=0), handles={}
+        )
+        assert decoded.kind == "crash"
+
+    def test_other_payloads_ride_by_handle(self):
+        payload = object()  # unserializable: a compiled rule firing
+        encoded = encode_payload(payload, handle=42)
+        assert encoded == {"type": "handle", "id": 42}
+        assert decode_payload(encoded, handles={42: payload}) is payload
+
+    def test_unknown_encoding_rejected(self):
+        with pytest.raises(ValueError):
+            decode_payload({"type": "mystery"}, handles={})
+
+
+def frame(seq):
+    return {"src": "a", "dst": "b", "seq": seq, "payload": seq}
+
+
+class TestResequencer:
+    def test_in_order_frames_pass_straight_through(self):
+        receiver = ChannelReceiver()
+        assert receiver.accept(frame(0)) == [frame(0)]
+        assert receiver.accept(frame(1)) == [frame(1)]
+
+    def test_gap_buffers_until_filled(self):
+        receiver = ChannelReceiver()
+        assert receiver.accept(frame(1)) == []
+        assert receiver.accept(frame(2)) == []
+        assert receiver.accept(frame(0)) == [frame(0), frame(1), frame(2)]
+        assert receiver.frames_buffered_high == 3
+
+    def test_duplicates_discarded(self):
+        receiver = ChannelReceiver()
+        receiver.accept(frame(0))
+        assert receiver.accept(frame(0)) == []  # already delivered
+        receiver.accept(frame(2))
+        assert receiver.accept(frame(2)) == []  # already buffered
+        assert receiver.duplicates_discarded == 2
+
+    def test_raw_mode_passes_duplicates_and_reorders(self):
+        # in_order=False is the Appendix A ablation: the misbehaviour the
+        # resequencer exists to heal reaches the shell unfiltered.
+        receiver = ChannelReceiver(in_order=False)
+        assert receiver.accept(frame(1)) == [frame(1)]
+        assert receiver.accept(frame(0)) == [frame(0)]
+        assert receiver.accept(frame(0)) == [frame(0)]
+        assert receiver.duplicates_discarded == 0

@@ -1,0 +1,105 @@
+"""Tests for the scaled wall clock behind the wire runtime."""
+
+import asyncio
+
+import pytest
+
+from repro.core.timebase import seconds
+from repro.runtime.clock import WallClock
+
+#: Fast enough that a 10-virtual-second test costs ~2ms of wall time.
+SCALE = 5000.0
+
+
+def run(clock: WallClock, until) -> None:
+    asyncio.run(clock.run_until(until))
+
+
+class TestScheduling:
+    def test_buffered_schedules_fire_in_order(self):
+        clock = WallClock(time_scale=SCALE)
+        fired = []
+        clock.at(seconds(2), lambda: fired.append("late"))
+        clock.at(seconds(1), lambda: fired.append("early"))
+        run(clock, seconds(3))
+        assert fired == ["early", "late"]
+        assert clock.events_processed == 2
+
+    def test_run_until_pins_virtual_time_to_horizon(self):
+        clock = WallClock(time_scale=SCALE)
+        run(clock, seconds(3))
+        assert clock.now == seconds(3)
+
+    def test_unfired_events_survive_into_next_run(self):
+        clock = WallClock(time_scale=SCALE)
+        fired = []
+        # Far past the first horizon: wall-sleep overshoot (OS jitter) must
+        # not be able to reach it during the first run.
+        clock.at(seconds(500), lambda: fired.append("x"))
+        run(clock, seconds(1))
+        assert fired == []
+        run(clock, seconds(1000))
+        assert fired == ["x"]
+
+    def test_cancel_prevents_callback(self):
+        clock = WallClock(time_scale=SCALE)
+        fired = []
+        event = clock.at(seconds(1), lambda: fired.append("x"))
+        event.cancel()
+        run(clock, seconds(2))
+        assert fired == []
+
+    def test_past_schedule_clamped_to_now_not_rejected(self):
+        # Wall jitter makes exact-tick schedules impossible; the clock
+        # clamps to "now" where the simulator would raise.
+        clock = WallClock(time_scale=SCALE)
+        run(clock, seconds(5))
+        fired = []
+        clock.at(seconds(1), lambda: fired.append("x"))
+        run(clock, seconds(6))
+        assert fired == ["x"]
+
+    def test_after_schedules_relative_to_now(self):
+        clock = WallClock(time_scale=SCALE)
+        fired = []
+        clock.after(seconds(1), lambda: fired.append("x"))
+        run(clock, seconds(2))
+        assert fired == ["x"]
+
+    def test_negative_after_rejected(self):
+        with pytest.raises(ValueError):
+            WallClock(time_scale=SCALE).after(-1, lambda: None)
+
+    def test_nonpositive_time_scale_rejected(self):
+        with pytest.raises(ValueError):
+            WallClock(time_scale=0)
+
+    def test_stop_halts_later_events(self):
+        clock = WallClock(time_scale=SCALE)
+        fired = []
+        clock.at(seconds(1), clock.stop)
+        clock.at(seconds(5), lambda: fired.append("never"))
+        run(clock, seconds(10))
+        assert fired == []
+
+
+class TestWallPacing:
+    def test_wall_delay_is_scaled(self):
+        clock = WallClock(time_scale=100.0)
+        # 10 virtual seconds at 100x is 0.1 wall seconds.
+        assert clock.wall_delay(seconds(10)) == pytest.approx(0.1)
+
+    def test_wall_delay_never_negative(self):
+        clock = WallClock(time_scale=SCALE)
+        run(clock, seconds(5))
+        assert clock.wall_delay(seconds(1)) == 0.0
+
+    def test_now_is_monotonic_across_runs(self):
+        clock = WallClock(time_scale=SCALE)
+        samples = []
+        clock.at(seconds(1), lambda: samples.append(clock.now))
+        run(clock, seconds(2))
+        samples.append(clock.now)
+        run(clock, seconds(4))
+        samples.append(clock.now)
+        assert samples == sorted(samples)

@@ -1,0 +1,73 @@
+"""Tests for the JSON-RPC 2.0 message layer of the wire runtime."""
+
+import pytest
+
+from repro.runtime.jsonrpc import (
+    INVALID_PARAMS,
+    JSONRPC_VERSION,
+    ErrorResponse,
+    Notification,
+    ProtocolError,
+    Request,
+    Response,
+    parse_message,
+)
+
+
+class TestRoundTrip:
+    def test_request(self):
+        message = Request("cm.hello", {"src": "a", "dst": "b"}, id=7)
+        parsed = parse_message(message.to_wire())
+        assert parsed == message
+
+    def test_notification(self):
+        message = Notification("cm.deliver", {"seq": 0})
+        parsed = parse_message(message.to_wire())
+        assert parsed == message
+        assert not hasattr(parsed, "id")
+
+    def test_response(self):
+        parsed = parse_message(Response(id=7, result={"ok": True}).to_wire())
+        assert parsed == Response(id=7, result={"ok": True})
+
+    def test_error_response(self):
+        message = ErrorResponse(id=7, code=-32600, message="bad", data=[1])
+        parsed = parse_message(message.to_wire())
+        assert parsed == message
+
+    def test_error_without_data_omits_key(self):
+        wire = ErrorResponse(id=1, code=-32600, message="bad").to_wire()
+        assert "data" not in wire["error"]
+
+    def test_version_stamped(self):
+        assert Request("m").to_wire()["jsonrpc"] == JSONRPC_VERSION
+
+
+class TestStrictParsing:
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            "not an object",
+            {"method": "m"},  # missing jsonrpc version
+            {"jsonrpc": "1.0", "method": "m"},
+            {"jsonrpc": "2.0", "method": 42},
+            {"jsonrpc": "2.0"},  # neither request nor response
+            {"jsonrpc": "2.0", "result": 1},  # response without id
+            {"jsonrpc": "2.0", "error": "boom"},  # malformed error object
+            {"jsonrpc": "2.0", "error": {"message": "no code"}},
+        ],
+    )
+    def test_malformed_rejected(self, raw):
+        with pytest.raises(ProtocolError):
+            parse_message(raw)
+
+    def test_non_object_params_rejected_with_code(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_message({"jsonrpc": "2.0", "method": "m", "params": [1]})
+        assert exc.value.code == INVALID_PARAMS
+
+    def test_id_presence_distinguishes_request_from_notification(self):
+        with_id = parse_message({"jsonrpc": "2.0", "method": "m", "id": 0})
+        without = parse_message({"jsonrpc": "2.0", "method": "m"})
+        assert isinstance(with_id, Request)
+        assert isinstance(without, Notification)

@@ -1,0 +1,103 @@
+"""Tests for length-prefixed JSON-RPC framing over asyncio streams."""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.runtime.jsonrpc import Notification, ProtocolError, Request, Response
+from repro.runtime.transport import (
+    MAX_FRAME_BYTES,
+    FrameStream,
+    encode_frame,
+    read_frame,
+)
+
+
+def fed_reader(*chunks: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    for chunk in chunks:
+        reader.feed_data(chunk)
+    reader.feed_eof()
+    return reader
+
+
+class TestFraming:
+    def test_frame_is_length_prefixed(self):
+        frame = encode_frame(Notification("m"))
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+
+    def test_round_trip(self):
+        message = Request("cm.hello", {"src": "a", "dst": "b"}, id=3)
+
+        async def scenario():
+            return await read_frame(fed_reader(encode_frame(message)))
+
+        assert asyncio.run(scenario()) == message
+
+    def test_two_frames_read_back_to_back(self):
+        first = Notification("cm.deliver", {"seq": 0})
+        second = Notification("cm.deliver", {"seq": 1})
+
+        async def scenario():
+            reader = fed_reader(encode_frame(first), encode_frame(second))
+            return await read_frame(reader), await read_frame(reader)
+
+        assert asyncio.run(scenario()) == (first, second)
+
+    def test_clean_eof_returns_none(self):
+        async def scenario():
+            return await read_frame(fed_reader())
+
+        assert asyncio.run(scenario()) is None
+
+    def test_eof_mid_frame_returns_none(self):
+        async def scenario():
+            truncated = encode_frame(Notification("m"))[:-2]
+            return await read_frame(fed_reader(truncated))
+
+        assert asyncio.run(scenario()) is None
+
+    def test_oversized_declared_length_rejected(self):
+        async def scenario():
+            header = struct.pack(">I", MAX_FRAME_BYTES + 1)
+            await read_frame(fed_reader(header))
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(scenario())
+
+    def test_undecodable_body_rejected(self):
+        async def scenario():
+            body = b"\xff\xfe not json"
+            await read_frame(fed_reader(struct.pack(">I", len(body)) + body))
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(scenario())
+
+
+class TestFrameStream:
+    def test_send_and_recv_over_real_socket(self):
+        async def scenario():
+            received = []
+
+            async def serve(reader, writer):
+                stream = FrameStream(reader, writer)
+                message = await stream.recv()
+                received.append(message)
+                await stream.send(Response(id=message.id, result="ok"))
+                await stream.close()
+
+            server = await asyncio.start_server(serve, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = await FrameStream.open("127.0.0.1", port)
+            await client.send(Request("cm.hello", {"src": "a"}, id=9))
+            reply = await client.recv()
+            await client.close()
+            server.close()
+            await server.wait_closed()
+            return received, reply
+
+        received, reply = asyncio.run(scenario())
+        assert received == [Request("cm.hello", {"src": "a"}, id=9)]
+        assert reply == Response(id=9, result="ok")

@@ -184,16 +184,51 @@ class TestChannelMetrics:
         for index in range(3):
             network.send("a", "b", index)
         registry = network.obs.metrics
-        assert registry.value("net_messages", src="a", dst="b") == 3
+        # Messages are counted on *delivery*, not on send: while in flight
+        # only the gauge moves.
+        assert registry.value("net_messages", src="a", dst="b") == 0
         gauge = registry.get("net_in_flight", src="a", dst="b")
         assert gauge.value == 3
         sim.run()
         assert len(inbox["b"]) == 3
+        assert registry.value("net_messages", src="a", dst="b") == 3
         assert gauge.value == 0  # everything landed
         assert gauge.high == 3
         hist = registry.get("net_latency", src="a", dst="b")
         assert hist.count == 3
         assert hist.max == seconds(0.1)
+
+    def test_message_to_failed_site_not_counted_as_delivered(self):
+        # Regression: the channel counter used to tick at send time, so a
+        # message dropped at a logically-failed destination still inflated
+        # net_messages (and its latency entered the histogram).
+        plan = FailurePlan()
+        plan.add(
+            FailureWindow(
+                site="b",
+                kind=FailureKind.LOGICAL,
+                start=seconds(1),
+                end=seconds(10),
+            )
+        )
+        sim = Simulator()
+        network = Network(
+            sim,
+            default_latency=FixedLatency(seconds(0.1)),
+            failure_plan=plan,
+        )
+        inbox = []
+        network.register_site("a", lambda m: None)
+        network.register_site("b", inbox.append)
+        network.send("a", "b", "lands")  # delivers at 0.1s, before the window
+        sim.at(seconds(2), lambda: network.send("a", "b", "dropped"))
+        sim.run()
+        registry = network.obs.metrics
+        assert [m.payload for m in inbox] == ["lands"]
+        assert registry.value("net_messages", src="a", dst="b") == 1
+        assert registry.get("net_latency", src="a", dst="b").count == 1
+        assert network.messages_sent == 2
+        assert network.messages_dropped == 1
 
     def test_unused_channel_has_no_series(self):
         __, network, ___ = make_network()
