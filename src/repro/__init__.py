@@ -78,12 +78,15 @@ from repro.core.interfaces import InterfaceKind
 from repro.core.items import MISSING, DataItemRef
 from repro.core.timebase import days, hours, minutes, seconds, to_seconds
 from repro.obs import (
+    FlightRecorder,
     Instrumentation,
     JsonlSink,
     MetricsRegistry,
     PrometheusExporter,
     RunReport,
+    SpanContext,
     SpanTree,
+    TelemetryBus,
     Tracer,
 )
 from repro.runtime import (
@@ -144,6 +147,9 @@ __all__ = [
     "MetricsRegistry",
     "Tracer",
     "SpanTree",
+    "SpanContext",
+    "FlightRecorder",
+    "TelemetryBus",
     "JsonlSink",
     "PrometheusExporter",
     "RunReport",

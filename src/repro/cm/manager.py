@@ -56,6 +56,25 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.cm.builder import ConstraintBuilder, SiteBuilder
 
 
+#: Module-level hooks invoked with every newly built :class:`Scenario`
+#: (right after its runtime is wired, before any sites exist).  This is
+#: the seam external observers use to reach scenarios constructed deep
+#: inside experiment ``run()`` functions — the ``python -m repro watch``
+#: dashboard attaches its telemetry bus here.
+_scenario_hooks: list = []
+
+
+def add_scenario_hook(hook):
+    """Register ``hook(scenario)`` to run for each new Scenario."""
+    _scenario_hooks.append(hook)
+    return hook
+
+
+def remove_scenario_hook(hook) -> None:
+    """Unregister a hook added with :func:`add_scenario_hook`."""
+    _scenario_hooks.remove(hook)
+
+
 @dataclass
 class Scenario:
     """The world one experiment runs in — simulated or over the wire.
@@ -92,6 +111,8 @@ class Scenario:
         self.runtime_impl = resolve_runtime(self.runtime)
         self.sim, self.network = self.runtime_impl.build(self)
         self.trace = ExecutionTrace()
+        for hook in list(_scenario_hooks):
+            hook(self)
 
     @property
     def runtime_name(self) -> str:
@@ -430,6 +451,8 @@ class ConstraintManager:
             "events_processed": 0,
             "candidates_considered": 0,
             "rules_fired": 0,
+            "match_hits": 0,
+            "match_misses": 0,
         }
         for counters in per_site.values():
             for key in total:

@@ -38,6 +38,7 @@ which is how parameterized polling and end-of-day scans work.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter_ns
 from typing import Callable, Optional
 
 from repro.core.conditions import evaluate, evaluate_value
@@ -53,6 +54,7 @@ from repro.cm.failures import FailureNotice
 from repro.cm.store import ShellStore
 from repro.cm.translator import CMTranslator
 from repro.obs import Instrumentation
+from repro.obs.metrics import RULE_EXEC_NS_BOUNDS
 from repro.runtime.api import Clock, TransportAPI
 from repro.sim.failures import FailurePlan
 from repro.sim.network import Message
@@ -118,6 +120,10 @@ class CMShell:
         self._m_compiled = metrics.counter("shell_rules_compiled", site=site)
         self._m_fallback = metrics.counter("shell_rules_fallback", site=site)
         self._fired_by_rule: dict[str, object] = {}
+        # Per-rule profiling instruments (match hits/misses, RHS wall ns),
+        # created lazily the first time the *profiled* dispatch loop meets
+        # each rule — an unprofiled run never allocates them.
+        self._profiles: dict[str, tuple] = {}
         self._rules_by_name: dict[str, Rule] = {}
         self._chain_depth = 0
         #: Offset of this site's local clock from true time, in ticks.
@@ -285,7 +291,31 @@ class CMShell:
             "events_processed": self._m_events.value,
             "candidates_considered": self._m_candidates.value,
             "rules_fired": self._m_fired.value,
+            # Zero unless rule profiling was enabled for the run.
+            "match_hits": sum(p[0].value for p in self._profiles.values()),
+            "match_misses": sum(p[1].value for p in self._profiles.values()),
         }
+
+    def rule_profile(self) -> dict[str, dict]:
+        """Per-rule dispatch profile (empty unless profiling was enabled).
+
+        For each rule the profiled dispatch loop considered: how often its
+        matcher hit vs. missed, how often it fired, and the wall-time
+        histogram of its RHS executions (nanoseconds — real time, not
+        virtual; this is the cost of running the rule, not the latency the
+        scenario models).
+        """
+        profile: dict[str, dict] = {}
+        for rule_name in sorted(self._profiles):
+            hits, misses, exec_hist = self._profiles[rule_name]
+            fired = self._fired_by_rule.get(rule_name)
+            profile[rule_name] = {
+                "match_hits": hits.value,
+                "match_misses": misses.value,
+                "fired": fired.value if fired is not None else 0,
+                "exec_ns": exec_hist.summary(),
+            }
+        return profile
 
     def stop_timers(self) -> None:
         """Stop all periodic timers, including translator-driven ones."""
@@ -308,15 +338,20 @@ class CMShell:
         obs = self.obs
         span = None
         if obs.enabled:
-            span = obs.tracer.start(
-                "shell.process",
-                self.site,
-                self.sim.now,
-                kind=event.desc.kind.value,
-                event=str(event.desc),
-                seq=event.seq,
-            )
-            obs.tracer.push(span)
+            if obs.flight is not None:
+                # The ring-buffer fast path: one tuple append, the detail
+                # (the event descriptor) stringified only if ever dumped.
+                obs.flight.record(self.site, "event", self.sim.now, event.desc)
+            if obs.tracer.enabled:
+                span = obs.tracer.start(
+                    "shell.process",
+                    self.site,
+                    self.sim.now,
+                    kind=event.desc.kind.value,
+                    event=str(event.desc),
+                    seq=event.seq,
+                )
+                obs.tracer.push(span)
             if obs.sinks:
                 obs.emit_event(event)
         try:
@@ -327,6 +362,8 @@ class CMShell:
                 obs.tracer.finish(span, self.sim.now)
 
     def _dispatch(self, event: Event) -> None:
+        if self.obs.rule_profiling:
+            return self._dispatch_profiled(event)
         desc = event.desc
         site = self.site
         store = self.store
@@ -384,6 +421,99 @@ class CMShell:
                     FireMessage(rule, tuple(bindings.items()), event),
                 )
 
+    def _profile_for(self, rule_name: str) -> tuple:
+        profile = self._profiles.get(rule_name)
+        if profile is None:
+            metrics = self.obs.metrics
+            profile = (
+                metrics.counter(
+                    "rule_match_hits", site=self.site, rule=rule_name
+                ),
+                metrics.counter(
+                    "rule_match_misses", site=self.site, rule=rule_name
+                ),
+                metrics.histogram(
+                    "rule_exec_ns",
+                    bounds=RULE_EXEC_NS_BOUNDS,
+                    unit="ns",
+                    site=self.site,
+                    rule=rule_name,
+                ),
+            )
+            self._profiles[rule_name] = profile
+        return profile
+
+    def _dispatch_profiled(self, event: Event) -> None:
+        """The dispatch loop with per-rule profiling instruments.
+
+        Semantically identical to :meth:`_dispatch`; kept separate so the
+        unprofiled hot path pays exactly one extra attribute check.  A
+        *miss* is a candidate the index nominated whose matcher or LHS
+        condition rejected the event; execution time covers the RHS (or
+        the cross-site fire send), measured in wall nanoseconds.
+        """
+        desc = event.desc
+        site = self.site
+        store = self.store
+        for installed in self._index.candidates(desc):
+            self._m_candidates.value += 1
+            rule = installed.rule
+            hits, misses, exec_hist = self._profile_for(rule.name)
+            program = installed.program
+            if program is not None:
+                slots = program.match(desc)
+                if slots is None:
+                    misses.value += 1
+                    continue
+                lhs = program.lhs
+                if lhs is not None:
+                    try:
+                        if not lhs(slots, store):
+                            misses.value += 1
+                            continue
+                    except (BindingError, TypeError):
+                        misses.value += 1
+                        continue
+                hits.value += 1
+                self._m_fired.value += 1
+                self._fired_by_rule[rule.name].value += 1
+                rhs_site = installed.rhs_site
+                began = perf_counter_ns()
+                if rhs_site is None or rhs_site == site:
+                    self._execute_compiled_rhs(program, slots, event)
+                else:
+                    self.network.send(
+                        site,
+                        rhs_site,
+                        FireMessage(
+                            rule, (), event, program=program,
+                            slots=tuple(slots),
+                        ),
+                    )
+                exec_hist.observe(perf_counter_ns() - began)
+                continue
+            bindings = installed.matcher(desc)
+            if bindings is None:
+                misses.value += 1
+                continue
+            if not self._lhs_condition_holds(rule, bindings):
+                misses.value += 1
+                continue
+            hits.value += 1
+            self._m_fired.value += 1
+            self._fired_by_rule[rule.name].value += 1
+            rhs_site = installed.rhs_site
+            began = perf_counter_ns()
+            if rhs_site is None or rhs_site == site:
+                self._execute_rhs(rule, bindings, event)
+            else:
+                self.network.send(
+                    site,
+                    rhs_site,
+                    FireMessage(rule, tuple(bindings.items()), event),
+                )
+            exec_hist.observe(perf_counter_ns() - began)
+
     def _lhs_condition_holds(self, rule: Rule, bindings: Bindings) -> bool:
         try:
             for var, expr in rule.binders:
@@ -402,14 +532,21 @@ class CMShell:
             obs = self.obs
             span = None
             if obs.enabled:
-                # Parent is the in-flight net.send span the network pushed.
-                span = obs.tracer.start(
-                    "shell.fire",
-                    self.site,
-                    self.sim.now,
-                    rule=payload.rule.name,
-                )
-                obs.tracer.push(span)
+                if obs.flight is not None:
+                    obs.flight.record(
+                        self.site, "fire", self.sim.now, payload.rule.name
+                    )
+                if obs.tracer.enabled:
+                    # Parent is the in-flight net.send activation the
+                    # network pushed (a local span, or a SpanContext
+                    # resumed off a wire frame).
+                    span = obs.tracer.start(
+                        "shell.fire",
+                        self.site,
+                        self.sim.now,
+                        rule=payload.rule.name,
+                    )
+                    obs.tracer.push(span)
             try:
                 if payload.program is not None:
                     self._execute_compiled_rhs(
@@ -584,6 +721,19 @@ class CMShell:
             recovered=str(notice.recovered).lower(),
         ).value += 1
         self.failure_log.append(notice)
+        flight = self.obs.flight
+        if flight is not None:
+            flight.record(self.site, "failure", self.sim.now, notice)
+            if not notice.recovered:
+                # Freeze the rings: the last-N-digests context around the
+                # incident.  The reason keys the dedup — one notice relayed
+                # to every peer still produces exactly one dump.
+                kind = getattr(notice.kind, "value", str(notice.kind))
+                flight.dump(
+                    f"failure:{notice.site}:{notice.source_name}:"
+                    f"{kind}@{notice.time}",
+                    self.sim.now,
+                )
         for listener in self.on_failure:
             listener(notice)
 

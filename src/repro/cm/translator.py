@@ -346,7 +346,7 @@ class CMTranslator:
             self._note_success()
         self._observe_propagation(ref.name, wr_event)
         obs = self._obs
-        if obs.enabled:
+        if obs.enabled and obs.tracer.enabled:
             # Retroactive span: the op's full extent (request to native
             # completion) is only known now.  Its parent is the context the
             # request captured, re-activated by the bound callback.
@@ -411,7 +411,7 @@ class CMTranslator:
             trigger=rr_event,
         )
         obs = self._obs
-        if obs.enabled:
+        if obs.enabled and obs.tracer.enabled:
             span = obs.tracer.start(
                 "translator.read",
                 self.site,
@@ -530,7 +530,7 @@ class CMTranslator:
             )
             self.notifications_delivered += 1
             obs = self._obs
-            if obs.enabled:
+            if obs.enabled and obs.tracer.enabled:
                 span = obs.tracer.start(
                     "translator.notify",
                     self.site,
@@ -564,7 +564,7 @@ class CMTranslator:
         self._current_spontaneous = ws_event
         obs = self._obs
         span = None
-        if obs.enabled:
+        if obs.enabled and obs.tracer.enabled:
             # Root of the causal tree: everything the write triggers
             # (notify hooks, rule firings, cross-site propagation) parents
             # onto this span, directly or via captured contexts.

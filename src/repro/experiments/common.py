@@ -253,6 +253,8 @@ def attach_observability(
         "rules_installed": 0,
         "rules_compiled": 0,
         "rules_fallback": 0,
+        "match_hits": 0,
+        "match_misses": 0,
     }
     for site in cm.scenario.network.sites:
         for key, value in cm.shell(site).stats().items():

@@ -25,6 +25,8 @@ from __future__ import annotations
 from pathlib import Path
 from typing import IO, Union
 
+from repro.obs.bus import TelemetryBus, TelemetryUpdate
+from repro.obs.flight import DEFAULT_CAPACITY, FlightRecorder
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -34,10 +36,11 @@ from repro.obs.metrics import (
 )
 from repro.obs.report import RunReport, build_run_report
 from repro.obs.sinks import JsonlSink, PrometheusExporter, render_prometheus
-from repro.obs.spans import Span, SpanTree, Tracer
+from repro.obs.spans import Span, SpanContext, SpanTree, Tracer
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -49,7 +52,10 @@ __all__ = [
     "RunReport",
     "build_run_report",
     "Span",
+    "SpanContext",
     "SpanTree",
+    "TelemetryBus",
+    "TelemetryUpdate",
     "Tracer",
 ]
 
@@ -67,11 +73,32 @@ class Instrumentation:
         self.tracer = Tracer()
         self.sinks: list[JsonlSink] = []
         self.enabled = False
+        #: The bounded digest rings, present only after
+        #: :meth:`enable_flight`.  Flight-only mode sets :attr:`enabled`
+        #: without enabling the tracer, so hooks record digests but skip
+        #: span construction entirely (the ring-buffer fast path).
+        self.flight: FlightRecorder | None = None
+        #: Per-rule dispatch profiling (match hit/miss counters, RHS wall
+        #: latency).  Checked directly by the shells' dispatch loop, not
+        #: via :attr:`enabled` — profiling a run does not imply tracing it.
+        self.rule_profiling = False
 
     def enable_tracing(self) -> "Instrumentation":
         """Record spans (without attaching any sink)."""
         self.tracer.enable()
         self.enabled = True
+        return self
+
+    def enable_flight(self, capacity: int = DEFAULT_CAPACITY) -> FlightRecorder:
+        """Attach the flight recorder (idempotent; keeps an existing one)."""
+        if self.flight is None:
+            self.flight = FlightRecorder(capacity)
+        self.enabled = True
+        return self.flight
+
+    def enable_rule_profiling(self) -> "Instrumentation":
+        """Turn on per-rule matcher and RHS-latency profiling."""
+        self.rule_profiling = True
         return self
 
     def attach_sink(self, sink: JsonlSink) -> JsonlSink:

@@ -1,0 +1,132 @@
+"""TelemetryBus: push-update streaming of metrics-registry deltas.
+
+The metrics registry is a pull surface — ``snapshot()`` and the
+Prometheus renderer walk every series on demand.  A live view (the
+``python -m repro watch`` dashboard, or any future fleet aggregator)
+wants the opposite: tell me *what changed* since last time, as the run
+progresses.
+
+The bus closes that gap without touching any hot path.  Instruments keep
+doing bare ``value += 1`` increments; the bus diffs the registry against
+its previously published state whenever :meth:`TelemetryBus.publish` is
+called (a scenario timer, a dashboard poll, an end-of-run flush) and
+pushes one :class:`TelemetryUpdate` — new and changed series only — to
+every subscriber.  Cost is proportional to the number of *series*, not
+the number of observations, and only at publish time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.timebase import Ticks, to_seconds
+from repro.obs.metrics import Gauge, Histogram, MetricsRegistry
+
+
+@dataclass
+class TelemetryUpdate:
+    """One published batch of series deltas.
+
+    ``deltas`` holds one dict per series whose state changed since the
+    previous publish: ``name``/``labels``/``kind``, the current ``value``
+    (count for histograms), and ``delta`` — the change since last publish
+    (for gauges, which move both ways, this may be negative).
+    """
+
+    seq: int
+    time: Ticks
+    deltas: list[dict] = field(default_factory=list)
+
+    @property
+    def time_s(self) -> float:
+        return to_seconds(self.time)
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "telemetry",
+            "seq": self.seq,
+            "time": self.time,
+            "time_s": round(self.time_s, 6),
+            "deltas": self.deltas,
+        }
+
+
+def _state(instrument) -> Any:
+    """The comparable published state of one instrument."""
+    if isinstance(instrument, Histogram):
+        return (instrument.count, instrument.sum)
+    return instrument.value
+
+
+class TelemetryBus:
+    """Diff-and-push streaming over one :class:`MetricsRegistry`.
+
+    Subscribers are plain callables receiving each
+    :class:`TelemetryUpdate`.  The bus is deliberately synchronous and
+    in-process — the watch dashboard subscribes directly, and a future
+    fleet plane can subscribe a socket writer without the bus changing.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._last: dict[tuple, Any] = {}
+        self._subscribers: list[Callable[[TelemetryUpdate], None]] = []
+        self._seq = 0
+        self.updates_published = 0
+
+    # -- subscription ----------------------------------------------------------
+
+    def subscribe(
+        self, callback: Callable[[TelemetryUpdate], None]
+    ) -> Callable[[TelemetryUpdate], None]:
+        self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: Callable[[TelemetryUpdate], None]) -> None:
+        self._subscribers.remove(callback)
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
+    # -- publishing ------------------------------------------------------------
+
+    def publish(self, now: Ticks) -> Optional[TelemetryUpdate]:
+        """Diff the registry against the last publish and push changes.
+
+        Returns the update, or ``None`` when nothing changed (subscribers
+        are not called for empty diffs — a quiet scenario stays quiet).
+        """
+        deltas: list[dict] = []
+        last = self._last
+        for key, instrument in self.registry.items():
+            current = _state(instrument)
+            previous = last.get(key)
+            if current == previous:
+                continue
+            last[key] = current
+            name, labels = key
+            entry: dict = {"name": name, "labels": dict(labels)}
+            if isinstance(instrument, Histogram):
+                prev_count, prev_sum = previous or (0, 0)
+                entry["kind"] = "histogram"
+                entry["unit"] = instrument.unit
+                entry["value"] = instrument.count
+                entry["delta"] = instrument.count - prev_count
+                entry["sum_delta"] = instrument.sum - prev_sum
+            else:
+                entry["kind"] = (
+                    "gauge" if isinstance(instrument, Gauge) else "counter"
+                )
+                entry["value"] = instrument.value
+                entry["delta"] = instrument.value - (previous or 0)
+            deltas.append(entry)
+        if not deltas:
+            return None
+        self._seq += 1
+        update = TelemetryUpdate(seq=self._seq, time=now, deltas=deltas)
+        self.updates_published += 1
+        for subscriber in list(self._subscribers):
+            subscriber(update)
+        return update

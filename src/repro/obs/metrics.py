@@ -35,6 +35,19 @@ DEFAULT_LATENCY_BOUNDS: tuple[Ticks, ...] = tuple(
     )
 )
 
+#: Bounds for real-millisecond series (``wire_latency_ms``): 100µs .. 1s
+#: of wall time, the range loopback frames actually land in.
+WIRE_MS_BOUNDS: tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0,
+)
+
+#: Bounds for wall-nanosecond series (per-rule RHS execution profiling):
+#: 1µs .. 100ms.  A compiled RHS runs in single-digit microseconds; the
+#: upper decades catch translator-bound and pathological rules.
+RULE_EXEC_NS_BOUNDS: tuple[float, ...] = (
+    1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4, 1e5, 2.5e5, 1e6, 1e7, 1e8,
+)
+
 LabelSet = tuple[tuple[str, str], ...]
 
 
@@ -100,19 +113,30 @@ class Histogram:
     the last bound land in the implicit +Inf bucket.  ``sum``/``count``/
     ``min``/``max`` are tracked exactly, so reports can quote exact extrema
     alongside bucketed percentile estimates.
+
+    ``unit`` names what an observation *is* — ``"ticks"`` (virtual time,
+    the default), ``"ms"`` (real milliseconds, e.g. ``wire_latency_ms``),
+    or ``"ns"`` (wall nanoseconds, rule profiling).  Summaries and the
+    Prometheus renderer use it to convert bounds honestly instead of
+    assuming everything is ticks.
     """
 
-    __slots__ = ("name", "labels", "bounds", "buckets", "count", "sum", "min", "max")
+    __slots__ = (
+        "name", "labels", "bounds", "unit", "buckets", "count", "sum",
+        "min", "max",
+    )
 
     def __init__(
         self,
         name: str,
         labels: LabelSet,
         bounds: tuple[Ticks, ...] = DEFAULT_LATENCY_BOUNDS,
+        unit: str = "ticks",
     ) -> None:
         self.name = name
         self.labels = labels
         self.bounds = bounds
+        self.unit = unit
         self.buckets = [0] * (len(bounds) + 1)
         self.count = 0
         self.sum = 0
@@ -148,7 +172,21 @@ class Histogram:
         return self.max
 
     def summary(self) -> dict:
-        """Compact JSON-friendly digest (seconds, not ticks)."""
+        """Compact JSON-friendly digest.
+
+        Tick-unit histograms keep the historical seconds-suffixed keys;
+        other units report raw values with an explicit ``unit`` field.
+        """
+        if self.unit != "ticks":
+            return {
+                "count": self.count,
+                "unit": self.unit,
+                "mean": round(self.mean, 3),
+                "min": round(self.min, 3) if self.min is not None else None,
+                "max": round(self.max, 3) if self.max is not None else None,
+                "p50": self.quantile(0.50),
+                "p99": self.quantile(0.99),
+            }
         return {
             "count": self.count,
             "mean_s": round(to_seconds(round(self.mean)), 6),
@@ -199,6 +237,7 @@ class MetricsRegistry:
         self,
         name: str,
         bounds: tuple[Ticks, ...] | None = None,
+        unit: str = "ticks",
         **labels: str,
     ) -> Histogram:
         key = (name, _label_key(labels))
@@ -207,7 +246,9 @@ class MetricsRegistry:
             assert isinstance(existing, Histogram)
             return existing
         self._check_type(name, Histogram)
-        hist = Histogram(name, key[1], bounds or DEFAULT_LATENCY_BOUNDS)
+        hist = Histogram(
+            name, key[1], bounds or DEFAULT_LATENCY_BOUNDS, unit=unit
+        )
         self._series[key] = hist
         return hist
 
@@ -256,6 +297,11 @@ class MetricsRegistry:
 
     def __iter__(self) -> Iterator:
         return iter(self._series.values())
+
+    def items(self) -> Iterator[tuple[tuple[str, LabelSet], object]]:
+        """``((name, labels), instrument)`` pairs — the stable series keys
+        delta consumers (the telemetry bus) diff against."""
+        return iter(self._series.items())
 
     def __len__(self) -> int:
         return len(self._series)

@@ -39,6 +39,13 @@ class RunReport:
     #: ``Diagnostic.to_dict()`` entries), so a persisted run report records
     #: what was statically knowable about the wiring that produced it.
     lint: list[dict] = field(default_factory=list)
+    #: Per-site per-rule dispatch profile (matcher hits/misses, RHS wall-ns
+    #: histograms); empty unless rule profiling was enabled.
+    rule_profile: dict = field(default_factory=dict)
+    #: Flight-recorder digest — ring fill levels plus every incident dump
+    #: (failures and guarantee violations); empty unless the recorder was
+    #: enabled.
+    flight: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -54,6 +61,8 @@ class RunReport:
             "traces": self.traces,
             "trace_index": self.trace_index,
             "lint": self.lint,
+            "rule_profile": self.rule_profile,
+            "flight": self.flight,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -114,6 +123,18 @@ class RunReport:
                 f"{'standing' if entry['standing'] else 'NOT standing'}, "
                 f"stale {staleness:g}s ({entry['staleness_fraction']:.1%})"
             )
+        flight = self.flight
+        if flight:
+            lines.append(
+                f"  flight: {flight.get('records_taken', 0)} digests over "
+                f"{len(flight.get('ring_sizes', {}))} rings, "
+                f"{len(flight.get('dumps', []))} dumps"
+            )
+            for dump in flight.get("dumps", []):
+                lines.append(
+                    f"    dump {dump['reason']} at {dump['time_s']:g}s "
+                    f"({len(dump['records'])} records)"
+                )
         index = self.trace_index
         if index:
             lines.append(
@@ -266,14 +287,20 @@ def build_run_report(cm: Any) -> RunReport:
     }
 
     # -- guarantee staleness ---------------------------------------------------
+    flight = scenario.obs.flight
     for guarantee in cm.board.guarantees():
         invalid = cm.board.invalid_intervals(guarantee, horizon)
         stale: Ticks = invalid.total_length
+        standing = cm.board.is_valid(guarantee)
+        if flight is not None and (not standing or stale):
+            # A violated (or ever-invalid) guarantee freezes the rings:
+            # the report carries the incident's last-N-digests context.
+            flight.dump(f"guarantee:{guarantee.name}", horizon)
         report.guarantees.append(
             {
                 "name": guarantee.name,
                 "metric": guarantee.metric,
-                "standing": cm.board.is_valid(guarantee),
+                "standing": standing,
                 "staleness_s": to_seconds(stale),
                 "staleness_fraction": (
                     to_seconds(stale) / to_seconds(horizon) if horizon else 0.0
@@ -302,6 +329,16 @@ def build_run_report(cm: Any) -> RunReport:
                 to_seconds(deepest) if deepest is not None else 0.0
             ),
         }
+
+    # -- per-rule dispatch profile (only when profiling was on) ----------------
+    for site, shell in cm.shells.items():
+        profile = shell.rule_profile()
+        if profile:
+            report.rule_profile[site] = profile
+
+    # -- flight recorder (only when the recorder was attached) -----------------
+    if flight is not None:
+        report.flight = flight.to_dict()
 
     # -- execution-trace recording/index counters ------------------------------
     report.trace_index = scenario.trace.stats()

@@ -97,7 +97,28 @@ def _format_labels(labels) -> str:
 
 
 def _escape(value: str) -> str:
-    return str(value).replace("\\", r"\\").replace('"', r"\"")
+    """Prometheus label-value escaping: backslash, quote, and newline."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+#: Conversion to seconds per histogram unit, for ``le`` bounds and sums.
+#: Unknown units render raw (with no pretence of being seconds).
+_UNIT_SECONDS = {
+    "ticks": to_seconds,
+    "ms": lambda value: value / 1_000.0,
+    "ns": lambda value: value / 1_000_000_000.0,
+    "s": lambda value: value,
+}
+
+
+def _in_seconds(unit: str, value):
+    convert = _UNIT_SECONDS.get(unit)
+    return convert(value) if convert is not None else value
 
 
 def _merge_labels(labels, extra: dict) -> list:
@@ -109,7 +130,8 @@ def render_prometheus(registry: MetricsRegistry) -> str:
 
     Counters get a ``_total`` suffix; histograms expose cumulative
     ``_bucket`` series with ``le`` bounds in *seconds* (the Prometheus
-    convention), plus ``_sum``/``_count``.
+    convention) — converted per the histogram's declared unit (ticks,
+    ms, ns) — plus ``_sum``/``_count``.
     """
     by_name: dict[str, list] = {}
     for instrument in registry:
@@ -139,7 +161,8 @@ def render_prometheus(registry: MetricsRegistry) -> str:
                 for bound, bucket in zip(hist.bounds, hist.buckets):
                     cumulative += bucket
                     labels = _merge_labels(
-                        hist.labels, {"le": f"{to_seconds(bound):g}"}
+                        hist.labels,
+                        {"le": f"{_in_seconds(hist.unit, bound):g}"},
                     )
                     lines.append(
                         f"{name}_bucket{_format_labels(labels)} {cumulative}"
@@ -150,7 +173,7 @@ def render_prometheus(registry: MetricsRegistry) -> str:
                 )
                 lines.append(
                     f"{name}_sum{_format_labels(hist.labels)} "
-                    f"{to_seconds(hist.sum):g}"
+                    f"{_in_seconds(hist.unit, hist.sum):g}"
                 )
                 lines.append(
                     f"{name}_count{_format_labels(hist.labels)} {hist.count}"

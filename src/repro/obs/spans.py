@@ -23,9 +23,45 @@ and branch per hook.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Optional
+from typing import Any, Callable, Iterator, Optional, Union
 
 from repro.core.timebase import Ticks, to_seconds
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The wire-portable identity of a span: trace id + span id.
+
+    A context is what crosses a process (or socket) boundary: it carries
+    just enough to parent a remote child span — the tree it belongs to
+    (``trace_id``, the root span's id) and the span to hang the child on
+    (``span_id``).  ``cm.deliver`` frames ship one in their ``trace``
+    field, and the receiving endpoint resumes it so the cross-shell chain
+    reconnects into a single tree without sharing any Python objects.
+    """
+
+    trace_id: int
+    span_id: int
+
+    @property
+    def root_id(self) -> int:
+        """Alias: a context's trace id is its tree's root span id."""
+        return self.trace_id
+
+    def to_wire(self) -> dict:
+        """The JSON-safe form carried in a ``cm.deliver`` frame."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_wire(cls, data: Any) -> Optional["SpanContext"]:
+        """Parse a frame's ``trace`` field; ``None`` for absent/malformed."""
+        if not isinstance(data, dict):
+            return None
+        trace_id = data.get("trace_id")
+        span_id = data.get("span_id")
+        if not isinstance(trace_id, int) or not isinstance(span_id, int):
+            return None
+        return cls(trace_id=trace_id, span_id=span_id)
 
 
 @dataclass
@@ -45,6 +81,11 @@ class Span:
     def duration(self) -> Ticks:
         """Span extent in ticks (0 while unfinished)."""
         return (self.end - self.start) if self.end is not None else 0
+
+    @property
+    def context(self) -> SpanContext:
+        """This span's wire-portable identity."""
+        return SpanContext(trace_id=self.root_id, span_id=self.span_id)
 
     def to_dict(self) -> dict:
         return {
@@ -155,7 +196,7 @@ class Tracer:
     def __init__(self) -> None:
         self.enabled = False
         self.spans: list[Span] = []
-        self._stack: list[Span] = []
+        self._stack: list[Union[Span, SpanContext]] = []
         self._next_id = 1
         self._emit: Optional[Callable[[Span], None]] = None
 
@@ -170,8 +211,10 @@ class Tracer:
     # -- recording -------------------------------------------------------------
 
     @property
-    def current(self) -> Optional[Span]:
-        """The innermost active span, or ``None`` outside any chain."""
+    def current(self) -> Optional[Union[Span, SpanContext]]:
+        """The innermost activation (a local :class:`Span`, or a
+        :class:`SpanContext` resumed off the wire); ``None`` outside any
+        chain."""
         return self._stack[-1] if self._stack else None
 
     def start(
@@ -179,10 +222,15 @@ class Tracer:
         name: str,
         site: str,
         start: Ticks,
-        parent: Optional[Span] = None,
+        parent: Optional[Union[Span, SpanContext]] = None,
         **attrs,
     ) -> Span:
-        """Open a span parented on ``parent`` (or the current activation)."""
+        """Open a span parented on ``parent`` (or the current activation).
+
+        ``parent`` may be a remote :class:`SpanContext` — the new span
+        then joins the remote tree by id, reconnecting a chain that
+        crossed a socket.
+        """
         if parent is None:
             parent = self.current
         span_id = self._next_id
@@ -204,7 +252,7 @@ class Tracer:
         if self._emit is not None:
             self._emit(span)
 
-    def push(self, span: Span) -> None:
+    def push(self, span: Union[Span, SpanContext]) -> None:
         self._stack.append(span)
 
     def pop(self) -> None:

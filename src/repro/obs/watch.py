@@ -1,0 +1,199 @@
+"""The live telemetry dashboard: ``python -m repro watch <experiment>``.
+
+A :class:`WatchDashboard` subscribes to a :class:`~repro.obs.bus.TelemetryBus`
+and renders shell, channel, rule, and failure telemetry as text frames
+while the experiment runs.  On a TTY each frame repaints in place (ANSI
+home+clear); on a pipe frames append, so the output stays greppable in CI
+logs.
+
+Attachment uses the scenario-hook seam
+(:func:`repro.cm.manager.add_scenario_hook`): experiments build their
+scenarios internally, so the watcher registers a hook, lets the
+experiment run as usual, and every scenario the experiment constructs
+gets a bus plus a self-rescheduling publish timer in *virtual* time —
+which means the dashboard ticks at the same scenario-relative cadence on
+the sim kernel (where a 60-virtual-second run finishes in milliseconds)
+and on the wire runtime (where virtual time maps to scaled wall time and
+the frames genuinely stream).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Optional
+
+from repro.core.timebase import Ticks, seconds, to_seconds
+from repro.obs.bus import TelemetryBus, TelemetryUpdate
+
+#: Virtual seconds between dashboard frames.
+DEFAULT_INTERVAL_S = 1.0
+
+
+class WatchDashboard:
+    """Aggregate telemetry updates and render terminal frames."""
+
+    def __init__(
+        self,
+        experiment: str = "?",
+        out: Optional[IO[str]] = None,
+        interval_s: float = DEFAULT_INTERVAL_S,
+    ) -> None:
+        self.experiment = experiment
+        self.out = out if out is not None else sys.stdout
+        self.interval = seconds(interval_s)
+        #: Current value per series key ``(name, labels_tuple)``.
+        self.values: dict[tuple, float] = {}
+        #: Delta of the most recent update, same keys.
+        self.recent: dict[tuple, float] = {}
+        self.frames_rendered = 0
+        self.buses: list[TelemetryBus] = []
+        self._last_time: Ticks = 0
+
+    # -- scenario attachment ---------------------------------------------------
+
+    def attach(self, scenario) -> TelemetryBus:
+        """Scenario hook: give ``scenario`` a bus and a publish timer."""
+        bus = TelemetryBus(scenario.obs.metrics)
+        bus.subscribe(self.on_update)
+        self.buses.append(bus)
+        sim = scenario.sim
+
+        def tick() -> None:
+            bus.publish(sim.now)
+            sim.after(self.interval, tick)
+
+        sim.after(self.interval, tick)
+        return bus
+
+    # -- update intake -----------------------------------------------------------
+
+    def on_update(self, update: TelemetryUpdate) -> None:
+        self.recent = {}
+        for delta in update.deltas:
+            key = (delta["name"], tuple(sorted(delta["labels"].items())))
+            self.values[key] = delta["value"]
+            self.recent[key] = delta["delta"]
+        self._last_time = update.time
+        self.render_frame()
+
+    # -- rendering ---------------------------------------------------------------
+
+    def _rows(self, name: str) -> list[tuple[dict, float, float]]:
+        """(labels, value, recent_delta) rows for one metric name."""
+        rows = []
+        for (series, labels), value in sorted(self.values.items()):
+            if series == name:
+                rows.append(
+                    (dict(labels), value, self.recent.get((series, labels), 0))
+                )
+        return rows
+
+    def _value(self, name: str, **labels) -> float:
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        return self.values.get(key, 0)
+
+    def frame(self) -> str:
+        """One rendered dashboard frame."""
+        lines = [
+            f"watch {self.experiment} · t={to_seconds(self._last_time):.1f}s "
+            f"virtual · frame {self.frames_rendered + 1}"
+        ]
+        shell_rows = self._rows("shell_events_processed")
+        if shell_rows:
+            lines.append("  shells:")
+            for labels, events, delta in shell_rows:
+                site = labels.get("site", "?")
+                fired = self._value("shell_rules_fired", site=site)
+                failures = self._value("shell_failure_notices", site=site)
+                marker = f" (+{delta:g})" if delta else ""
+                line = (
+                    f"    {site:12s} events={events:g}{marker} "
+                    f"fired={fired:g}"
+                )
+                if failures:
+                    line += f" failures={failures:g}"
+                lines.append(line)
+        channel_rows = self._rows("net_messages")
+        if channel_rows:
+            lines.append("  channels:")
+            for labels, delivered, delta in channel_rows:
+                src, dst = labels.get("src", "?"), labels.get("dst", "?")
+                in_flight = self._value("net_in_flight", src=src, dst=dst)
+                marker = f" (+{delta:g})" if delta else ""
+                line = (
+                    f"    {src}->{dst:10s} delivered={delivered:g}{marker} "
+                    f"in_flight={in_flight:g}"
+                )
+                wire = self._value("wire_latency_ms", src=src, dst=dst)
+                if wire:
+                    line += f" wire_frames={wire:g}"
+                drops = self._value("wire_fault_drops", src=src, dst=dst)
+                if drops:
+                    line += f" fault_drops={drops:g}"
+                lines.append(line)
+        rule_rows = self._rows("rule_fired")
+        if rule_rows:
+            lines.append("  rules:")
+            for labels, fired, delta in rule_rows:
+                marker = f" (+{delta:g})" if delta else ""
+                lines.append(
+                    f"    {labels.get('rule', '?'):40s} "
+                    f"@{labels.get('site', '?'):8s} "
+                    f"fired={fired:g}{marker}"
+                )
+        return "\n".join(lines)
+
+    def render_frame(self) -> None:
+        text = self.frame()
+        if self.out.isatty():  # pragma: no cover - interactive path
+            self.out.write("\x1b[H\x1b[2J" + text + "\n")
+        else:
+            self.out.write(text + "\n\n")
+        self.out.flush()
+        self.frames_rendered += 1
+
+
+def watch_experiment(
+    experiment: str,
+    config=None,
+    interval_s: float = DEFAULT_INTERVAL_S,
+    out: Optional[IO[str]] = None,
+) -> int:
+    """Run one experiment with the live dashboard attached.
+
+    Returns a process exit code: 0 when the experiment's claim
+    reproduced, 1 when it did not, 2 for an unknown experiment id.
+    """
+    from repro.cm.manager import add_scenario_hook, remove_scenario_hook
+    from repro.experiments.runner import EXPERIMENTS
+
+    stream = out if out is not None else sys.stdout
+    if experiment not in EXPERIMENTS:
+        print(
+            f"unknown experiment {experiment!r} "
+            f"(have: {', '.join(EXPERIMENTS)})",
+            file=sys.stderr,
+        )
+        return 2
+    dashboard = WatchDashboard(
+        experiment=experiment, out=stream, interval_s=interval_s
+    )
+    hook = add_scenario_hook(dashboard.attach)
+    try:
+        __, run = EXPERIMENTS[experiment]
+        result = run(config) if config is not None else run()
+    finally:
+        remove_scenario_hook(hook)
+    # One final publish per scenario: whatever moved after the last timer
+    # tick (end-of-run flushes, teardown counters) still reaches the view.
+    for bus in dashboard.buses:
+        bus.publish(dashboard._last_time)
+    claim_holds = bool(getattr(result, "claim_holds", True))
+    stream.write(
+        f"watch {experiment}: {dashboard.frames_rendered} frames, "
+        f"{sum(bus.updates_published for bus in dashboard.buses)} updates "
+        f"across {len(dashboard.buses)} scenario(s) — "
+        f"{'REPRODUCED' if claim_holds else 'NOT REPRODUCED'}\n"
+    )
+    stream.flush()
+    return 0 if claim_holds else 1

@@ -38,10 +38,23 @@ class RuntimeObservation:
     messages_sent: int = 0
     events_recorded: int = 0
     rules_fired: int = 0
+    #: Span-tree observations (tracing is always on in the harness):
+    #: how many causal trees crossed sites, whether every one of them is
+    #: connected, and whether each cross-site tree's ``end_to_end()``
+    #: respects the installed metric guarantee's kappa.
+    span_trees: int = 0
+    cross_site_trees: int = 0
+    disconnected_trees: int = 0
+    trees_over_kappa: int = 0
 
     @property
     def trace_valid(self) -> bool:
         return not self.trace_violations
+
+    @property
+    def spans_valid(self) -> bool:
+        """Every tree connected; every cross-site chain within kappa."""
+        return not self.disconnected_trees and not self.trees_over_kappa
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -53,6 +66,11 @@ class RuntimeObservation:
             "messages_sent": self.messages_sent,
             "events_recorded": self.events_recorded,
             "rules_fired": self.rules_fired,
+            "span_trees": self.span_trees,
+            "cross_site_trees": self.cross_site_trees,
+            "disconnected_trees": self.disconnected_trees,
+            "trees_over_kappa": self.trees_over_kappa,
+            "spans_valid": self.spans_valid,
         }
 
 
@@ -70,12 +88,25 @@ class EquivalenceReport:
         return self.sim.verdicts == self.wire.verdicts
 
     @property
+    def spans_match(self) -> bool:
+        """Both runtimes' causal trees connected and kappa-respecting.
+
+        This is the span-level equivalence the wire runtime owes: its
+        reconnected (trace-context-carried) SpanTrees must reach the same
+        ``end_to_end()``-vs-kappa verdicts the sim's in-process trees do —
+        not the same tick values, which a wall clock cannot promise.
+        """
+        return self.sim.spans_valid and self.wire.spans_valid
+
+    @property
     def ok(self) -> bool:
-        """Both executions valid, and every guarantee verdict identical."""
+        """Both executions valid, every guarantee verdict identical, and
+        span trees equivalent (connected, within kappa) on both sides."""
         return (
             self.sim.trace_valid
             and self.wire.trace_valid
             and self.verdicts_match
+            and self.spans_match
         )
 
     def render(self) -> str:
@@ -87,7 +118,11 @@ class EquivalenceReport:
             lines.append(
                 f"  [{obs.runtime}] trace_valid={obs.trace_valid} "
                 f"updates={obs.updates} messages={obs.messages_sent} "
-                f"rules_fired={obs.rules_fired}"
+                f"rules_fired={obs.rules_fired} "
+                f"spans={obs.span_trees} trees "
+                f"({obs.cross_site_trees} cross-site, "
+                f"{obs.disconnected_trees} disconnected, "
+                f"{obs.trees_over_kappa} over kappa)"
             )
             for violation in obs.trace_violations[:3]:
                 lines.append(f"    violation: {violation}")
@@ -127,6 +162,7 @@ def _observe(
     salary = build_salary_scenario(
         strategy_kind=strategy_kind, seed=seed, runtime=runtime
     )
+    salary.scenario.obs.enable_tracing()
     workload = PersonnelWorkload(
         salary.cm,
         employee_count=employee_count,
@@ -138,6 +174,18 @@ def _observe(
     violations = validate_trace(
         salary.scenario.trace, list(salary.installed.strategy.rules)
     )
+    kappa = next(
+        (g.within for g in salary.installed.guarantees if g.metric), None
+    )
+    span_trees = cross_site = disconnected = over_kappa = 0
+    for tree in salary.scenario.obs.tracer.trees():
+        span_trees += 1
+        if not tree.connected:
+            disconnected += 1
+        if len(tree.sites) > 1:
+            cross_site += 1
+            if kappa is not None and tree.end_to_end() > kappa:
+                over_kappa += 1
     return RuntimeObservation(
         runtime=label,
         verdicts={name: report.valid for name, report in reports.items()},
@@ -146,6 +194,10 @@ def _observe(
         messages_sent=salary.scenario.network.messages_sent,
         events_recorded=len(salary.scenario.trace.events),
         rules_fired=salary.cm.stats()["total"]["rules_fired"],
+        span_trees=span_trees,
+        cross_site_trees=cross_site,
+        disconnected_trees=disconnected,
+        trees_over_kappa=over_kappa,
     )
 
 

@@ -6,7 +6,12 @@ endpoints — one loopback TCP server per site — and dials channel
 connections between them on demand.  Each directed channel ``src -> dst``
 is one TCP connection: a ``cm.hello`` JSON-RPC request opens it, then a
 stream of ``cm.deliver`` notifications carries the FIFO message traffic
-(:mod:`repro.runtime.channels`).
+(:mod:`repro.runtime.channels`).  When tracing is on, each ``cm.deliver``
+frame also carries a ``trace`` field — the sender's
+:class:`~repro.obs.spans.SpanContext` — and the receiving endpoint resumes
+it around the handler, so cross-shell causal chains reconnect into one
+:class:`~repro.obs.spans.SpanTree` by id, with no in-process state shared
+between the endpoints.
 
 :class:`WireNetwork` is the shell-facing facade with the same surface as
 the sim kernel's :class:`~repro.sim.network.Network` (``register_site``,
@@ -26,6 +31,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.obs import Instrumentation
+from repro.obs.metrics import WIRE_MS_BOUNDS
+from repro.obs.spans import SpanContext
 from repro.runtime.channels import (
     DELIVER_METHOD,
     HELLO_METHOD,
@@ -183,7 +190,6 @@ class WireNetwork:
         #: not delivered (the sim kernel leaves them queued past ``until``).
         self.horizon: int | None = None
         self._handles: dict[int, Any] = {}
-        self._spans: dict[tuple[str, str, int], Any] = {}
         self._wall_sent: dict[tuple[str, str, int], float] = {}
         self._next_handle = 0
         self._started = False
@@ -230,7 +236,13 @@ class WireNetwork:
                 registry.counter("net_messages", src=src, dst=dst),
                 registry.histogram("net_latency", src=src, dst=dst),
                 registry.gauge("net_in_flight", src=src, dst=dst),
-                registry.histogram("wire_latency_ms", src=src, dst=dst),
+                registry.histogram(
+                    "wire_latency_ms",
+                    bounds=WIRE_MS_BOUNDS,
+                    unit="ms",
+                    src=src,
+                    dst=dst,
+                ),
                 registry.counter("wire_fault_drops", src=src, dst=dst),
             )
             self._channel_metrics[channel] = cached
@@ -286,8 +298,16 @@ class WireNetwork:
         )
         metrics[2].inc()  # net_in_flight
         self._wall_sent[(src, dst, seq)] = _time.monotonic()
-        if self.obs.enabled:
-            tracer = self.obs.tracer
+        obs = self.obs
+        if obs.enabled and obs.flight is not None:
+            obs.flight.record(
+                src, "net.send", now, f"->{dst} {type(payload).__name__}"
+            )
+        if obs.enabled and obs.tracer.enabled:
+            # The hop's causal context rides *in the frame*: the receiving
+            # endpoint reconnects onto these ids, never onto shared objects,
+            # so the same mechanism works across real process boundaries.
+            tracer = obs.tracer
             span = tracer.start(
                 "net.send",
                 src,
@@ -298,7 +318,7 @@ class WireNetwork:
             )
             tracer.finish(span, deliver_at)
             message.span = span
-            self._spans[(src, dst, seq)] = span
+            params["trace"] = span.context.to_wire()
         self.outstanding += 1
         sender.enqueue(seq, deliver_at, params)
         if self._started:
@@ -399,7 +419,6 @@ class WireNetwork:
         metrics = self._metrics_for((src, dst))
         metrics[2].dec()  # net_in_flight
         payload = decode_payload(params["payload"], self._handles)
-        span = self._spans.pop((src, dst, seq), None)
         wall_sent = self._wall_sent.pop((src, dst, seq), None)
         if self.horizon is not None and params["deliver_at"] > self.horizon:
             # The sim kernel would leave this message queued past the
@@ -414,18 +433,23 @@ class WireNetwork:
         if wall_sent is not None:
             metrics[3].observe((_time.monotonic() - wall_sent) * 1_000.0)
         self.messages_delivered += 1
+        if self.obs.enabled and self.obs.flight is not None:
+            self.obs.flight.record(dst, "net.recv", now, f"<-{src} seq={seq}")
         message = Message(
             src=src,
             dst=dst,
             payload=payload,
             sent_at=params["sent_at"],
             deliver_at=now,
-            span=span,
         )
         handler = self._sites[dst].handler
-        if span is not None:
+        # Resume the causal context carried in the frame: everything the
+        # handler traces parents (by id) onto the sender's net.send span,
+        # reconnecting the tree across the socket.
+        ctx = SpanContext.from_wire(params.get("trace"))
+        if ctx is not None and self.obs.enabled:
             tracer = self.obs.tracer
-            tracer.push(span)
+            tracer.push(ctx)
             try:
                 handler(message)
             finally:

@@ -214,19 +214,25 @@ class Network:
             src=src, dst=dst, payload=payload, sent_at=now, deliver_at=deliver_at
         )
         if self.obs.enabled:
-            # The hop is fully determined at send time, so the span opens
-            # and closes here; the receiver parents onto it via the message.
-            tracer = self.obs.tracer
-            span = tracer.start(
-                "net.send",
-                src,
-                now,
-                src=src,
-                dst=dst,
-                payload=type(payload).__name__,
-            )
-            tracer.finish(span, deliver_at)
-            message.span = span
+            if self.obs.flight is not None:
+                self.obs.flight.record(
+                    src, "net.send", now, f"->{dst} {type(payload).__name__}"
+                )
+            if self.obs.tracer.enabled:
+                # The hop is fully determined at send time, so the span
+                # opens and closes here; the receiver parents onto it via
+                # the message.
+                tracer = self.obs.tracer
+                span = tracer.start(
+                    "net.send",
+                    src,
+                    now,
+                    src=src,
+                    dst=dst,
+                    payload=type(payload).__name__,
+                )
+                tracer.finish(span, deliver_at)
+                message.span = span
         self.sim.at(deliver_at, lambda: self._deliver(message))
         return message
 
@@ -243,6 +249,13 @@ class Network:
         # latency histogram records only hops that actually completed.
         delivered.value += 1
         latency_hist.observe(message.deliver_at - message.sent_at)
+        if self.obs.enabled and self.obs.flight is not None:
+            self.obs.flight.record(
+                message.dst,
+                "net.recv",
+                self.sim.now,
+                f"<-{message.src} {type(message.payload).__name__}",
+            )
         if message.span is not None:
             tracer = self.obs.tracer
             tracer.push(message.span)

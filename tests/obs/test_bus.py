@@ -1,0 +1,108 @@
+"""Tests for the telemetry bus: registry diffs pushed to subscribers."""
+
+from repro.core.timebase import seconds
+from repro.obs.bus import TelemetryBus
+from repro.obs.metrics import MetricsRegistry
+
+
+def make_bus():
+    registry = MetricsRegistry()
+    bus = TelemetryBus(registry)
+    seen = []
+    bus.subscribe(seen.append)
+    return registry, bus, seen
+
+
+class TestPublish:
+    def test_first_publish_reports_every_live_series(self):
+        registry, bus, seen = make_bus()
+        registry.counter("hits", site="sf").inc(3)
+        registry.gauge("depth").set(2)
+        update = bus.publish(seconds(1))
+        assert update is not None
+        assert update.seq == 1
+        assert update.time_s == 1.0
+        by_name = {d["name"]: d for d in update.deltas}
+        assert by_name["hits"] == {
+            "name": "hits",
+            "labels": {"site": "sf"},
+            "kind": "counter",
+            "value": 3,
+            "delta": 3,
+        }
+        assert by_name["depth"]["kind"] == "gauge"
+        assert seen == [update]
+
+    def test_second_publish_carries_only_changes(self):
+        registry, bus, seen = make_bus()
+        counter = registry.counter("hits", site="sf")
+        quiet = registry.counter("hits", site="ny")
+        counter.inc(3)
+        quiet.inc(1)
+        bus.publish(seconds(1))
+        counter.inc(2)
+        update = bus.publish(seconds(2))
+        (delta,) = update.deltas
+        assert delta["labels"] == {"site": "sf"}
+        assert delta["value"] == 5
+        assert delta["delta"] == 2
+
+    def test_empty_diff_returns_none_and_skips_subscribers(self):
+        registry, bus, seen = make_bus()
+        registry.counter("hits").inc()
+        bus.publish(seconds(1))
+        assert bus.publish(seconds(2)) is None
+        assert len(seen) == 1
+        assert bus.updates_published == 1
+
+    def test_gauge_deltas_can_be_negative(self):
+        registry, bus, __ = make_bus()
+        gauge = registry.gauge("in_flight")
+        gauge.set(5)
+        bus.publish(seconds(1))
+        gauge.set(2)
+        (delta,) = bus.publish(seconds(2)).deltas
+        assert delta["value"] == 2
+        assert delta["delta"] == -3
+
+    def test_histogram_deltas_carry_count_sum_and_unit(self):
+        registry, bus, __ = make_bus()
+        hist = registry.histogram("wire_latency_ms", unit="ms")
+        hist.observe(2.0)
+        hist.observe(4.0)
+        (delta,) = bus.publish(seconds(1)).deltas
+        assert delta["kind"] == "histogram"
+        assert delta["unit"] == "ms"
+        assert delta["value"] == 2  # count
+        assert delta["delta"] == 2
+        assert delta["sum_delta"] == 6.0
+        # A new observation moves count and sum again.
+        hist.observe(1.0)
+        (delta,) = bus.publish(seconds(2)).deltas
+        assert delta["delta"] == 1
+        assert delta["sum_delta"] == 1.0
+
+    def test_update_to_dict_is_jsonl_ready(self):
+        registry, bus, __ = make_bus()
+        registry.counter("hits").inc()
+        record = bus.publish(seconds(1)).to_dict()
+        assert record["type"] == "telemetry"
+        assert record["seq"] == 1
+        assert record["time_s"] == 1.0
+        assert record["deltas"][0]["name"] == "hits"
+
+
+class TestSubscription:
+    def test_subscribe_unsubscribe(self):
+        registry = MetricsRegistry()
+        bus = TelemetryBus(registry)
+        seen = []
+        callback = bus.subscribe(seen.append)
+        assert bus.subscriber_count == 1
+        registry.counter("hits").inc()
+        bus.publish(seconds(1))
+        bus.unsubscribe(callback)
+        assert bus.subscriber_count == 0
+        registry.counter("hits").inc()
+        bus.publish(seconds(2))
+        assert len(seen) == 1

@@ -79,6 +79,56 @@ class TestPrometheus:
         text = render_prometheus(registry)
         assert r'detail="say \"hi\""' in text
 
+    def test_backslash_and_newline_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("ops", detail="a\\b\nc").inc()
+        text = render_prometheus(registry)
+        assert r'detail="a\\b\nc"' in text
+        # The exposition stays line-oriented: one sample per line.
+        assert 'detail="a\\b' not in text
+        for line in text.splitlines():
+            if line.startswith("ops_total"):
+                assert line.endswith(" 1")
+
+    def test_ms_histogram_renders_le_bounds_in_seconds(self):
+        from repro.obs.metrics import WIRE_MS_BOUNDS
+
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "wire_latency_ms", bounds=WIRE_MS_BOUNDS, unit="ms",
+            src="sf", dst="ny",
+        )
+        hist.observe(2.0)  # 2 milliseconds
+        text = render_prometheus(registry)
+        # Bounds declared in ms expose as seconds, the Prometheus
+        # convention: the 2.5ms bound becomes le="0.0025" and the 2ms
+        # observation lands in it cumulatively.
+        assert (
+            'wire_latency_ms_bucket{dst="ny",src="sf",le="0.0025"} 1' in text
+        )
+        assert (
+            'wire_latency_ms_bucket{dst="ny",src="sf",le="0.001"} 0' in text
+        )
+        assert 'wire_latency_ms_sum{dst="ny",src="sf"} 0.002' in text
+        assert 'wire_latency_ms_count{dst="ny",src="sf"} 1' in text
+
+    def test_ns_histogram_renders_le_bounds_in_seconds(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "rule_exec_ns", bounds=(1_000.0, 1_000_000.0), unit="ns",
+            rule="r1",
+        )
+        hist.observe(500.0)  # 500 nanoseconds
+        text = render_prometheus(registry)
+        assert 'rule_exec_ns_bucket{rule="r1",le="1e-06"} 1' in text
+        assert 'rule_exec_ns_sum{rule="r1"} 5e-07' in text
+
+    def test_tick_histograms_still_render_le_in_seconds(self):
+        registry = MetricsRegistry()
+        registry.histogram("propagation_latency").observe(seconds(0.3))
+        text = render_prometheus(registry)
+        assert 'propagation_latency_bucket{le="0.5"} 1' in text
+
     def test_exporter_write_to(self, tmp_path):
         registry = MetricsRegistry()
         registry.counter("hits").inc()

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.timebase import seconds
-from repro.obs.spans import SpanTree, Tracer
+from repro.obs.spans import SpanContext, SpanTree, Tracer
 
 
 def make_chain(tracer: Tracer):
@@ -125,3 +125,69 @@ class TestSpanTree:
         assert record["start_s"] == 1.0
         assert record["end_s"] == 2.0
         assert record["attrs"] == {"ref": "x"}
+
+
+class TestSpanContext:
+    def test_span_context_carries_trace_and_span_ids(self):
+        tracer = Tracer()
+        root = tracer.start("source.write", "a", seconds(1))
+        tracer.push(root)
+        child = tracer.start("net.send", "a", seconds(2))
+        context = child.context
+        assert context.trace_id == root.span_id
+        assert context.span_id == child.span_id
+        assert context.root_id == context.trace_id
+
+    def test_wire_round_trip(self):
+        context = SpanContext(trace_id=7, span_id=12)
+        wire = context.to_wire()
+        assert wire == {"trace_id": 7, "span_id": 12}
+        assert SpanContext.from_wire(wire) == context
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            None,
+            "not-a-dict",
+            {},
+            {"trace_id": 7},
+            {"trace_id": "7", "span_id": 12},
+            {"trace_id": 7, "span_id": None},
+        ],
+    )
+    def test_from_wire_rejects_malformed_payloads(self, payload):
+        assert SpanContext.from_wire(payload) is None
+
+    def test_remote_child_joins_tree_by_context(self):
+        """Two tracers on either side of a 'socket': the receiver parents
+        its span on the shipped context and the ids line up — the chain
+        reconnects when spans are merged by id, without shared objects."""
+        sender = Tracer()
+        send_span = sender.start("net.send", "a", seconds(1))
+        sender.finish(send_span, seconds(2))
+        wire = send_span.context.to_wire()
+
+        receiver = Tracer()
+        receiver._next_id = sender._next_id  # distinct id space, as on a peer
+        context = SpanContext.from_wire(wire)
+        receiver.push(context)
+        remote = receiver.start("shell.fire", "b", seconds(2))
+        receiver.finish(remote, seconds(3))
+        receiver.pop()
+        assert receiver.current is None
+        assert remote.parent_id == send_span.span_id
+        assert remote.root_id == send_span.root_id
+
+        tree = SpanTree([send_span, remote])
+        assert tree.connected
+        assert tree.sites == ["a", "b"]
+        assert tree.end_to_end() == seconds(2)
+
+    def test_context_activation_parents_like_a_span(self):
+        tracer = Tracer()
+        context = SpanContext(trace_id=40, span_id=41)
+        tracer.push(context)
+        assert tracer.current is context
+        child = tracer.start("op", "b", seconds(1))
+        assert child.parent_id == 41
+        assert child.root_id == 40

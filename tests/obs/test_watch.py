@@ -1,0 +1,77 @@
+"""Tests for the live telemetry dashboard behind ``python -m repro watch``."""
+
+import io
+
+from repro.cm.manager import add_scenario_hook, remove_scenario_hook
+from repro.core.timebase import seconds
+from repro.experiments.common import build_salary_scenario
+from repro.obs.watch import WatchDashboard, watch_experiment
+
+
+def run_watched_salary(interval_s=1.0):
+    out = io.StringIO()
+    dashboard = WatchDashboard(
+        experiment="salary", out=out, interval_s=interval_s
+    )
+    hook = add_scenario_hook(dashboard.attach)
+    try:
+        salary = build_salary_scenario("propagation")
+    finally:
+        remove_scenario_hook(hook)
+    cm = salary.cm
+    cm.spontaneous_write("salary1", ("emp1",), 64_000.0)
+    cm.run(seconds(10))
+    return dashboard, out, cm
+
+
+class TestWatchDashboard:
+    def test_hook_attaches_bus_and_publish_timer(self):
+        dashboard, __, cm = run_watched_salary()
+        (bus,) = dashboard.buses
+        assert bus.registry is cm.scenario.obs.metrics
+        # The per-virtual-second timer published at least once during the
+        # 10-virtual-second run and each non-empty diff rendered a frame.
+        assert bus.updates_published >= 1
+        assert dashboard.frames_rendered == bus.updates_published
+
+    def test_frames_carry_shell_channel_and_rule_rows(self):
+        dashboard, out, __ = run_watched_salary()
+        text = out.getvalue()
+        assert "watch salary" in text
+        assert "shells:" in text and "channels:" in text
+        assert "sf" in text and "sf->ny" in text
+        assert "fired=" in text and "delivered=" in text
+        # Non-TTY output appends frames instead of repainting.
+        assert "\x1b[" not in text
+        assert text.count("watch salary · t=") == dashboard.frames_rendered
+
+    def test_recent_deltas_get_plus_markers(self):
+        dashboard, out, __ = run_watched_salary()
+        assert "(+" in out.getvalue()
+
+    def test_values_keep_latest_per_series(self):
+        dashboard, __, cm = run_watched_salary()
+        events = dashboard._value("shell_events_processed", site="sf")
+        assert events == cm.shell("sf").stats()["events_processed"] > 0
+
+
+class TestWatchExperiment:
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert watch_experiment("nope", out=io.StringIO()) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_watch_runs_an_experiment_to_verdict(self):
+        out = io.StringIO()
+        code = watch_experiment("e1", interval_s=2.0, out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "watch e1:" in text
+        assert "REPRODUCED" in text
+        assert "shells:" in text
+
+    def test_hook_is_removed_after_run(self):
+        from repro.cm import manager
+
+        before = list(manager._scenario_hooks)
+        watch_experiment("e1", interval_s=5.0, out=io.StringIO())
+        assert manager._scenario_hooks == before

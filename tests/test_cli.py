@@ -25,3 +25,14 @@ class TestCli:
         assert main(["demo"]) == 0
         out = capsys.readouterr().out
         assert "installing: propagation" in out
+
+    def test_watch_unknown_experiment_exits_2(self, capsys):
+        assert main(["watch", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_watch_streams_frames_and_verdict(self, capsys):
+        assert main(["watch", "e1", "--interval", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "watch e1" in out
+        assert "shells:" in out
+        assert "REPRODUCED" in out

@@ -51,6 +51,9 @@ EXPECTED_ALL = [
     "MetricsRegistry",
     "Tracer",
     "SpanTree",
+    "SpanContext",
+    "FlightRecorder",
+    "TelemetryBus",
     "JsonlSink",
     "PrometheusExporter",
     "RunReport",
