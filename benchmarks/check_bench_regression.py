@@ -12,6 +12,14 @@ hot path, not jitter.
 Timings under ``MIN_SECONDS`` are ignored entirely: at sub-5ms scale a
 cache hiccup alone can exceed the tolerance.
 
+With no arguments every default (fresh, baseline) pair is checked —
+currently the core micro-benchmarks and the batched-dispatch throughput
+sweep; passing ``--fresh``/``--baseline`` restricts the run to that one
+explicit pair.  Throughput baselines are recorded at the CI smoke scale
+(``BENCH_THROUGHPUT_EVENTS=50000``) so the guard compares like-for-like:
+each sweep entry's key embeds its batch size, shard count, and event
+count, and only matching keys are compared.
+
 Usage::
 
     python benchmarks/check_bench_regression.py \
@@ -34,6 +42,19 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 TOLERANCE = 3.0
 MIN_SECONDS = 0.005
 
+#: (fresh, baseline) pairs checked when neither --fresh nor --baseline is
+#: given.  Keep baselines at the scale CI regenerates the fresh file at.
+DEFAULT_PAIRS = (
+    (
+        REPO_ROOT / "BENCH_core_micro.json",
+        REPO_ROOT / "benchmarks" / "baseline_core_micro.json",
+    ),
+    (
+        REPO_ROOT / "BENCH_throughput.json",
+        REPO_ROOT / "benchmarks" / "baseline_throughput.json",
+    ),
+)
+
 
 def _wall_seconds(entry: object) -> float | None:
     if isinstance(entry, dict):
@@ -43,32 +64,27 @@ def _wall_seconds(entry: object) -> float | None:
     return None
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--fresh",
-        type=Path,
-        default=REPO_ROOT / "BENCH_core_micro.json",
-        help="freshly generated benchmark JSON",
-    )
-    parser.add_argument(
-        "--baseline",
-        type=Path,
-        default=REPO_ROOT / "benchmarks" / "baseline_core_micro.json",
-        help="checked-in baseline JSON",
-    )
-    parser.add_argument("--tolerance", type=float, default=TOLERANCE)
-    args = parser.parse_args(argv)
+def _check_pair(
+    fresh_path: Path, baseline_path: Path, tolerance: float
+) -> list[str] | None:
+    """Compare one (fresh, baseline) file pair.
 
-    if not args.fresh.exists():
-        print(f"FAIL: fresh benchmark file {args.fresh} not found "
-              f"(run the benchmark smoke first)")
-        return 1
-    if not args.baseline.exists():
-        print(f"FAIL: baseline file {args.baseline} not found")
-        return 1
-    fresh = json.loads(args.fresh.read_text(encoding="utf-8"))
-    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    Returns the regressed benchmark names, or ``None`` when a file is
+    missing (itself a failure — a vanished smoke output must not pass
+    silently).
+    """
+    print(f"{fresh_path.name} vs {baseline_path.name}:")
+    if not fresh_path.exists():
+        print(
+            f"FAIL: fresh benchmark file {fresh_path} not found "
+            f"(run the benchmark smoke first)"
+        )
+        return None
+    if not baseline_path.exists():
+        print(f"FAIL: baseline file {baseline_path} not found")
+        return None
+    fresh = json.loads(fresh_path.read_text(encoding="utf-8"))
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
 
     regressions: list[str] = []
     for name, base_entry in sorted(baseline.items()):
@@ -81,21 +97,61 @@ def main(argv: list[str] | None = None) -> int:
             continue
         floor = max(base_wall, MIN_SECONDS)
         ratio = fresh_wall / floor
-        verdict = "REGRESSION" if ratio > args.tolerance else "ok"
+        verdict = "REGRESSION" if ratio > tolerance else "ok"
         print(
             f"  {verdict}: {name}: {fresh_wall * 1e3:.2f}ms "
             f"vs baseline {base_wall * 1e3:.2f}ms ({ratio:.2f}x)"
         )
-        if ratio > args.tolerance:
+        if ratio > tolerance:
             regressions.append(name)
     for name in sorted(set(fresh) - set(baseline)):
         print(f"  note: {name}: new benchmark (no baseline)")
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        default=None,
+        help="freshly generated benchmark JSON (default: all known pairs)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="checked-in baseline JSON (default: all known pairs)",
+    )
+    parser.add_argument("--tolerance", type=float, default=TOLERANCE)
+    args = parser.parse_args(argv)
+
+    if args.fresh is not None or args.baseline is not None:
+        pairs = [
+            (
+                args.fresh or DEFAULT_PAIRS[0][0],
+                args.baseline or DEFAULT_PAIRS[0][1],
+            )
+        ]
+    else:
+        pairs = list(DEFAULT_PAIRS)
+
+    failed = False
+    regressions: list[str] = []
+    for fresh_path, baseline_path in pairs:
+        found = _check_pair(fresh_path, baseline_path, args.tolerance)
+        if found is None:
+            failed = True
+        else:
+            regressions.extend(found)
 
     if regressions:
         print(
             f"FAIL: {len(regressions)} benchmark(s) regressed more than "
             f"{args.tolerance:g}x: {', '.join(regressions)}"
         )
+        return 1
+    if failed:
         return 1
     print("benchmark regression guard: OK")
     return 0

@@ -21,18 +21,28 @@ rule language:
 The index is purely a pre-filter: every rule it returns still runs its
 compiled matcher (which re-checks kind and family), so indexing can drop
 non-candidates but never admit a spurious match.
+
+:class:`ShardedDispatcher` layers family sharding on top for the batched
+path: a batch is partitioned by item family and each shard runs the pure
+matching phase against its own candidate-bucket cache, while condition
+evaluation and RHS execution stay serial in batch order (they read and
+mutate the store) — which is exactly what keeps a sharded execution's trace
+identical to the unsharded kernel's.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Sequence
 
+from repro.cm.store import shard_of
 from repro.core.compile import CompiledRule, compile_rule
 from repro.core.errors import CompileError
 from repro.core.events import EventDesc, EventKind
 from repro.core.rules import Rule
 from repro.core.templates import Matcher, compile_matcher
+from repro.core.terms import Bindings
 
 
 @dataclass(frozen=True)
@@ -158,3 +168,171 @@ def _merge_by_serial(
     merged.extend(left[i:])
     merged.extend(right[j:])
     return merged
+
+
+#: One matching hit: ``(installed, slots, bindings)`` — ``slots`` for
+#: compiled programs, ``bindings`` for the interpreted fallback (the unused
+#: one is None).
+MatchHit = tuple[InstalledRule, Optional[list], Optional[Bindings]]
+
+
+class ShardedDispatcher:
+    """Family-sharded batch matching over one :class:`RuleIndex`.
+
+    Phase A (*match*, here): a batch's descriptors are partitioned by item
+    family — placed by the same deterministic family hash the sharded
+    :class:`~repro.cm.store.ShellStore` uses — and each shard runs the pure
+    matchers of its own cached candidate buckets against its events.
+    Matching depends only on the descriptor, never on the store, so shards
+    share no mutable hot structure and may run on a thread pool
+    (``threads=True``; off by default, since under the GIL pure-Python
+    matching gains nothing from threads — the knob exists so the
+    equivalence tests can prove thread-safety of the partitioning).
+
+    **Cross-family rules are the barrier**: an event whose kind has
+    catch-all (family-variable) candidates, or that carries no item at all,
+    cannot be matched within one family's shard, so it pins to shard 0 (the
+    designated barrier shard) and is counted in ``barrier_events``.
+
+    Phase B (run by the shell): condition evaluation and RHS execution walk
+    the hits serially, in original batch order.  Conditions read the
+    mutable store and RHSs write it, so this phase is what keeps a sharded
+    execution's trace *identical* to the unsharded kernel's.
+    """
+
+    def __init__(self, index: RuleIndex, shards: int, threads: bool = False):
+        self.index = index
+        self.shards = max(1, int(shards))
+        self.threads = bool(threads) and self.shards > 1
+        self._family_shard: dict[str, int] = {}
+        # Per-shard (kind, family) -> candidate bucket caches, rebuilt when
+        # the index changes (rules cannot be installed mid-dispatch).
+        self._caches: list[dict] = [{} for _ in range(self.shards)]
+        self._cache_rules = len(index)
+        self.events_by_shard = [0] * self.shards
+        self.barrier_events = 0
+        self.batches = 0
+        self.last_candidates = 0
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def shard_for(self, family: str) -> int:
+        index = self._family_shard.get(family)
+        if index is None:
+            index = self._family_shard[family] = shard_of(family, self.shards)
+        return index
+
+    def match_batch(
+        self, descs: Sequence[EventDesc]
+    ) -> list[Optional[list[MatchHit]]]:
+        """Phase A: per-event match hits (``None`` where nothing matched).
+
+        ``last_candidates`` afterwards holds the number of candidate rules
+        consulted across the batch — the same count the per-event path
+        would have accumulated into ``candidates_considered``.
+        """
+        if self._cache_rules != len(self.index):
+            self._caches = [{} for _ in range(self.shards)]
+            self._cache_rules = len(self.index)
+        matches: list[Optional[list[MatchHit]]] = [None] * len(descs)
+        self.batches += 1
+        if self.shards == 1:
+            self.last_candidates = self._match_shard(
+                0, descs, range(len(descs)), matches
+            )
+            self.events_by_shard[0] += len(descs)
+            return matches
+        assignment: list[list[int]] = [[] for _ in range(self.shards)]
+        catch_all = self.index._catch_all
+        barrier = assignment[0]
+        barriers = 0
+        for i, desc in enumerate(descs):
+            item = desc.item
+            if item is None or catch_all.get(desc.kind):
+                barrier.append(i)
+                barriers += 1
+            else:
+                assignment[self.shard_for(item.name)].append(i)
+        self.barrier_events += barriers
+        total = 0
+        if self.threads:
+            pool = self._pool
+            if pool is None:
+                pool = self._pool = ThreadPoolExecutor(
+                    max_workers=self.shards, thread_name_prefix="cm-shard"
+                )
+            futures = [
+                pool.submit(self._match_shard, shard, descs, indices, matches)
+                for shard, indices in enumerate(assignment)
+                if indices
+            ]
+            for future in futures:
+                total += future.result()
+        else:
+            for shard, indices in enumerate(assignment):
+                if indices:
+                    total += self._match_shard(shard, descs, indices, matches)
+        for shard, indices in enumerate(assignment):
+            self.events_by_shard[shard] += len(indices)
+        self.last_candidates = total
+        return matches
+
+    def _match_shard(
+        self,
+        shard: int,
+        descs: Sequence[EventDesc],
+        indices: Sequence[int],
+        matches: list[Optional[list[MatchHit]]],
+    ) -> int:
+        """Match one shard's events; writes only this shard's ``matches``
+        slots (disjoint per shard, so concurrent shards never collide)."""
+        cache = self._caches[shard]
+        candidates = self.index.candidates
+        considered = 0
+        # Two-level cache (kind, then family), kind level memoized across
+        # consecutive events — same trick as the shell's fused loop: one
+        # C-level string hash per event instead of an Enum hash.
+        last_kind = None
+        kind_cache: dict = {}
+        for i in indices:
+            desc = descs[i]
+            item = desc.item
+            kind = desc.kind
+            if kind is not last_kind:
+                kind_cache = cache.get(kind)
+                if kind_cache is None:
+                    kind_cache = cache[kind] = {}
+                last_kind = kind
+            name = item.name if item is not None else None
+            bucket = kind_cache.get(name)
+            if bucket is None:
+                bucket = kind_cache[name] = candidates(desc)
+            if not bucket:
+                continue
+            considered += len(bucket)
+            hits: Optional[list[MatchHit]] = None
+            for installed in bucket:
+                program = installed.program
+                if program is not None:
+                    slots = program.match(desc)
+                    if slots is not None:
+                        if hits is None:
+                            hits = []
+                        hits.append((installed, slots, None))
+                else:
+                    bindings = installed.matcher(desc)
+                    if bindings is not None:
+                        if hits is None:
+                            hits = []
+                        hits.append((installed, None, bindings))
+            matches[i] = hits
+        return considered
+
+    def stats(self) -> dict:
+        """Per-shard dispatch counters for the run report."""
+        return {
+            "shards": self.shards,
+            "threads": self.threads,
+            "batches": self.batches,
+            "events_by_shard": list(self.events_by_shard),
+            "barrier_events": self.barrier_events,
+        }

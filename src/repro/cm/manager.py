@@ -92,6 +92,15 @@ class Scenario:
     failure_plan: FailurePlan = field(default_factory=FailurePlan)
     in_order: bool = True
     runtime: RuntimeSpec = "sim"
+    #: Same-tick event batching per shell: events arriving at one virtual
+    #: tick dispatch as fused batches of up to this size (0/1 = per-event).
+    batch_max: int = 0
+    #: Family shards per shell store/dispatcher (1 = the unsharded kernel).
+    dispatch_shards: int = 1
+    #: Run sharded phase-A matching on a thread pool.  Off by default:
+    #: pure-Python matching gains nothing under the GIL, so threads only
+    #: demonstrate (and test) that per-shard state is truly independent.
+    shard_threads: bool = False
     sim: Clock = field(init=False)
     rngs: RngRegistry = field(init=False)
     network: TransportAPI = field(init=False)
@@ -165,7 +174,11 @@ class ConstraintManager:
             failure_plan=self.scenario.failure_plan,
             rngs=self.scenario.rngs,
             obs=self.scenario.obs,
+            shards=self.scenario.dispatch_shards,
+            shard_threads=self.scenario.shard_threads,
         )
+        if self.scenario.batch_max > 1:
+            shell.enable_batching(self.scenario.batch_max)
         shell.on_failure.append(self.board.on_notice)
         self.shells[name] = shell
         for other in self.shells.values():
@@ -451,6 +464,8 @@ class ConstraintManager:
             "events_processed": 0,
             "candidates_considered": 0,
             "rules_fired": 0,
+            "batches_processed": 0,
+            "batch_events": 0,
             "match_hits": 0,
             "match_misses": 0,
         }

@@ -47,14 +47,14 @@ from repro.core.events import Event, EventKind, periodic_desc
 from repro.core.items import DataItemRef
 from repro.core.rules import Rule
 from repro.core.terms import Bindings, Const, ground_item
-from repro.cm.dispatch import RuleIndex
+from repro.cm.dispatch import RuleIndex, ShardedDispatcher
 from repro.core.timebase import Ticks
 from repro.core.trace import ExecutionTrace
 from repro.cm.failures import FailureNotice
 from repro.cm.store import ShellStore
 from repro.cm.translator import CMTranslator
 from repro.obs import Instrumentation
-from repro.obs.metrics import RULE_EXEC_NS_BOUNDS
+from repro.obs.metrics import BATCH_SIZE_BOUNDS, RULE_EXEC_NS_BOUNDS
 from repro.runtime.api import Clock, TransportAPI
 from repro.sim.failures import FailurePlan
 from repro.sim.network import Message
@@ -91,6 +91,8 @@ class CMShell:
         failure_plan: FailurePlan,
         rngs: RngRegistry,
         obs: Instrumentation | None = None,
+        shards: int = 1,
+        shard_threads: bool = False,
     ):
         self.site = site
         self.sim = sim
@@ -99,9 +101,16 @@ class CMShell:
         self.failure_plan = failure_plan
         self.rngs = rngs
         self.obs = obs if obs is not None else network.obs
-        self.store = ShellStore(site, trace)
+        self.store = ShellStore(site, trace, shards=shards)
         self.translators: dict[str, CMTranslator] = {}
         self._index = RuleIndex()
+        # Family-sharded batch matching; the per-event path never pays for
+        # it, and shards=1 keeps the fused batch loop shard-free too.
+        self._sharded = (
+            ShardedDispatcher(self._index, shards, threads=shard_threads)
+            if shards > 1
+            else None
+        )
         self._timers: list[PeriodicTimer] = []
         self.peers: list[str] = []
         self.failure_log: list[FailureNotice] = []
@@ -126,6 +135,22 @@ class CMShell:
         self._profiles: dict[str, tuple] = {}
         self._rules_by_name: dict[str, Rule] = {}
         self._chain_depth = 0
+        # -- batched dispatch state --
+        self._batch_max = 0
+        self._batch_buffer: list[Event] = []
+        self._batch_flush_scheduled = False
+        # (kind, family) -> candidate bucket, valid while the rule set is
+        # unchanged (rules cannot be installed mid-batch).
+        self._batch_cache: dict = {}
+        self._batch_cache_rules = 0
+        self._m_batches = metrics.counter("shell_batches_processed", site=site)
+        self._m_batch_events = metrics.counter("shell_batch_events", site=site)
+        self._batch_hist = metrics.histogram(
+            "shell_batch_size",
+            bounds=BATCH_SIZE_BOUNDS,
+            unit="events",
+            site=site,
+        )
         #: Offset of this site's local clock from true time, in ticks.
         #: Strategy execution never needs clocks (Section 7.2), but rules
         #: that *stamp* local time — the implicit ``now`` variable, as in
@@ -291,6 +316,9 @@ class CMShell:
             "events_processed": self._m_events.value,
             "candidates_considered": self._m_candidates.value,
             "rules_fired": self._m_fired.value,
+            # Zero unless the batched dispatch path ran.
+            "batches_processed": self._m_batches.value,
+            "batch_events": self._m_batch_events.value,
             # Zero unless rule profiling was enabled for the run.
             "match_hits": sum(p[0].value for p in self._profiles.values()),
             "match_misses": sum(p[1].value for p in self._profiles.values()),
@@ -330,8 +358,293 @@ class CMShell:
     # -- event processing -----------------------------------------------------------
 
     def deliver_local_event(self, event: Event) -> None:
-        """Entry point for events from this site's translators."""
+        """Entry point for events from this site's translators.
+
+        With batching enabled (:meth:`enable_batching`) the event is
+        buffered and dispatched with the rest of its tick's arrivals in one
+        fused batch; the flush callback is scheduled *at the current tick*,
+        so the scheduler (which breaks same-time ties by insertion order)
+        runs it after every already-scheduled arrival of this tick — only
+        the intra-tick interleaving changes, never cross-tick ordering.
+        """
+        if self._batch_max:
+            buffer = self._batch_buffer
+            if buffer and buffer[0].time != event.time:
+                # The clock advanced before the scheduled flush ran (the
+                # wall-clock runtime can do this): close the old tick's
+                # block eagerly so a batch never spans ticks.
+                self._flush_event_buffer()
+                buffer = self._batch_buffer
+            buffer.append(event)
+            if len(buffer) >= self._batch_max:
+                self._flush_event_buffer()
+            elif not self._batch_flush_scheduled:
+                self._batch_flush_scheduled = True
+                self.sim.at(self.sim.now, self._flush_event_buffer)
+            return
         self._process_event(event)
+
+    def enable_batching(self, max_batch: int = 256) -> None:
+        """Dispatch translator-delivered events in same-tick batches.
+
+        Events arriving at one virtual tick are buffered and run through
+        the fused batch loop together, up to ``max_batch`` per block
+        (``max_batch <= 1`` turns batching back off).  Verdict-preserving:
+        all buffered events share one tick, so only the intra-tick
+        interleaving with other same-tick callbacks changes, which the
+        Appendix-A properties are insensitive to (property 7 explicitly
+        ignores same-time pairs) — ``tests/cm/test_batched_equivalence.py``
+        holds batched runs to the sequential kernel's verdicts.
+        """
+        self._batch_max = 0 if max_batch <= 1 else int(max_batch)
+
+    def _flush_event_buffer(self) -> None:
+        self._batch_flush_scheduled = False
+        buffer = self._batch_buffer
+        if not buffer:
+            return
+        self._batch_buffer = []
+        self._dispatch_batch(_RecordedBatch(buffer))
+
+    def deliver_local_events(self, events: list[Event]) -> None:
+        """Dispatch a batch of already-recorded same-tick events in one
+        fused pass (the batched counterpart of :meth:`deliver_local_event`).
+        """
+        if events:
+            self._dispatch_batch(_RecordedBatch(events))
+
+    def ingest_batch(
+        self, descs, time: Optional[Ticks] = None
+    ) -> int:
+        """Record and dispatch a same-tick batch of local event descriptors.
+
+        The high-throughput front door: descriptors go through
+        :meth:`ExecutionTrace.record_batch` (journal writes eager, Event
+        materialization and index maintenance deferred to one flush per
+        block) and then through the fused batch dispatch loop, which
+        materializes trigger events lazily — an event nothing matches never
+        becomes an Event object until the trace is read.  Returns the
+        number of events ingested.
+        """
+        descs = list(descs)
+        if not descs:
+            return 0
+        when = self.sim.now if time is None else time
+        batch = self.trace.record_batch(when, self.site, descs)
+        self._dispatch_batch(batch)
+        return len(descs)
+
+    def _dispatch_batch(self, batch) -> None:
+        """One same-tick batch through the fused hot loop.
+
+        The batched path's contract with the per-event specification path
+        (:meth:`_process_event`): identical matching, condition evaluation,
+        firing order, and RHS execution — but the per-event fixed costs are
+        paid once per batch.  Metrics counters accumulate in locals and
+        flush at batch close (also on an exception escaping mid-batch), the
+        flight recorder gets one digest per block, and candidate buckets
+        are memoized per ``(kind, family)`` for the batch's rule-set
+        generation.  When per-event observability artifacts are on (spans,
+        event sinks, rule profiles) the loop falls back to
+        :meth:`_process_event` per event: batching amortizes bookkeeping,
+        never the observability contract.
+        """
+        descs = batch.descs
+        count = len(descs)
+        if not count:
+            return
+        obs = self.obs
+        self._m_batches.value += 1
+        self._m_batch_events.value += count
+        self._batch_hist.observe(count)
+        if obs.rule_profiling or obs.sinks or obs.tracer.enabled:
+            for index in range(count):
+                self._process_event(batch.event_at(index))
+            return
+        if obs.enabled and obs.flight is not None:
+            obs.flight.record(
+                self.site, "batch", self.sim.now, f"{count} events"
+            )
+        site = self.site
+        store = self.store
+        network = self.network
+        n_candidates = 0
+        n_fired = 0
+        fired_local: dict[str, int] = {}
+        try:
+            if self._sharded is not None:
+                # Phase A: pure per-shard matching.  Phase B (below):
+                # serial conditions + RHS in batch order, which is what
+                # keeps the trace identical to the unsharded kernel's.
+                matches = self._sharded.match_batch(descs)
+                n_candidates = self._sharded.last_candidates
+                for index in range(count):
+                    hits = matches[index]
+                    if not hits:
+                        continue
+                    for installed, slots, bindings in hits:
+                        program = installed.program
+                        if program is not None:
+                            lhs = program.lhs
+                            if lhs is not None:
+                                try:
+                                    if not lhs(slots, store):
+                                        continue
+                                except (BindingError, TypeError):
+                                    continue
+                        elif not self._lhs_condition_holds(
+                            installed.rule, bindings
+                        ):
+                            continue
+                        rule = installed.rule
+                        n_fired += 1
+                        fired_local[rule.name] = (
+                            fired_local.get(rule.name, 0) + 1
+                        )
+                        trigger = batch.event_at(index)
+                        rhs_site = installed.rhs_site
+                        if program is not None:
+                            if rhs_site is None or rhs_site == site:
+                                self._execute_compiled_rhs(
+                                    program, slots, trigger
+                                )
+                            else:
+                                network.send(
+                                    site,
+                                    rhs_site,
+                                    FireMessage(
+                                        rule, (), trigger,
+                                        program=program, slots=tuple(slots),
+                                    ),
+                                )
+                        elif rhs_site is None or rhs_site == site:
+                            self._execute_rhs(rule, bindings, trigger)
+                        else:
+                            network.send(
+                                site,
+                                rhs_site,
+                                FireMessage(
+                                    rule, tuple(bindings.items()), trigger
+                                ),
+                            )
+                return
+            # Unsharded fused loop.  The candidate cache is two-level
+            # (kind, then family) with the kind level memoized across
+            # consecutive events: hashing an Enum member is a Python-level
+            # call, and batches are almost always single-kind, so the hot
+            # lookup pays only one C-level string hash per event.
+            index_ = self._index
+            cache = self._batch_cache
+            if self._batch_cache_rules != len(index_):
+                cache = self._batch_cache = {}
+                self._batch_cache_rules = len(index_)
+            last_kind = None
+            kind_cache: dict = {}
+            for index in range(count):
+                desc = descs[index]
+                item = desc.item
+                kind = desc.kind
+                if kind is not last_kind:
+                    kind_cache = cache.get(kind)
+                    if kind_cache is None:
+                        kind_cache = cache[kind] = {}
+                    last_kind = kind
+                name = item.name if item is not None else None
+                bucket = kind_cache.get(name)
+                if bucket is None:
+                    bucket = kind_cache[name] = index_.candidates(desc)
+                if not bucket:
+                    continue
+                n_candidates += len(bucket)
+                for installed in bucket:
+                    program = installed.program
+                    if program is not None:
+                        slots = program.match(desc)
+                        if slots is None:
+                            continue
+                        lhs = program.lhs
+                        if lhs is not None:
+                            try:
+                                if not lhs(slots, store):
+                                    continue
+                            except (BindingError, TypeError):
+                                continue
+                        rule = installed.rule
+                        n_fired += 1
+                        fired_local[rule.name] = (
+                            fired_local.get(rule.name, 0) + 1
+                        )
+                        trigger = batch.event_at(index)
+                        rhs_site = installed.rhs_site
+                        if rhs_site is None or rhs_site == site:
+                            self._execute_compiled_rhs(
+                                program, slots, trigger
+                            )
+                        else:
+                            network.send(
+                                site,
+                                rhs_site,
+                                FireMessage(
+                                    rule, (), trigger,
+                                    program=program, slots=tuple(slots),
+                                ),
+                            )
+                        continue
+                    bindings = installed.matcher(desc)
+                    if bindings is None:
+                        continue
+                    rule = installed.rule
+                    if not self._lhs_condition_holds(rule, bindings):
+                        continue
+                    n_fired += 1
+                    fired_local[rule.name] = fired_local.get(rule.name, 0) + 1
+                    trigger = batch.event_at(index)
+                    rhs_site = installed.rhs_site
+                    if rhs_site is None or rhs_site == site:
+                        self._execute_rhs(rule, bindings, trigger)
+                    else:
+                        network.send(
+                            site,
+                            rhs_site,
+                            FireMessage(
+                                rule, tuple(bindings.items()), trigger
+                            ),
+                        )
+        finally:
+            # One flush per batch: the deferred counter deltas.
+            self._m_events.value += count
+            self._m_candidates.value += n_candidates
+            self._m_fired.value += n_fired
+            fired_by_rule = self._fired_by_rule
+            for name, hits in fired_local.items():
+                fired_by_rule[name].value += hits
+
+    def batching_stats(self) -> dict:
+        """Batch/shard dispatch counters for the run report.
+
+        Empty when this shell never dispatched a batch and has no sharding
+        configured, so unbatched runs' reports are unchanged.
+        """
+        batches = self._m_batches.value
+        sharded = self._sharded
+        if not batches and sharded is None:
+            return {}
+        stats: dict = {
+            "batches_processed": batches,
+            "batch_events": self._m_batch_events.value,
+            "batch_size": self._batch_hist.summary(),
+        }
+        if sharded is not None:
+            stats["shards"] = sharded.shards
+            stats["threads"] = sharded.threads
+            stats["events_by_shard"] = list(sharded.events_by_shard)
+            stats["barrier_events"] = sharded.barrier_events
+        else:
+            stats["shards"] = 1
+            stats["threads"] = False
+            stats["events_by_shard"] = [self._m_batch_events.value]
+            stats["barrier_events"] = 0
+        return stats
 
     def _process_event(self, event: Event) -> None:
         self._m_events.value += 1
@@ -736,6 +1049,21 @@ class CMShell:
                 )
         for listener in self.on_failure:
             listener(notice)
+
+
+class _RecordedBatch:
+    """Adapter giving already-recorded events the shape the fused batch
+    loop consumes (``descs`` + ``event_at``), mirroring
+    :class:`~repro.core.trace.TraceBatch`."""
+
+    __slots__ = ("descs", "_events")
+
+    def __init__(self, events: list[Event]) -> None:
+        self._events = events
+        self.descs = [event.desc for event in events]
+
+    def event_at(self, index: int) -> Event:
+        return self._events[index]
 
 
 def _ground_value(template, bindings: Bindings, index: int):

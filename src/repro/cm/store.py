@@ -5,11 +5,19 @@ The store implements the :class:`~repro.core.conditions.LocalData` protocol
 so strategy conditions can read it, and records every write as a ``W`` event
 in the execution trace so guarantees over auxiliary data (``Flag``, ``Tb``,
 caches) are checkable.
+
+For the batched dispatch path the store can be *sharded by item family*:
+each shard owns an independent dict (its own write log counter), placed by a
+deterministic hash of the family name, so concurrent per-shard matching
+never shares a mutable hot structure.  ``shards=1`` (the default) keeps the
+single-dict fast path with zero indirection.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import zlib
+from types import MappingProxyType
+from typing import Mapping, Optional
 
 from repro.core.events import Event, write_desc
 from repro.core.items import MISSING, DataItemRef, Value
@@ -17,18 +25,40 @@ from repro.core.rules import Rule
 from repro.core.trace import ExecutionTrace
 
 
+def shard_of(family: str, shards: int) -> int:
+    """Deterministic family -> shard placement (stable across processes)."""
+    return zlib.crc32(family.encode("utf-8")) % shards
+
+
 class ShellStore:
     """The private database of one CM-Shell."""
 
-    def __init__(self, site: str, trace: ExecutionTrace):
+    def __init__(self, site: str, trace: ExecutionTrace, shards: int = 1):
         self.site = site
         self.trace = trace
-        self._data: dict[DataItemRef, Value] = {}
+        self.shards = max(1, int(shards))
+        self._shards: list[dict[DataItemRef, Value]] = [
+            {} for _ in range(self.shards)
+        ]
+        # Unsharded fast path: one dict, no placement lookup.
+        self._single = self._shards[0] if self.shards == 1 else None
+        self._family_shard: dict[str, int] = {}
         self.writes = 0
+        self.writes_by_shard = [0] * self.shards
+        self._items_view: Optional[Mapping[DataItemRef, Value]] = None
+
+    def _shard_index(self, family: str) -> int:
+        index = self._family_shard.get(family)
+        if index is None:
+            index = self._family_shard[family] = shard_of(family, self.shards)
+        return index
 
     def read_local(self, ref: DataItemRef) -> Value:
         """Current value of a private item; MISSING if never written."""
-        return self._data.get(ref, MISSING)
+        data = self._single
+        if data is None:
+            data = self._shards[self._shard_index(ref.name)]
+        return data.get(ref, MISSING)
 
     def write(
         self,
@@ -39,12 +69,29 @@ class ShellStore:
         trigger: Optional[Event] = None,
     ) -> Event:
         """Write a private item, recording the W event."""
-        self._data[ref] = value
+        index = 0 if self._single is not None else self._shard_index(ref.name)
+        self._shards[index][ref] = value
         self.writes += 1
+        self.writes_by_shard[index] += 1
+        self._items_view = None
         return self.trace.record(
             time, self.site, write_desc(ref, value), rule=rule, trigger=trigger
         )
 
-    def items(self) -> dict[DataItemRef, Value]:
-        """Snapshot of all private data (for applications, Section 7.1)."""
-        return dict(self._data)
+    def items(self) -> Mapping[DataItemRef, Value]:
+        """Read-only view of all private data (for applications, Section 7.1).
+
+        Cached between writes: repeated calls from validation paths return
+        the same mapping object instead of rebuilding a dict each time.
+        """
+        view = self._items_view
+        if view is None:
+            if self._single is not None:
+                view = MappingProxyType(self._single)
+            else:
+                merged: dict[DataItemRef, Value] = {}
+                for shard in self._shards:
+                    merged.update(shard)
+                view = MappingProxyType(merged)
+            self._items_view = view
+        return view

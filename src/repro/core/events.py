@@ -150,6 +150,21 @@ def reset_event_sequence() -> None:
     _event_seq = itertools.count(1)
 
 
+def reserve_event_seqs(count: int) -> int:
+    """Reserve ``count`` consecutive sequence numbers; return the first.
+
+    Batched trace recording claims numbering for a whole block up front so
+    the per-event ``next(_event_seq)`` call (and the default-factory hop
+    into it) drops out of the hot loop, while events materialized lazily
+    later still get exactly the numbers a sequential recording would have
+    assigned.
+    """
+    global _event_seq
+    first = next(_event_seq)
+    _event_seq = itertools.count(first + count)
+    return first
+
+
 @dataclass(frozen=True)
 class Event:
     """One occurrence: the Appendix A six-tuple plus sequence number and site.

@@ -62,6 +62,9 @@ def build_salary_scenario(
     in_order: bool = True,
     service: Optional[ServiceModel] = None,
     runtime: RuntimeSpec = "sim",
+    batch_max: int = 0,
+    dispatch_shards: int = 1,
+    shard_threads: bool = False,
 ) -> SalaryScenario:
     """Build and install the salary copy-constraint scenario.
 
@@ -78,6 +81,9 @@ def build_salary_scenario(
         failure_plan=failure_plan or FailurePlan(),
         in_order=in_order,
         runtime=runtime,
+        batch_max=batch_max,
+        dispatch_shards=dispatch_shards,
+        shard_threads=shard_threads,
     )
     cm = ConstraintManager(scenario)
     cm.add_site("sf")
@@ -253,6 +259,8 @@ def attach_observability(
         "rules_installed": 0,
         "rules_compiled": 0,
         "rules_fallback": 0,
+        "batches_processed": 0,
+        "batch_events": 0,
         "match_hits": 0,
         "match_misses": 0,
     }

@@ -34,6 +34,7 @@ from repro.obs import Instrumentation
 from repro.obs.metrics import WIRE_MS_BOUNDS
 from repro.obs.spans import SpanContext
 from repro.runtime.channels import (
+    DELIVER_BATCH_METHOD,
     DELIVER_METHOD,
     HELLO_METHOD,
     ChannelReceiver,
@@ -76,10 +77,18 @@ class Gateway:
         self._servers: dict[str, asyncio.Server] = {}
         self._accepted: list[FrameStream] = []
         self._on_deliver: Callable[[dict[str, Any]], None] | None = None
+        self._on_deliver_batch: Callable[[dict[str, Any]], None] | None = None
 
-    def bind_dispatch(self, on_deliver: Callable[[dict[str, Any]], None]) -> None:
-        """Set the callback invoked for each inbound ``cm.deliver``."""
+    def bind_dispatch(
+        self,
+        on_deliver: Callable[[dict[str, Any]], None],
+        on_deliver_batch: Callable[[dict[str, Any]], None] | None = None,
+    ) -> None:
+        """Set the callbacks for inbound ``cm.deliver`` (and, optionally,
+        coalesced ``cm.deliver_batch``) frames.  Without a batch callback,
+        batch frames unfold into per-message deliveries."""
         self._on_deliver = on_deliver
+        self._on_deliver_batch = on_deliver_batch
 
     async def start(self, sites: list[str]) -> None:
         """Open one listening endpoint per site (ephemeral loopback ports)."""
@@ -120,12 +129,17 @@ class Gateway:
                 frame = await stream.recv()
                 if frame is None:
                     return
-                if (
-                    isinstance(frame, Notification)
-                    and frame.method == DELIVER_METHOD
-                    and self._on_deliver is not None
-                ):
-                    self._on_deliver(frame.params)
+                if not isinstance(frame, Notification):
+                    continue
+                if frame.method == DELIVER_METHOD:
+                    if self._on_deliver is not None:
+                        self._on_deliver(frame.params)
+                elif frame.method == DELIVER_BATCH_METHOD:
+                    if self._on_deliver_batch is not None:
+                        self._on_deliver_batch(frame.params)
+                    elif self._on_deliver is not None:
+                        for sub in frame.params.get("frames", ()):
+                            self._on_deliver(sub)
         except (ProtocolError, ConnectionResetError):
             return
         finally:
@@ -165,6 +179,7 @@ class WireNetwork:
         obs: Instrumentation | None = None,
         faults: WireFaultPlan | None = None,
         gateway: Gateway | None = None,
+        deliver_batch_max: int = 16,
     ) -> None:
         self.clock = clock
         self.rngs = rng_registry or RngRegistry()
@@ -174,7 +189,10 @@ class WireNetwork:
         self.obs = obs or Instrumentation()
         self.faults = faults or WireFaultPlan()
         self.gateway = gateway or Gateway()
-        self.gateway.bind_dispatch(self._on_frame)
+        #: Most messages one ``cm.deliver_batch`` frame may coalesce; 1
+        #: disables sender-side coalescing entirely.
+        self.deliver_batch_max = max(1, int(deliver_batch_max))
+        self.gateway.bind_dispatch(self._on_frame, self._on_frame_batch)
         self._sites: dict[str, _SiteEntry] = {}
         self._channel_latency: dict[tuple[str, str], LatencyModel] = {}
         self._last_delivery: dict[tuple[str, str], int] = {}
@@ -347,6 +365,7 @@ class WireNetwork:
                 dial,
                 faults=faults,
                 fault_rng=self._fault_rng(channel) if faults.any else None,
+                batch_max=self.deliver_batch_max,
             )
             sender._next_seq = self._seq_carry.pop(channel, 0)
             self._senders[channel] = sender
@@ -382,11 +401,13 @@ class WireNetwork:
                     "frames_written": 0,
                     "frames_duplicated": 0,
                     "frames_reordered": 0,
+                    "frames_coalesced": 0,
                 },
             )
             carried["frames_written"] += sender.frames_written
             carried["frames_duplicated"] += sender.frames_duplicated
             carried["frames_reordered"] += sender.frames_reordered
+            carried["frames_coalesced"] += sender.frames_coalesced
         self._senders.clear()
         await self.gateway.stop()
         self._started = False
@@ -410,6 +431,22 @@ class WireNetwork:
             self.outstanding -= len(accepted)
         elif not self.in_order:
             self.outstanding = max(0, self.outstanding - 1)
+        for ready in accepted:
+            self._deliver(ready)
+
+    def _on_frame_batch(self, params: dict[str, Any]) -> None:
+        """One inbound ``cm.deliver_batch`` frame: resequence the whole
+        coalesced run at once, then deliver each message in order."""
+        frames = params.get("frames")
+        if not frames:
+            return
+        channel = (params["src"], params["dst"])
+        receiver = self._receiver_for(channel)
+        accepted = receiver.accept_batch(frames)
+        if self.in_order and accepted:
+            self.outstanding -= len(accepted)
+        elif not self.in_order:
+            self.outstanding = max(0, self.outstanding - len(frames))
         for ready in accepted:
             self._deliver(ready)
 
@@ -476,6 +513,8 @@ class WireNetwork:
                 + (sender.frames_duplicated if sender else 0),
                 "frames_reordered": carried.get("frames_reordered", 0)
                 + (sender.frames_reordered if sender else 0),
+                "frames_coalesced": carried.get("frames_coalesced", 0)
+                + (sender.frames_coalesced if sender else 0),
                 "duplicates_discarded": (
                     receiver.duplicates_discarded if receiver else 0
                 ),

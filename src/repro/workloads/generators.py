@@ -2,13 +2,43 @@
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from repro.cm.manager import ConstraintManager
+from repro.core.events import EventDesc, notify_desc
+from repro.core.items import DataItemRef
 from repro.core.timebase import Ticks, seconds
 
 ValueModel = Callable[["UpdateStream", str], object]
+
+
+def notification_stream(
+    families: Sequence[str],
+    keys_per_family: int,
+    count: int,
+    seed: int = 0,
+    low: float = 0.0,
+    high: float = 100.0,
+) -> list[EventDesc]:
+    """A deterministic pre-generated list of ``N(item, value)`` descriptors.
+
+    The throughput benchmark's raw material: ``count`` notifications drawn
+    uniformly (keyed by ``seed``) over a ``families × keys_per_family``
+    item grid, ready to feed :meth:`~repro.cm.shell.CMShell.ingest_batch`
+    without any per-event generation cost inside the timed region.
+    """
+    rng = random.Random(seed)
+    grid = [
+        DataItemRef(family, (f"k{key}",))
+        for family in families
+        for key in range(keys_per_family)
+    ]
+    return [
+        notify_desc(rng.choice(grid), round(rng.uniform(low, high), 2))
+        for _ in range(count)
+    ]
 
 
 def uniform_values(low: float = 0.0, high: float = 100.0, digits: int = 2) -> ValueModel:

@@ -27,6 +27,7 @@ TOP_LEVEL_KEYS = [
     "lint",
     "rule_profile",
     "flight",
+    "batching",
 ]
 
 DISPATCH_TOTAL_KEYS = {
@@ -36,6 +37,8 @@ DISPATCH_TOTAL_KEYS = {
     "rules_installed",
     "rules_compiled",
     "rules_fallback",
+    "batches_processed",
+    "batch_events",
     "match_hits",
     "match_misses",
 }
@@ -64,10 +67,15 @@ FLIGHT_KEYS = {"capacity", "records_taken", "ring_sizes", "dumps"}
 FLIGHT_DUMP_KEYS = {"reason", "time", "time_s", "records"}
 FLIGHT_RECORD_KEYS = {"time", "time_s", "site", "kind", "detail"}
 RULE_PROFILE_KEYS = {"match_hits", "match_misses", "fired", "exec_ns"}
+BATCHING_KEYS = {
+    "batches_processed", "batch_events", "batch_size", "shards", "threads",
+    "events_by_shard", "barrier_events",
+}
+BATCH_SIZE_KEYS = {"count", "unit", "mean", "min", "max", "p50", "p99"}
 
 
 def build_report():
-    salary = build_salary_scenario("propagation")
+    salary = build_salary_scenario("propagation", batch_max=32)
     cm = salary.cm
     cm.scenario.obs.enable_tracing()
     flight = cm.scenario.obs.enable_flight()
@@ -112,6 +120,18 @@ class TestRunReportSchema:
             assert set(dump) == FLIGHT_DUMP_KEYS
             for record in dump["records"]:
                 assert set(record) == FLIGHT_RECORD_KEYS
+
+    def test_batching_section_schema(self):
+        data = build_report().to_dict()
+        assert data["batching"], "batching was enabled (batch_max=32)"
+        for entry in data["batching"].values():
+            assert set(entry) == BATCHING_KEYS
+            assert entry["batches_processed"] >= 1
+            assert entry["batch_events"] >= 1
+            assert set(entry["batch_size"]) == BATCH_SIZE_KEYS
+            assert entry["batch_size"]["unit"] == "events"
+            assert entry["shards"] == 1
+            assert len(entry["events_by_shard"]) == entry["shards"]
 
     def test_rule_profile_section_schema(self):
         data = build_report().to_dict()
