@@ -32,6 +32,7 @@ identical to the unsharded kernel's.
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence
@@ -43,6 +44,14 @@ from repro.core.events import EventDesc, EventKind
 from repro.core.rules import Rule
 from repro.core.templates import Matcher, compile_matcher
 from repro.core.terms import Bindings
+from repro.runtime.codec import decode_value, encode_desc_compact
+
+_SCALARS = (str, int, float, bool, type(None))
+
+#: One-shot latch for the thread-pool opt-in warning (threads are strictly
+#: slower than the serial path under the GIL; process workers are the real
+#: parallel option).
+_threads_warning_emitted = False
 
 
 @dataclass(frozen=True)
@@ -200,10 +209,33 @@ class ShardedDispatcher:
     execution's trace *identical* to the unsharded kernel's.
     """
 
-    def __init__(self, index: RuleIndex, shards: int, threads: bool = False):
+    def __init__(
+        self,
+        index: RuleIndex,
+        shards: int,
+        threads: bool = False,
+        workers: int = 0,
+    ):
         self.index = index
         self.shards = max(1, int(shards))
         self.threads = bool(threads) and self.shards > 1
+        #: Worker *processes* for phase A (0 = in-process matching).  This
+        #: is the executor that actually parallelizes: each worker holds
+        #: its own compiled rule set and matches descriptor slices shipped
+        #: by the wire codec's compact form, off the GIL.
+        self.workers = max(0, int(workers)) if self.shards > 1 else 0
+        if self.threads:
+            global _threads_warning_emitted
+            if not _threads_warning_emitted:
+                _threads_warning_emitted = True
+                warnings.warn(
+                    "shard_threads runs pure-Python matching on a thread "
+                    "pool, which the GIL makes strictly slower than the "
+                    "serial path; use shard_workers=N (process-backed "
+                    "matching) for real multi-core speedup",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
         self._family_shard: dict[str, int] = {}
         # Per-shard (kind, family) -> candidate bucket caches, rebuilt when
         # the index changes (rules cannot be installed mid-dispatch).
@@ -214,6 +246,9 @@ class ShardedDispatcher:
         self.batches = 0
         self.last_candidates = 0
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._worker_pool = None
+        self._worker_pool_rules = -1
+        self._by_serial: dict[int, InstalledRule] = {}
 
     def shard_for(self, family: str) -> int:
         index = self._family_shard.get(family)
@@ -254,7 +289,9 @@ class ShardedDispatcher:
                 assignment[self.shard_for(item.name)].append(i)
         self.barrier_events += barriers
         total = 0
-        if self.threads:
+        if self.workers:
+            total = self._match_with_workers(descs, assignment, matches)
+        elif self.threads:
             pool = self._pool
             if pool is None:
                 pool = self._pool = ThreadPoolExecutor(
@@ -275,6 +312,75 @@ class ShardedDispatcher:
             self.events_by_shard[shard] += len(indices)
         self.last_candidates = total
         return matches
+
+    def _ensure_worker_pool(self):
+        """The live worker pool, (re)built when the rule set changed."""
+        from repro.cm.workers import ShardWorkerPool
+
+        if (
+            self._worker_pool is not None
+            and self._worker_pool_rules != len(self.index)
+        ):
+            self._worker_pool.close()
+            self._worker_pool = None
+        if self._worker_pool is None:
+            rules = [(inst.serial, inst.rule) for inst in self.index]
+            self._worker_pool = ShardWorkerPool(rules, self.workers)
+            self._worker_pool_rules = len(self.index)
+            self._by_serial = {inst.serial: inst for inst in self.index}
+        return self._worker_pool
+
+    def _match_with_workers(
+        self,
+        descs: Sequence[EventDesc],
+        assignment: list[list[int]],
+        matches: list[Optional[list[MatchHit]]],
+    ) -> int:
+        """Phase A on the worker processes: ship compact descriptor slices
+        (whole shards, so per-event hit order is one worker's bucket
+        order), reassemble hits against the parent's installed rules."""
+        pool = self._ensure_worker_pool()
+        slices: dict[int, list[tuple[int, tuple]]] = {}
+        for shard, indices in enumerate(assignment):
+            if not indices:
+                continue
+            slice_ = slices.setdefault(shard % pool.workers, [])
+            for i in indices:
+                slice_.append((i, encode_desc_compact(descs[i])))
+        hits, considered = pool.match_slices(slices)
+        by_serial = self._by_serial
+        for index, serial, slots, bindings in hits:
+            installed = by_serial[serial]
+            hit: MatchHit = (
+                installed,
+                [
+                    v if isinstance(v, _SCALARS) else decode_value(v)
+                    for v in slots
+                ]
+                if slots is not None
+                else None,
+                {
+                    name: (v if isinstance(v, _SCALARS) else decode_value(v))
+                    for name, v in bindings
+                }
+                if bindings is not None
+                else None,
+            )
+            bucket = matches[index]
+            if bucket is None:
+                bucket = matches[index] = []
+            bucket.append(hit)
+        return considered
+
+    def close(self) -> None:
+        """Release executors (worker processes, thread pool); idempotent."""
+        if self._worker_pool is not None:
+            self._worker_pool.close()
+            self._worker_pool = None
+            self._worker_pool_rules = -1
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
     def _match_shard(
         self,
@@ -329,10 +435,20 @@ class ShardedDispatcher:
 
     def stats(self) -> dict:
         """Per-shard dispatch counters for the run report."""
-        return {
+        stats = {
             "shards": self.shards,
             "threads": self.threads,
+            "workers": self.workers,
+            # Which phase-A executor actually ran this dispatcher.
+            "executor": (
+                "workers"
+                if self.workers
+                else ("threads" if self.threads else "serial")
+            ),
             "batches": self.batches,
             "events_by_shard": list(self.events_by_shard),
             "barrier_events": self.barrier_events,
         }
+        if self._worker_pool is not None:
+            stats["worker_pool"] = self._worker_pool.stats()
+        return stats

@@ -100,7 +100,15 @@ class Scenario:
     #: Run sharded phase-A matching on a thread pool.  Off by default:
     #: pure-Python matching gains nothing under the GIL, so threads only
     #: demonstrate (and test) that per-shard state is truly independent.
+    #: Opting in emits a one-time warning pointing at ``shard_workers``.
     shard_threads: bool = False
+    #: Run sharded phase-A matching on this many worker *processes* (0 =
+    #: in-process).  The real multi-core option: workers hold their own
+    #: compiled rule sets and match descriptor slices shipped by the wire
+    #: codec, off the GIL; conditions and RHS stay serial in batch order,
+    #: so the trace is identical to the sequential kernel's.  Needs
+    #: ``dispatch_shards > 1`` (shards are the unit of distribution).
+    shard_workers: int = 0
     sim: Clock = field(init=False)
     rngs: RngRegistry = field(init=False)
     network: TransportAPI = field(init=False)
@@ -176,6 +184,7 @@ class ConstraintManager:
             obs=self.scenario.obs,
             shards=self.scenario.dispatch_shards,
             shard_threads=self.scenario.shard_threads,
+            shard_workers=self.scenario.shard_workers,
         )
         if self.scenario.batch_max > 1:
             shell.enable_batching(self.scenario.batch_max)
@@ -190,6 +199,11 @@ class ConstraintManager:
         if site not in self.shells:
             raise ConfigurationError(f"unknown site: {site!r}")
         return self.shells[site]
+
+    def close(self) -> None:
+        """Release every shell's dispatch executors (worker processes)."""
+        for shell in self.shells.values():
+            shell.close()
 
     # -- fluent wiring ---------------------------------------------------------
 
@@ -329,9 +343,16 @@ class ConstraintManager:
                 self.shell(lhs_site).install(
                     rule, rhs_site, phase=strategy.timer_phases.get(rule.name)
                 )
+                if rhs_site is not None and rhs_site != lhs_site:
+                    self.shell(rhs_site).register_remote_rule(rule)
                 continue
             lhs_site = rule.resolve_lhs_site(self.locations)
             self.shell(lhs_site).install(rule, rhs_site)
+            if rhs_site is not None and rhs_site != lhs_site:
+                # Cross-site rule: the RHS shell registers the same rule
+                # definition so a by-value firing (rule name + slots over
+                # the wire) resolves and compiles locally at the receiver.
+                self.shell(rhs_site).register_remote_rule(rule)
             if rule.lhs.kind is EventKind.NOTIFY:
                 family = rule.lhs.item_family
                 assert family is not None

@@ -41,8 +41,14 @@ from dataclasses import dataclass
 from time import perf_counter_ns
 from typing import Callable, Optional
 
+from repro.core.compile import CompiledRule, compile_rule
 from repro.core.conditions import evaluate, evaluate_value
-from repro.core.errors import BindingError, ConfigurationError, SpecError
+from repro.core.errors import (
+    BindingError,
+    CompileError,
+    ConfigurationError,
+    SpecError,
+)
 from repro.core.events import Event, EventKind, periodic_desc
 from repro.core.items import DataItemRef
 from repro.core.rules import Rule
@@ -56,6 +62,7 @@ from repro.cm.translator import CMTranslator
 from repro.obs import Instrumentation
 from repro.obs.metrics import BATCH_SIZE_BOUNDS, RULE_EXEC_NS_BOUNDS
 from repro.runtime.api import Clock, TransportAPI
+from repro.runtime.codec import WireFiring
 from repro.sim.failures import FailurePlan
 from repro.sim.network import Message
 from repro.sim.process import PeriodicTimer
@@ -93,6 +100,7 @@ class CMShell:
         obs: Instrumentation | None = None,
         shards: int = 1,
         shard_threads: bool = False,
+        shard_workers: int = 0,
     ):
         self.site = site
         self.sim = sim
@@ -107,7 +115,12 @@ class CMShell:
         # Family-sharded batch matching; the per-event path never pays for
         # it, and shards=1 keeps the fused batch loop shard-free too.
         self._sharded = (
-            ShardedDispatcher(self._index, shards, threads=shard_threads)
+            ShardedDispatcher(
+                self._index,
+                shards,
+                threads=shard_threads,
+                workers=shard_workers,
+            )
             if shards > 1
             else None
         )
@@ -134,6 +147,11 @@ class CMShell:
         # each rule — an unprofiled run never allocates them.
         self._profiles: dict[str, tuple] = {}
         self._rules_by_name: dict[str, Rule] = {}
+        self._installed_by_name: dict[str, object] = {}
+        # Rules whose LHS fires at a *peer* but whose RHS runs here: the
+        # receiving half of the by-value firing codec (rule name + slots
+        # cross the wire; this side re-compiles its own program).
+        self._remote_rules: dict[str, tuple[Rule, Optional[CompiledRule]]] = {}
         self._chain_depth = 0
         # -- batched dispatch state --
         self._batch_max = 0
@@ -251,10 +269,54 @@ class CMShell:
         elif compiled:
             self._m_fallback.value += 1
         self._rules_by_name[rule.name] = rule
+        self._installed_by_name[rule.name] = installed
         if rule.name not in self._fired_by_rule:
             self._fired_by_rule[rule.name] = self.obs.metrics.counter(
                 "rule_fired", site=self.site, rule=rule.name
             )
+
+    def register_remote_rule(self, rule: Rule) -> None:
+        """Register a rule installed at a peer whose RHS executes here.
+
+        The by-value firing codec ships only the rule *name* plus encoded
+        slot values; this registration is the receiving half of the CM-RID
+        contract — both sites hold the same rule definition, and this side
+        compiles its own program, so an inbound firing resolves and runs
+        without referencing any sender memory.  Compilation is
+        deterministic, so the sender's slot layout drops straight into the
+        local program.
+        """
+        existing = self._rules_by_name.get(rule.name)
+        if existing is not None and existing != rule:
+            raise ConfigurationError(
+                f"rule {rule.name!r} is already known at site {self.site!r} "
+                f"with a different definition; the firing codec resolves "
+                f"rules by name, so names must be unique per shell"
+            )
+        if rule.name in self._remote_rules:
+            return
+        program: Optional[CompiledRule] = None
+        if self.compile_rules:
+            try:
+                program = compile_rule(rule)
+            except CompileError:
+                program = None
+        self._remote_rules[rule.name] = (rule, program)
+
+    def _resolve_firing(self, firing: WireFiring) -> tuple[Rule, object]:
+        """Resolve an inbound by-value firing against local rule knowledge."""
+        name = firing.rule_name
+        installed = self._installed_by_name.get(name)
+        if installed is not None:
+            return installed.rule, installed.program
+        entry = self._remote_rules.get(name)
+        if entry is not None:
+            return entry
+        raise ConfigurationError(
+            f"shell {self.site!r} received a firing for unknown rule "
+            f"{name!r}; a cross-site rule must be registered at its RHS "
+            f"site (the CM-RID contract the by-value codec relies on)"
+        )
 
     def _install_timer(self, rule: Rule, phase: Optional[Ticks]) -> None:
         """Start the timer driving a ``P(p)``-triggered rule."""
@@ -354,6 +416,11 @@ class CMShell:
             if id(translator) not in seen:
                 seen.add(id(translator))
                 translator.stop_timers()
+
+    def close(self) -> None:
+        """Release dispatch executors (shard worker processes)."""
+        if self._sharded is not None:
+            self._sharded.close()
 
     # -- event processing -----------------------------------------------------------
 
@@ -637,11 +704,15 @@ class CMShell:
         if sharded is not None:
             stats["shards"] = sharded.shards
             stats["threads"] = sharded.threads
+            stats["workers"] = sharded.workers
+            stats["executor"] = sharded.stats()["executor"]
             stats["events_by_shard"] = list(sharded.events_by_shard)
             stats["barrier_events"] = sharded.barrier_events
         else:
             stats["shards"] = 1
             stats["threads"] = False
+            stats["workers"] = 0
+            stats["executor"] = "serial"
             stats["events_by_shard"] = [self._m_batch_events.value]
             stats["barrier_events"] = 0
         return stats
@@ -868,6 +939,40 @@ class CMShell:
                 else:
                     self._execute_rhs(
                         payload.rule, dict(payload.bindings), payload.trigger
+                    )
+            finally:
+                if span is not None:
+                    obs.tracer.pop()
+                    obs.tracer.finish(span, self.sim.now)
+        elif isinstance(payload, WireFiring):
+            # A firing that crossed a by-value channel: resolve the rule
+            # from local knowledge and run the locally compiled program.
+            rule, program = self._resolve_firing(payload)
+            obs = self.obs
+            span = None
+            if obs.enabled:
+                if obs.flight is not None:
+                    obs.flight.record(self.site, "fire", self.sim.now, rule.name)
+                if obs.tracer.enabled:
+                    span = obs.tracer.start(
+                        "shell.fire", self.site, self.sim.now, rule=rule.name
+                    )
+                    obs.tracer.push(span)
+            try:
+                if payload.slots is not None:
+                    if program is None:
+                        raise ConfigurationError(
+                            f"shell {self.site!r}: firing for rule "
+                            f"{rule.name!r} carries compiled slots but the "
+                            f"rule did not compile here — both sides of a "
+                            f"channel must share the rule definition"
+                        )
+                    self._execute_compiled_rhs(
+                        program, list(payload.slots), payload.trigger
+                    )
+                else:
+                    self._execute_rhs(
+                        rule, dict(payload.bindings or ()), payload.trigger
                     )
             finally:
                 if span is not None:

@@ -1,0 +1,271 @@
+"""Process-backed shard workers: the matching phase on real cores.
+
+:class:`~repro.cm.dispatch.ShardedDispatcher` partitions each batch by
+item family and runs the *pure* matching phase per shard.  Threads buy
+nothing there — pure-Python matching is GIL-bound — so this module gives
+the dispatcher a pool of persistent **worker processes** instead: each
+worker holds its own compiled copy of the rule set (rules cross once, at
+pool start; compiled programs are closures and never cross at all) and
+matches descriptor slices shipped over a pipe in the wire codec's compact
+tuple form.  Conditions and RHS execution stay serial in batch order on
+the parent — exactly the division that keeps a multi-core execution's
+trace byte-identical to the sequential kernel's.
+
+Protocol (one duplex pipe per worker, ``spawn`` start method so workers
+never inherit parent state):
+
+- parent → worker: ``("match", batch_id, [(index, compact_desc), ...])``
+- worker → parent: ``(batch_id, [(index, serial, slots, bindings), ...],
+  considered)`` — ``serial`` identifies the rule in the *parent's* index;
+  slot/binding values ride raw when scalar, codec-tagged otherwise.
+- parent → worker: ``("stop",)`` ends the worker.
+
+The worker rebuilds the same ``(kind, family)``-bucketed candidate index
+the parent uses (installation order preserved via the shipped serials), so
+per-event hit order — and therefore the downstream trace — is identical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from typing import Any, Optional, Sequence
+
+from repro.core.compile import compile_rule
+from repro.core.errors import CompileError, ConfigurationError
+from repro.core.rules import Rule
+from repro.core.templates import compile_matcher
+from repro.runtime.codec import (
+    decode_desc_compact,
+    decode_value,
+    encode_value,
+)
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _encode_cell(value: Any) -> Any:
+    return value if isinstance(value, _SCALARS) else encode_value(value)
+
+
+def _decode_cell(value: Any) -> Any:
+    return value if isinstance(value, _SCALARS) else decode_value(value)
+
+
+def _worker_main(conn, rule_blob: list[tuple[int, Rule]]) -> None:
+    """Worker process body: compile the rule set, then match slices."""
+    # Mirror of RuleIndex bucketing, keyed by the parent's serials so hit
+    # order inside a bucket matches the parent's installation order.
+    buckets: dict[tuple, list[tuple]] = {}
+    catch_all: dict[Any, list[tuple]] = {}
+    for serial, rule in rule_blob:
+        program = None
+        try:
+            program = compile_rule(rule)
+        except CompileError:
+            program = None
+        matcher = compile_matcher(rule.lhs)
+        entry = (serial, program, matcher)
+        kind = rule.lhs.kind
+        family = rule.lhs.dispatch_family
+        if family is None and rule.lhs.item is not None:
+            catch_all.setdefault(kind, []).append(entry)
+        else:
+            buckets.setdefault((kind, family), []).append(entry)
+
+    def candidates(kind, family):
+        exact = buckets.get((kind, family))
+        extra = catch_all.get(kind)
+        if extra is None:
+            return exact or ()
+        if exact is None:
+            return extra
+        merged = sorted(exact + extra, key=lambda e: e[0])
+        return merged
+
+    cache: dict[tuple, Sequence[tuple]] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message[0] == "stop":
+            break
+        _, batch_id, slice_ = message
+        hits: list[tuple] = []
+        considered = 0
+        for index, compact in slice_:
+            desc = decode_desc_compact(compact)
+            family = compact[1]
+            key = (desc.kind, family)
+            bucket = cache.get(key)
+            if bucket is None:
+                bucket = cache[key] = candidates(desc.kind, family)
+            if not bucket:
+                continue
+            considered += len(bucket)
+            for serial, program, matcher in bucket:
+                if program is not None:
+                    slots = program.match(desc)
+                    if slots is not None:
+                        hits.append(
+                            (
+                                index,
+                                serial,
+                                [_encode_cell(v) for v in slots],
+                                None,
+                            )
+                        )
+                else:
+                    bindings = matcher(desc)
+                    if bindings is not None:
+                        hits.append(
+                            (
+                                index,
+                                serial,
+                                None,
+                                [
+                                    (name, _encode_cell(v))
+                                    for name, v in bindings.items()
+                                ],
+                            )
+                        )
+        try:
+            conn.send((batch_id, hits, considered))
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+class ShardWorkerPool:
+    """A persistent pool of matching workers, one pipe each.
+
+    ``submit``/``collect`` are split so the dispatcher can ship every
+    worker its slice before blocking on any reply — that is where the
+    multi-core overlap comes from.
+    """
+
+    def __init__(self, rules: Sequence[tuple[int, Rule]], workers: int) -> None:
+        self.workers = max(1, int(workers))
+        self.rule_count = len(rules)
+        ctx = mp.get_context("spawn")
+        self._procs: list = []
+        self._conns: list = []
+        self.batches_by_worker = [0] * self.workers
+        self.events_by_worker = [0] * self.workers
+        self._batch_id = 0
+        blob = list(rules)
+        try:
+            for _ in range(self.workers):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, blob),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+        except Exception as error:
+            self.close()
+            raise ConfigurationError(
+                f"shard worker pool failed to start (rules must be "
+                f"picklable to cross to worker processes): {error}"
+            ) from error
+
+    @property
+    def pids(self) -> list[int]:
+        return [proc.pid for proc in self._procs if proc.pid is not None]
+
+    def match_slices(
+        self, slices: dict[int, list[tuple[int, tuple]]]
+    ) -> tuple[list[tuple[int, int, Optional[list], Optional[list]]], int]:
+        """Ship per-worker descriptor slices; gather all hits.
+
+        ``slices`` maps worker id -> ``[(batch index, compact desc), ...]``.
+        Returns ``(hits, considered)`` with hits as
+        ``(index, serial, slots, bindings)`` tuples (codec cells still
+        encoded — the dispatcher decodes while reassembling).
+        """
+        self._batch_id += 1
+        batch_id = self._batch_id
+        active: list[int] = []
+        for worker, slice_ in slices.items():
+            if not slice_:
+                continue
+            try:
+                self._conns[worker].send(("match", batch_id, slice_))
+            except (BrokenPipeError, OSError) as error:
+                raise ConfigurationError(
+                    f"shard worker {worker} (pid "
+                    f"{self._procs[worker].pid}) died mid-run: {error}"
+                ) from error
+            active.append(worker)
+            self.batches_by_worker[worker] += 1
+            self.events_by_worker[worker] += len(slice_)
+        all_hits: list[tuple] = []
+        considered = 0
+        for worker in active:
+            try:
+                reply_id, hits, count = self._conns[worker].recv()
+            except (EOFError, OSError) as error:
+                raise ConfigurationError(
+                    f"shard worker {worker} (pid "
+                    f"{self._procs[worker].pid}) died mid-run: {error}"
+                ) from error
+            if reply_id != batch_id:  # pragma: no cover - protocol guard
+                raise ConfigurationError(
+                    f"shard worker {worker} answered batch {reply_id}, "
+                    f"expected {batch_id}"
+                )
+            all_hits.extend(hits)
+            considered += count
+        return all_hits, considered
+
+    def alive(self) -> bool:
+        return all(proc.is_alive() for proc in self._procs)
+
+    def stats(self) -> dict:
+        return {
+            "workers": self.workers,
+            "pids": self.pids,
+            "batches_by_worker": list(self.batches_by_worker),
+            "events_by_worker": list(self.events_by_worker),
+        }
+
+    def close(self) -> None:
+        """Stop every worker (idempotent)."""
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._conns.clear()
+        self._procs.clear()
+
+    def __del__(self) -> None:  # pragma: no cover - GC backstop
+        try:
+            if self._procs:
+                self.close()
+        except Exception:
+            pass
+
+
+__all__ = ["ShardWorkerPool"]
+
+
+def default_worker_count() -> int:
+    """A sensible worker count for this machine: physical cores minus one
+    for the serial parent phase, at least one."""
+    return max(1, (os.cpu_count() or 1) - 1)

@@ -443,8 +443,17 @@ class ExecutionTrace:
         desc: EventDesc,
         rule: Rule | None = None,
         trigger: Event | None = None,
+        seq: int | None = None,
     ) -> Event:
-        """Record one event, computing its interpretations.  O(1) per event."""
+        """Record one event, computing its interpretations.  O(1) per event.
+
+        ``seq`` preserves an explicit sequence number when re-recording an
+        event that was numbered elsewhere (the process runtime merging its
+        shells' traces): event identity across process boundaries is
+        ``(site, seq)``, so the merged trace must keep each child's
+        numbering for provenance lookups to resolve.  Passing it never
+        advances the global event counter.
+        """
         if self._pending:
             self._flush_pending()
         events = self._events
@@ -464,15 +473,27 @@ class ExecutionTrace:
             new = journal.view()
         else:
             new = old
-        event = Event(
-            time=time,
-            site=site,
-            desc=desc,
-            old=old,
-            new=new,
-            rule=rule,
-            trigger=trigger,
-        )
+        if seq is None:
+            event = Event(
+                time=time,
+                site=site,
+                desc=desc,
+                old=old,
+                new=new,
+                rule=rule,
+                trigger=trigger,
+            )
+        else:
+            event = Event(
+                time=time,
+                site=site,
+                desc=desc,
+                old=old,
+                new=new,
+                rule=rule,
+                trigger=trigger,
+                seq=seq,
+            )
         events.append(event)
         self._index_event(event)
         if time > self.horizon:
@@ -852,18 +873,21 @@ def _desc_matches_some_step(rule: Rule, desc: EventDesc, bindings: Bindings) -> 
 
 def _provenance_index(
     generated: Sequence[Event],
-) -> dict[tuple[int, int], list[Event]]:
-    """Generated events grouped by (rule identity, trigger identity).
+) -> dict[tuple[int, str, int], list[Event]]:
+    """Generated events grouped by (rule identity, trigger ``(site, seq)``).
 
-    Both keys are object identities: provenance fields reference the exact
-    rule/trigger objects, and every trigger is an event kept alive by the
-    trace, so ids are stable.
+    The rule key is an object identity (provenance fields reference the
+    exact installed rule objects).  The *trigger* is keyed by its
+    ``(site, seq)`` pair instead: a firing that crossed the wire carries a
+    by-value reconstruction of its trigger — same site and sequence
+    number, different object — and provenance must treat that as the same
+    event.
     """
-    index: dict[tuple[int, int], list[Event]] = {}
+    index: dict[tuple[int, str, int], list[Event]] = {}
     for event in generated:
         if event.rule is None or event.trigger is None:
             continue
-        key = (id(event.rule), id(event.trigger))
+        key = (id(event.rule), event.trigger.site, event.trigger.seq)
         bucket = index.get(key)
         if bucket is None:
             bucket = index[key] = []
@@ -875,7 +899,7 @@ def _check_liveness(trace: ExecutionTrace, rules: list[Rule]) -> list[Violation]
     from repro.core.conditions import TRUE  # local import to avoid cycle noise
 
     violations: list[Violation] = []
-    provenance: dict[tuple[int, int], list[Event]] | None = None
+    provenance: dict[tuple[int, str, int], list[Event]] | None = None
     for rule in rules:
         if rule.is_prohibition:
             for event, __ in trace.events_matching(rule.lhs):
@@ -918,14 +942,14 @@ def _check_liveness(trace: ExecutionTrace, rules: list[Rule]) -> list[Violation]
 
 
 def _find_generated(
-    provenance: dict[tuple[int, int], list[Event]],
+    provenance: dict[tuple[int, str, int], list[Event]],
     rule: Rule,
     trigger: Event,
     tmpl: Template,
     not_before: Ticks,
     deadline: Ticks,
 ) -> Event | None:
-    for event in provenance.get((id(rule), id(trigger)), ()):
+    for event in provenance.get((id(rule), trigger.site, trigger.seq), ()):
         if event.time < not_before or event.time > deadline:
             continue
         if match_desc(tmpl, event.desc) is not None:
@@ -1137,7 +1161,14 @@ def _find_generated_naive(
     for event in trace.events:
         if event.time < not_before or event.time > deadline:
             continue
-        if event.rule is rule and event.trigger is trigger:
+        # Trigger identity is (site, seq), not object identity: a firing
+        # that crossed the wire carries a by-value trigger reconstruction.
+        if (
+            event.rule is rule
+            and event.trigger is not None
+            and event.trigger.site == trigger.site
+            and event.trigger.seq == trigger.seq
+        ):
             if match_desc(tmpl, event.desc) is not None:
                 return event
     return None

@@ -65,6 +65,7 @@ def build_salary_scenario(
     batch_max: int = 0,
     dispatch_shards: int = 1,
     shard_threads: bool = False,
+    shard_workers: int = 0,
 ) -> SalaryScenario:
     """Build and install the salary copy-constraint scenario.
 
@@ -84,6 +85,7 @@ def build_salary_scenario(
         batch_max=batch_max,
         dispatch_shards=dispatch_shards,
         shard_threads=shard_threads,
+        shard_workers=shard_workers,
     )
     cm = ConstraintManager(scenario)
     cm.add_site("sf")
@@ -138,6 +140,33 @@ def build_salary_scenario(
     )
     chosen = pick_suggestion(suggestions, strategy_kind)
     installed = cm.install(constraint, chosen)
+    # The process runtime rebuilds this wiring inside each shell process:
+    # hand it this module-level builder (picklable by qualified name) with
+    # the exact same knobs, minus the runtime itself.
+    accept = getattr(scenario.runtime_impl, "accept_bootstrap", None)
+    if accept is not None:
+        accept(
+            build_salary_scenario,
+            {
+                "strategy_kind": strategy_kind,
+                "seed": seed,
+                "notify_bound": notify_bound,
+                "read_bound": read_bound,
+                "write_bound": write_bound,
+                "rule_delay": rule_delay,
+                "polling_period": polling_period,
+                "offer_notify": offer_notify,
+                "offer_read": offer_read,
+                "latency": latency,
+                "failure_plan": failure_plan,
+                "in_order": in_order,
+                "service": service,
+                "batch_max": batch_max,
+                "dispatch_shards": dispatch_shards,
+                "shard_threads": shard_threads,
+                "shard_workers": shard_workers,
+            },
+        )
     return SalaryScenario(
         scenario, cm, branch_db, hq_db, constraint, installed, chosen
     )

@@ -50,6 +50,10 @@ class RunReport:
     #: histogram, per-shard event counters); empty for sites that never
     #: ran the batched path.
     batching: dict = field(default_factory=dict)
+    #: Shell-process supervision facts (pid, liveness, exit code,
+    #: restarts per site plus worker-pool utilization); ``{"enabled":
+    #: False}`` on the in-process runtimes.
+    processes: dict = field(default_factory=lambda: {"enabled": False})
 
     def to_dict(self) -> dict:
         return {
@@ -68,6 +72,7 @@ class RunReport:
             "rule_profile": self.rule_profile,
             "flight": self.flight,
             "batching": self.batching,
+            "processes": self.processes,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -140,6 +145,13 @@ class RunReport:
                 f"in {entry.get('batches_processed', 0)} batches "
                 f"(p99 size {(entry.get('batch_size') or {}).get('p99') or 0:g})"
                 f"{suffix}"
+            )
+        processes = self.processes
+        if processes.get("enabled"):
+            sites = processes.get("sites", {})
+            live = sum(1 for entry in sites.values() if entry.get("alive"))
+            lines.append(
+                f"  processes: {len(sites)} shell processes, {live} alive"
             )
         flight = self.flight
         if flight:
@@ -359,6 +371,11 @@ def build_run_report(cm: Any) -> RunReport:
         entry = shell.batching_stats()
         if entry:
             report.batching[site] = entry
+
+    # -- shell processes (only the proc runtime has any) -----------------------
+    process_report = getattr(scenario.runtime_impl, "process_report", None)
+    if process_report is not None:
+        report.processes = process_report()
 
     # -- flight recorder (only when the recorder was attached) -----------------
     if flight is not None:

@@ -16,12 +16,12 @@ Three pieces live here:
   logical-failure window is a drop probability of 1.0 with extra context,
   and the ``in_order=False`` ablation is simply "reorder faults with the
   healing resequencer turned off".
-- the **payload codec** — failure notices travel as real JSON (they are
-  plain facts and must survive a process boundary); rule firings carry
-  compiled rule programs (Python closures) and travel *by handle*: the
-  frame carries a token and the in-process payload table pairs it back up
-  at the receiving endpoint.  The handle table is the documented seam for
-  a future cross-process codec.
+- the **payload codec** — every payload travels fully by value
+  (:mod:`repro.runtime.codec`): failure notices and demarcation-protocol
+  messages as plain field dicts, rule firings as rule name + encoded slot
+  values + trigger provenance chain, re-resolved against the receiving
+  shell's own installed rules.  Nothing in a frame references sender
+  memory, so the same frames work across a real process boundary.
 - :class:`ChannelSender` / :class:`ChannelReceiver` — the sending task
   that paces frames to their virtual delivery times and applies dup/
   reorder at the frame layer, and the per-channel resequencer that
@@ -36,6 +36,12 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.cm.failures import FailureNotice
+from repro.runtime.codec import (
+    decode_firing,
+    decode_value,
+    encode_firing,
+    encode_value,
+)
 from repro.runtime.jsonrpc import Notification
 from repro.runtime.transport import FrameStream
 from repro.sim.failures import FailureKind
@@ -102,15 +108,20 @@ class WireFaultPlan:
 # -- payload codec ------------------------------------------------------------
 
 _FAILURE_NOTICE = "failure-notice"
-_HANDLE = "handle"
+_FIRE = "fire"
+_LIMIT_REQUEST = "limit-request"
+_LIMIT_GRANT = "limit-grant"
+_VALUE = "value"
 
 
-def encode_payload(payload: Any, handle: int) -> dict[str, Any]:
-    """Encode a message payload for the frame body.
+def encode_payload(payload: Any) -> dict[str, Any]:
+    """Encode a message payload for the frame body, fully by value.
 
-    Failure notices serialize fully (they must be provable over a real
-    wire); everything else — rule firings carrying compiled programs —
-    rides by handle through the in-process payload table.
+    Every payload kind the shells and protocols send is self-contained in
+    the frame: a rule firing carries the rule *name* plus its encoded slot
+    values and trigger chain (the receiving shell re-resolves and
+    re-compiles from its own rule set — CM-RID is the shared contract), a
+    failure notice or demarcation message carries its plain fields.
     """
     if isinstance(payload, FailureNotice):
         return {
@@ -122,14 +133,42 @@ def encode_payload(payload: Any, handle: int) -> dict[str, Any]:
             "detail": payload.detail,
             "recovered": payload.recovered,
         }
-    return {"type": _HANDLE, "id": handle}
+    from repro.cm.shell import FireMessage
+
+    if isinstance(payload, FireMessage):
+        data = encode_firing(payload)
+        data["type"] = _FIRE
+        return data
+    from repro.protocols.demarcation import _LimitGrant, _LimitRequest
+
+    if isinstance(payload, _LimitRequest):
+        return {
+            "type": _LIMIT_REQUEST,
+            "origin": payload.origin,
+            "needed": payload.needed,
+            "request_id": payload.request_id,
+        }
+    if isinstance(payload, _LimitGrant):
+        return {
+            "type": _LIMIT_GRANT,
+            "origin": payload.origin,
+            "granted": payload.granted,
+            "request_id": payload.request_id,
+        }
+    # Plain values (test harnesses, ad-hoc probes) cross by value too;
+    # anything the value codec cannot represent raises CodecError — no
+    # payload ever rides by in-process reference.
+    return {"type": _VALUE, "v": encode_value(payload)}
 
 
-def decode_payload(
-    data: dict[str, Any], handles: dict[int, Any]
-) -> Any:
-    """Reverse :func:`encode_payload` at the receiving endpoint."""
-    if data.get("type") == _FAILURE_NOTICE:
+def decode_payload(data: dict[str, Any]) -> Any:
+    """Reverse :func:`encode_payload` at the receiving endpoint.
+
+    Firings decode to a :class:`~repro.runtime.codec.WireFiring` — a
+    neutral record the shell resolves against its own installed rules.
+    """
+    kind_tag = data.get("type")
+    if kind_tag == _FAILURE_NOTICE:
         kind: Any = data["kind"]
         try:
             kind = FailureKind(kind)
@@ -143,9 +182,27 @@ def decode_payload(
             detail=data["detail"],
             recovered=data["recovered"],
         )
-    if data.get("type") == _HANDLE:
-        return handles[data["id"]]
-    raise ValueError(f"unknown payload encoding: {data.get('type')!r}")
+    if kind_tag == _FIRE:
+        return decode_firing(data)
+    if kind_tag == _LIMIT_REQUEST:
+        from repro.protocols.demarcation import _LimitRequest
+
+        return _LimitRequest(
+            origin=data["origin"],
+            needed=data["needed"],
+            request_id=data["request_id"],
+        )
+    if kind_tag == _LIMIT_GRANT:
+        from repro.protocols.demarcation import _LimitGrant
+
+        return _LimitGrant(
+            origin=data["origin"],
+            granted=data["granted"],
+            request_id=data["request_id"],
+        )
+    if kind_tag == _VALUE:
+        return decode_value(data["v"])
+    raise ValueError(f"unknown payload encoding: {kind_tag!r}")
 
 
 # -- sending ------------------------------------------------------------------
@@ -203,6 +260,7 @@ class ChannelSender:
         self.frames_duplicated = 0
         self.frames_reordered = 0
         self.frames_coalesced = 0
+        self.frames_dropped_dead = 0
         self._next_seq = 0
         self._outbox: asyncio.Queue[_Outgoing | None] = asyncio.Queue()
         self._held: bytes | None = None
@@ -235,32 +293,48 @@ class ChannelSender:
             if item is None:
                 break
             await self.clock.sleep_until(item.deliver_at)
-            stream = await self._ensure_stream()
-            batch = self._coalesce_due(item)
-            if batch is not None:
-                self._write(stream, _batch_frame_for(self.src, self.dst, batch))
-                self.frames_coalesced += len(batch)
-                await stream.drain()
-                continue
-            frame_bytes = _frame_for(item.params)
-            rng = self.fault_rng
-            if rng is not None and self.faults.reorder and self._held is None:
-                if rng.random() < self.faults.reorder:
-                    # Hold this frame back; its successor overtakes it.
-                    self._held = frame_bytes
-                    self.frames_reordered += 1
+            try:
+                stream = await self._ensure_stream()
+                batch = self._coalesce_due(item)
+                if batch is not None:
+                    self._write(
+                        stream, _batch_frame_for(self.src, self.dst, batch)
+                    )
+                    self.frames_coalesced += len(batch)
+                    await stream.drain()
                     continue
-            self._write(stream, frame_bytes)
-            if rng is not None and self.faults.dup:
-                if rng.random() < self.faults.dup:
-                    self._write(stream, frame_bytes)
-                    self.frames_duplicated += 1
-            self._flush_held(stream)
-            await stream.drain()
+                frame_bytes = _frame_for(item.params)
+                rng = self.fault_rng
+                if (
+                    rng is not None
+                    and self.faults.reorder
+                    and self._held is None
+                ):
+                    if rng.random() < self.faults.reorder:
+                        # Hold this frame back; its successor overtakes it.
+                        self._held = frame_bytes
+                        self.frames_reordered += 1
+                        continue
+                self._write(stream, frame_bytes)
+                if rng is not None and self.faults.dup:
+                    if rng.random() < self.faults.dup:
+                        self._write(stream, frame_bytes)
+                        self.frames_duplicated += 1
+                self._flush_held(stream)
+                await stream.drain()
+            except OSError:
+                # The endpoint is gone (e.g. a killed shell process).
+                # Drop the frame instead of crashing the sending task;
+                # the process supervisor reports the death separately.
+                self.frames_dropped_dead += 1
+                self._stream = None
         if self._stream is not None:
-            self._flush_held(self._stream)
-            await self._stream.drain()
-            await self._stream.close()
+            try:
+                self._flush_held(self._stream)
+                await self._stream.drain()
+                await self._stream.close()
+            except OSError:
+                self.frames_dropped_dead += 1
             self._stream = None
 
     def _coalesce_due(self, item: _Outgoing) -> list[dict[str, Any]] | None:

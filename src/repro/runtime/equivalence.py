@@ -169,36 +169,42 @@ def _observe(
         rate=rate,
         duration=seconds(duration_seconds),
     )
-    salary.cm.run(until=seconds(duration_seconds + 10.0))
-    reports = salary.cm.check_guarantees()
-    violations = validate_trace(
-        salary.scenario.trace, list(salary.installed.strategy.rules)
-    )
-    kappa = next(
-        (g.within for g in salary.installed.guarantees if g.metric), None
-    )
-    span_trees = cross_site = disconnected = over_kappa = 0
-    for tree in salary.scenario.obs.tracer.trees():
-        span_trees += 1
-        if not tree.connected:
-            disconnected += 1
-        if len(tree.sites) > 1:
-            cross_site += 1
-            if kappa is not None and tree.end_to_end() > kappa:
-                over_kappa += 1
-    return RuntimeObservation(
-        runtime=label,
-        verdicts={name: report.valid for name, report in reports.items()},
-        trace_violations=[str(v) for v in violations],
-        updates=workload.stream.stats.updates,
-        messages_sent=salary.scenario.network.messages_sent,
-        events_recorded=len(salary.scenario.trace.events),
-        rules_fired=salary.cm.stats()["total"]["rules_fired"],
-        span_trees=span_trees,
-        cross_site_trees=cross_site,
-        disconnected_trees=disconnected,
-        trees_over_kappa=over_kappa,
-    )
+    try:
+        salary.cm.run(until=seconds(duration_seconds + 10.0))
+        reports = salary.cm.check_guarantees()
+        violations = validate_trace(
+            salary.scenario.trace, list(salary.installed.strategy.rules)
+        )
+        kappa = next(
+            (g.within for g in salary.installed.guarantees if g.metric), None
+        )
+        span_trees = cross_site = disconnected = over_kappa = 0
+        for tree in salary.scenario.obs.tracer.trees():
+            span_trees += 1
+            if not tree.connected:
+                disconnected += 1
+            if len(tree.sites) > 1:
+                cross_site += 1
+                if kappa is not None and tree.end_to_end() > kappa:
+                    over_kappa += 1
+        return RuntimeObservation(
+            runtime=label,
+            verdicts={name: report.valid for name, report in reports.items()},
+            trace_violations=[str(v) for v in violations],
+            updates=workload.stream.stats.updates,
+            messages_sent=salary.scenario.network.messages_sent,
+            events_recorded=len(salary.scenario.trace.events),
+            rules_fired=salary.cm.stats()["total"]["rules_fired"],
+            span_trees=span_trees,
+            cross_site_trees=cross_site,
+            disconnected_trees=disconnected,
+            trees_over_kappa=over_kappa,
+        )
+    finally:
+        # Real-resource runtimes (wire sockets, shell processes) must be
+        # released even when a comparison fails mid-observation.
+        salary.scenario.shutdown()
+        salary.cm.close()
 
 
 def run_equivalence(
@@ -209,8 +215,13 @@ def run_equivalence(
     duration_seconds: float = 20.0,
     time_scale: float = 20.0,
     faults: WireFaultPlan | None = None,
+    runtime: str = "wire",
 ) -> EquivalenceReport:
-    """Run one seeded scenario on both runtimes and compare.
+    """Run one seeded scenario on sim plus a real runtime and compare.
+
+    ``runtime`` picks the real substrate being held to the sim verdicts:
+    ``"wire"`` (the default; shells as asyncio tasks over loopback TCP)
+    or ``"proc"`` (every shell its own OS process, same wire protocol).
 
     The default workload (6 employees, 0.5 updates/s, 20 virtual seconds)
     keeps a wire run under two wall seconds at the default ``time_scale``
@@ -220,18 +231,31 @@ def run_equivalence(
     headroom — comfortable even on a loaded machine, where a higher scale
     makes event-loop jitter masquerade as a timing-property violation.
     """
+    if runtime == "proc":
 
-    def wire_factory():
-        from repro.runtime.async_runtime import AsyncRuntime
+        def real_factory():
+            from repro.runtime.proc import ProcRuntime
 
-        return AsyncRuntime(time_scale=time_scale, faults=faults)
+            return ProcRuntime(time_scale=time_scale, faults=faults)
+
+    elif runtime == "wire":
+
+        def real_factory():
+            from repro.runtime.async_runtime import AsyncRuntime
+
+            return AsyncRuntime(time_scale=time_scale, faults=faults)
+
+    else:
+        raise ValueError(
+            f"unknown equivalence runtime {runtime!r} (have: wire, proc)"
+        )
 
     sim_obs = _observe(
         "sim", "sim", seed, strategy_kind, employee_count, rate,
         duration_seconds,
     )
     wire_obs = _observe(
-        wire_factory, "wire", seed, strategy_kind, employee_count, rate,
+        real_factory, runtime, seed, strategy_kind, employee_count, rate,
         duration_seconds,
     )
     return EquivalenceReport(

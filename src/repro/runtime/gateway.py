@@ -73,6 +73,10 @@ class Gateway:
 
     def __init__(self, host: str = "127.0.0.1") -> None:
         self.host = host
+        #: site -> TCP port.  Locally bound sites get theirs from
+        #: :meth:`start`; a process-runtime child *injects* its peers'
+        #: ports via :meth:`set_remote_ports` after the registration
+        #: exchange, so dialing works identically either way.
         self.ports: dict[str, int] = {}
         self._servers: dict[str, asyncio.Server] = {}
         self._accepted: list[FrameStream] = []
@@ -98,6 +102,12 @@ class Gateway:
             )
             self._servers[site] = server
             self.ports[site] = server.sockets[0].getsockname()[1]
+
+    def set_remote_ports(self, ports: dict[str, int]) -> None:
+        """Add ports of sites served by *other* processes (child mode)."""
+        for site, port in ports.items():
+            if site not in self._servers:
+                self.ports[site] = port
 
     async def dial(self, src: str, dst: str) -> FrameStream:
         """Open the ``src -> dst`` channel connection (hello handshake)."""
@@ -180,6 +190,7 @@ class WireNetwork:
         faults: WireFaultPlan | None = None,
         gateway: Gateway | None = None,
         deliver_batch_max: int = 16,
+        local_sites: Optional[list[str]] = None,
     ) -> None:
         self.clock = clock
         self.rngs = rng_registry or RngRegistry()
@@ -207,15 +218,23 @@ class WireNetwork:
         #: Virtual-time horizon of the current run; frames due after it are
         #: not delivered (the sim kernel leaves them queued past ``until``).
         self.horizon: int | None = None
-        self._handles: dict[int, Any] = {}
+        #: Sites whose listening endpoints *this process* binds; ``None``
+        #: means all registered sites (the single-process wire runtime).
+        #: A process-runtime child binds only its own site and dials
+        #: peers through injected remote ports.
+        self.local_sites = set(local_sites) if local_sites is not None else None
         self._wall_sent: dict[tuple[str, str, int], float] = {}
-        self._next_handle = 0
         self._started = False
         self.messages_sent = 0
         self.messages_dropped = 0
         self.messages_delivered = 0
         #: Messages enqueued on a channel and not yet seen by a receiver.
         self.outstanding = 0
+        #: Raw wire frames seen per channel, before resequencing — the
+        #: process runtime's drain barrier compares these against the
+        #: senders' ``frames_written`` (the only cross-process claim the
+        #: receiving endpoint can verify by itself).
+        self.frames_seen: dict[tuple[str, str], int] = {}
         self._channel_metrics: dict[tuple[str, str], tuple] = {}
 
     # -- Network-compatible surface -------------------------------------------
@@ -300,16 +319,13 @@ class WireNetwork:
         self._last_delivery[channel] = deliver_at
         sender = self._sender_for(channel, faults)
         seq = sender.next_seq()
-        handle = self._next_handle
-        self._next_handle += 1
-        self._handles[handle] = payload
         params = {
             "src": src,
             "dst": dst,
             "seq": seq,
             "sent_at": now,
             "deliver_at": deliver_at,
-            "payload": encode_payload(payload, handle),
+            "payload": encode_payload(payload),
         }
         message = Message(
             src=src, dst=dst, payload=payload, sent_at=now, deliver_at=deliver_at
@@ -373,16 +389,42 @@ class WireNetwork:
 
     async def start(self) -> None:
         """Open the gateway endpoints and release any buffered channels."""
-        await self.gateway.start(self.sites)
+        local = self.local_sites
+        await self.gateway.start(
+            [site for site in self.sites if local is None or site in local]
+        )
         self._started = True
         for sender in self._senders.values():
             sender.ensure_started()
 
     async def quiesce(self, wall_budget: float = 5.0) -> None:
-        """Wait until all enqueued messages reached their receivers."""
+        """Wait until all enqueued messages reached their receivers.
+
+        Meaningful only when senders and receivers share this process
+        (``outstanding`` is incremented on send and decremented on
+        receipt); the process runtime uses :meth:`flush_senders` plus a
+        cross-process drain barrier over ``frames_seen`` instead.
+        """
         loop = asyncio.get_running_loop()
         deadline = loop.time() + wall_budget
         while self.outstanding > 0 and loop.time() < deadline:
+            await asyncio.sleep(0.002)
+
+    async def flush_senders(self, wall_budget: float = 5.0) -> None:
+        """Wait until every sender's outbox has been written to its socket.
+
+        Unlike :meth:`quiesce` this makes no claim about *receipt* — the
+        receivers may live in other processes.  The caller then reports
+        per-channel ``frames_written`` so the receiving side can wait for
+        its ``frames_seen`` to catch up (the drain barrier).
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + wall_budget
+        while loop.time() < deadline:
+            if all(
+                sender.in_flight == 0 for sender in self._senders.values()
+            ):
+                break
             await asyncio.sleep(0.002)
 
     async def stop(self) -> None:
@@ -402,12 +444,14 @@ class WireNetwork:
                     "frames_duplicated": 0,
                     "frames_reordered": 0,
                     "frames_coalesced": 0,
+                    "frames_dropped_dead": 0,
                 },
             )
             carried["frames_written"] += sender.frames_written
             carried["frames_duplicated"] += sender.frames_duplicated
             carried["frames_reordered"] += sender.frames_reordered
             carried["frames_coalesced"] += sender.frames_coalesced
+            carried["frames_dropped_dead"] += sender.frames_dropped_dead
         self._senders.clear()
         await self.gateway.stop()
         self._started = False
@@ -424,6 +468,7 @@ class WireNetwork:
     def _on_frame(self, params: dict[str, Any]) -> None:
         """One inbound ``cm.deliver`` frame (possibly duplicated/reordered)."""
         channel = (params["src"], params["dst"])
+        self.frames_seen[channel] = self.frames_seen.get(channel, 0) + 1
         receiver = self._receiver_for(channel)
         accepted = receiver.accept(params)
         if self.in_order and accepted:
@@ -437,10 +482,11 @@ class WireNetwork:
     def _on_frame_batch(self, params: dict[str, Any]) -> None:
         """One inbound ``cm.deliver_batch`` frame: resequence the whole
         coalesced run at once, then deliver each message in order."""
+        channel = (params["src"], params["dst"])
+        self.frames_seen[channel] = self.frames_seen.get(channel, 0) + 1
         frames = params.get("frames")
         if not frames:
             return
-        channel = (params["src"], params["dst"])
         receiver = self._receiver_for(channel)
         accepted = receiver.accept_batch(frames)
         if self.in_order and accepted:
@@ -455,7 +501,7 @@ class WireNetwork:
         now = self.clock.now
         metrics = self._metrics_for((src, dst))
         metrics[2].dec()  # net_in_flight
-        payload = decode_payload(params["payload"], self._handles)
+        payload = decode_payload(params["payload"])
         wall_sent = self._wall_sent.pop((src, dst, seq), None)
         if self.horizon is not None and params["deliver_at"] > self.horizon:
             # The sim kernel would leave this message queued past the
@@ -515,6 +561,9 @@ class WireNetwork:
                 + (sender.frames_reordered if sender else 0),
                 "frames_coalesced": carried.get("frames_coalesced", 0)
                 + (sender.frames_coalesced if sender else 0),
+                "frames_dropped_dead": carried.get("frames_dropped_dead", 0)
+                + (sender.frames_dropped_dead if sender else 0),
+                "frames_seen": self.frames_seen.get(channel, 0),
                 "duplicates_discarded": (
                     receiver.duplicates_discarded if receiver else 0
                 ),

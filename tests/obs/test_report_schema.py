@@ -28,6 +28,7 @@ TOP_LEVEL_KEYS = [
     "rule_profile",
     "flight",
     "batching",
+    "processes",
 ]
 
 DISPATCH_TOTAL_KEYS = {
@@ -69,7 +70,7 @@ FLIGHT_RECORD_KEYS = {"time", "time_s", "site", "kind", "detail"}
 RULE_PROFILE_KEYS = {"match_hits", "match_misses", "fired", "exec_ns"}
 BATCHING_KEYS = {
     "batches_processed", "batch_events", "batch_size", "shards", "threads",
-    "events_by_shard", "barrier_events",
+    "workers", "executor", "events_by_shard", "barrier_events",
 }
 BATCH_SIZE_KEYS = {"count", "unit", "mean", "min", "max", "p50", "p99"}
 
@@ -131,7 +132,17 @@ class TestRunReportSchema:
             assert set(entry["batch_size"]) == BATCH_SIZE_KEYS
             assert entry["batch_size"]["unit"] == "events"
             assert entry["shards"] == 1
+            assert entry["workers"] == 0
+            assert entry["executor"] == "serial"
             assert len(entry["events_by_shard"]) == entry["shards"]
+
+    def test_processes_section_disabled_on_in_process_runtimes(self):
+        data = build_report().to_dict()
+        # The sim kernel runs everything in one process; the section is
+        # present (the key set is the contract) but explicitly disabled.
+        # The proc runtime's populated shape is covered in
+        # tests/runtime/test_proc_runtime.py.
+        assert data["processes"] == {"enabled": False}
 
     def test_rule_profile_section_schema(self):
         data = build_report().to_dict()

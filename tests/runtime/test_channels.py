@@ -58,30 +58,29 @@ class TestPayloadCodec:
 
     def test_failure_notice_serializes_fully(self):
         original = self.notice(FailureKind.LOGICAL)
-        encoded = encode_payload(original, handle=0)
+        encoded = encode_payload(original)
         assert encoded["type"] == "failure-notice"
-        decoded = decode_payload(encoded, handles={})
-        # Equal but not identical: the notice really crossed a codec, it
-        # was not smuggled through the in-process handle table.
+        decoded = decode_payload(encoded)
+        # Equal but not identical: the notice really crossed the codec.
         assert decoded == original
         assert decoded is not original
         assert decoded.kind is FailureKind.LOGICAL
 
     def test_translator_defined_kind_passes_through_as_string(self):
-        decoded = decode_payload(
-            encode_payload(self.notice("crash"), handle=0), handles={}
-        )
+        decoded = decode_payload(encode_payload(self.notice("crash")))
         assert decoded.kind == "crash"
 
-    def test_other_payloads_ride_by_handle(self):
-        payload = object()  # unserializable: a compiled rule firing
-        encoded = encode_payload(payload, handle=42)
-        assert encoded == {"type": "handle", "id": 42}
-        assert decode_payload(encoded, handles={42: payload}) is payload
+    def test_unencodable_payload_rejected(self):
+        # No handle table remains: a payload the by-value codec cannot
+        # represent is an error, never an in-process reference.
+        from repro.runtime.codec import CodecError
+
+        with pytest.raises(CodecError):
+            encode_payload(object())
 
     def test_unknown_encoding_rejected(self):
         with pytest.raises(ValueError):
-            decode_payload({"type": "mystery"}, handles={})
+            decode_payload({"type": "mystery"})
 
 
 def frame(seq):
