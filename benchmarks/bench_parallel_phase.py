@@ -1,0 +1,178 @@
+"""Plan-driven dispatch: what certified parallel phases cost and buy.
+
+A shell carries ``2*PAIRS`` rules arranged so the certified plan is
+non-trivial by construction: ``rA_i`` and ``rB_i`` both blind-write the
+shared ``count{i}`` marker (a real ww conflict per pair), while every
+cross-pair combination commutes — so the greedy coloring yields exactly
+two open phases with ``PAIRS`` rules each and ``2 * C(PAIRS, 2)``
+certified pairs.  Every rule's condition is store-free (compares the
+notified value against a constant), which makes the whole rule set
+eligible for both hoisting and worker-side condition evaluation.
+
+The sweep drives the same notification workload (reduce with
+``BENCH_PARALLEL_PHASE_EVENTS``; CI smokes at 50k) through the sharded
+batch path with the plan off and on, in-process and with a worker pool,
+and records min-of-N ingest rates in ``BENCH_parallel_phase.json``.
+
+Hoisting moves condition evaluation, it does not delete it, so the
+in-process configurations measure the plan's *overhead*; the worker
+configurations measure what shipping store-free conditions off the GIL
+buys.  The hard guard — plan-on must hold >= 0.5x the plan-off rate on
+the same substrate — only arms on 4+ core machines, where the numbers
+mean what they say.
+"""
+
+import os
+import time
+
+from bench_helpers import throughput_stats, update_bench_json
+
+from repro.cm import ConstraintManager, Scenario
+from repro.core.dsl import parse_rule
+from repro.workloads.generators import notification_stream
+
+PAIRS = 8
+KEYS_PER_FAMILY = 16
+
+EVENTS = int(os.environ.get("BENCH_PARALLEL_PHASE_EVENTS", "400000"))
+ROUNDS = int(os.environ.get("BENCH_PARALLEL_PHASE_ROUNDS", "2"))
+
+BATCH = 256
+SHARDS = 16
+CPUS = os.cpu_count() or 1
+#: (label, parallel_phases, shard_workers) configurations swept.
+CONFIGS = (
+    ("plan_off", False, 0),
+    ("plan_on", True, 0),
+    ("plan_off_w4", False, 4),
+    ("plan_on_w4", True, 4),
+)
+
+
+def _build_shell(parallel: bool, workers: int):
+    cm = ConstraintManager(
+        Scenario(
+            seed=0,
+            dispatch_shards=SHARDS,
+            shard_workers=workers,
+            parallel_phases=parallel,
+        )
+    )
+    cm.add_site("bench")
+    shell = cm.shell("bench")
+    for i in range(PAIRS):
+        shell.install(
+            parse_rule(
+                f"N(famA{i}(n), b) & (b > 2) -> [0] W(count{i}, b)",
+                name=f"rA{i}",
+            )
+        )
+        shell.install(
+            parse_rule(
+                f"N(famB{i}(n), b) & (b > 2) -> [0] W(count{i}, b)",
+                name=f"rB{i}",
+            )
+        )
+    return cm, shell
+
+
+def _workload(count: int):
+    families = [f"famA{i}" for i in range(PAIRS)] + [
+        f"famB{i}" for i in range(PAIRS)
+    ]
+    return notification_stream(families, KEYS_PER_FAMILY, count, seed=0)
+
+
+def _timed_round(descs, parallel: bool, workers: int) -> float:
+    cm, shell = _build_shell(parallel, workers)
+    try:
+        # Warm outside the clock: pool spawn, rule compilation, plan
+        # construction, candidate caches.
+        shell.ingest_batch(descs[:BATCH], time=0)
+        ingest = shell.ingest_batch
+        started = time.perf_counter()
+        for start in range(BATCH, len(descs), BATCH):
+            ingest(descs[start : start + BATCH], time=0)
+        return time.perf_counter() - started
+    finally:
+        shell.close()
+
+
+def test_plan_shape_is_non_trivial():
+    """The construction's promise: two open phases of PAIRS rules each,
+    everything hoistable and store-free, every ww conflict anticipated."""
+    cm, shell = _build_shell(parallel=True, workers=0)
+    try:
+        plan = shell.parallel_plan()
+        open_phases = [p for p in plan.phases if not p.barrier]
+        assert len(open_phases) == 2
+        assert all(len(p.rules) == PAIRS for p in open_phases)
+        assert plan.certified_pairs == 2 * (PAIRS * (PAIRS - 1) // 2)
+        assert len(plan.conflicts) == PAIRS
+        assert len(plan.store_free) == 2 * PAIRS
+        update_bench_json(
+            "parallel_phase",
+            "plan",
+            {
+                "rules": 2 * PAIRS,
+                "open_phases": len(open_phases),
+                "certified_pairs": plan.certified_pairs,
+                "conflicts": len(plan.conflicts),
+                "store_free": len(plan.store_free),
+            },
+        )
+    finally:
+        shell.close()
+
+
+def test_parallel_phase_sweep():
+    """Plan off/on, serial and worker-pooled, same workload; the guard
+    (4+ cores only) is an overhead ceiling, not a speedup claim."""
+    descs = _workload(EVENTS)
+    rates: dict[str, float] = {}
+    for label, parallel, workers in CONFIGS:
+        walls = [
+            _timed_round(descs, parallel, workers) for _ in range(ROUNDS)
+        ]
+        stats = throughput_stats(EVENTS - BATCH, walls)
+        stats["parallel_phases"] = parallel
+        stats["workers"] = workers
+        stats["shards"] = SHARDS
+        stats["batch"] = BATCH
+        stats["cpus"] = CPUS
+        rates[label] = stats["events_per_second"]
+        update_bench_json(
+            "parallel_phase", f"ingest_{label}_n{EVENTS}", stats
+        )
+
+    guards_armed = CPUS >= 4
+    update_bench_json(
+        "parallel_phase",
+        "headline",
+        {
+            "events": EVENTS,
+            "rounds": ROUNDS,
+            "cpus": CPUS,
+            "guards_armed": guards_armed,
+            "plan_off": rates["plan_off"],
+            "plan_on": rates["plan_on"],
+            "plan_overhead_ratio": (
+                rates["plan_on"] / rates["plan_off"]
+                if rates["plan_off"]
+                else 0.0
+            ),
+            "plan_off_w4": rates["plan_off_w4"],
+            "plan_on_w4": rates["plan_on_w4"],
+        },
+    )
+    if not guards_armed:
+        # Undersized machines still record the sweep; cpus=<n> in the
+        # JSON tells downstream tooling which measurement this was.
+        return
+    for off, on in (("plan_off", "plan_on"), ("plan_off_w4", "plan_on_w4")):
+        ratio = rates[on] / rates[off] if rates[off] else 0.0
+        assert ratio >= 0.5, (
+            f"plan-driven dispatch holds only {ratio:.2f}x of the "
+            f"{off} rate ({rates[on]:,.0f} vs {rates[off]:,.0f} "
+            f"events/sec); the overhead budget is 2x"
+        )

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""CI soundness sweep for the race sanitizer.
+
+Two sweeps, both of which must come back with **zero races**:
+
+1. *Proc-runtime equivalence* (seeds 0/1/2): each seeded salary scenario
+   runs on the sim kernel and on the proc runtime (every CM-Shell its own
+   OS process) with ``sanitize=True`` and plan-driven dispatch armed.
+   The parent-side sanitizer observes nothing for the proc side — each
+   shell process rebuilds its own — so the sim observation carries the
+   soundness check; the equivalence verdict itself must also hold.
+
+2. *Throughput smoke* (``SANITIZER_SMOKE_EVENTS``, default 50k): a
+   sharded, plan-driven shell ingests the multicore bench's notification
+   workload with the sanitizer attached.  This is the volume test the
+   seeded scenarios cannot give — every store access of a 50k-event run
+   checked against the plan's independence claims.
+
+Exit status 1 on any flagged race (or a failed equivalence verdict),
+0 otherwise.
+
+Usage::
+
+    python benchmarks/check_sanitizer_soundness.py [--seeds 0,1,2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+SMOKE_EVENTS = int(os.environ.get("SANITIZER_SMOKE_EVENTS", "50000"))
+
+
+def check_proc_equivalence(seeds: list[int]) -> list[str]:
+    from repro.runtime.equivalence import run_equivalence
+
+    problems: list[str] = []
+    for seed in seeds:
+        report = run_equivalence(
+            seed=seed, runtime="proc", sanitize=True, parallel_phases=True
+        )
+        label = f"proc equivalence seed={seed}"
+        if not report.ok:
+            problems.append(f"{label}: verdict mismatch\n{report.render()}")
+            continue
+        races = report.sim.sanitizer_races
+        accesses = report.sim.sanitizer_accesses
+        if races:
+            problems.append(f"{label}: {races} race(s) flagged")
+        elif accesses == 0:
+            problems.append(f"{label}: sanitizer observed nothing (vacuous)")
+        else:
+            print(f"ok: {label}: 0 races over {accesses} accesses")
+    return problems
+
+
+def check_throughput_smoke(events: int) -> list[str]:
+    from repro.cm import ConstraintManager, Scenario
+    from repro.core.dsl import parse_rule
+    from repro.workloads.generators import notification_stream
+
+    pairs = 8
+    cm = ConstraintManager(
+        Scenario(
+            seed=0, dispatch_shards=16, parallel_phases=True, sanitize=True
+        )
+    )
+    cm.add_site("smoke")
+    shell = cm.shell("smoke")
+    for i in range(pairs):
+        shell.install(
+            parse_rule(
+                f"N(famA{i}(n), b) & (b > 2) -> [0] W(count{i}, b)",
+                name=f"rA{i}",
+            )
+        )
+        shell.install(
+            parse_rule(
+                f"N(famB{i}(n), b) & (b > 2) -> [0] W(count{i}, b)",
+                name=f"rB{i}",
+            )
+        )
+    families = [f"famA{i}" for i in range(pairs)] + [
+        f"famB{i}" for i in range(pairs)
+    ]
+    descs = notification_stream(families, 16, events, seed=0)
+    try:
+        for start in range(0, len(descs), 256):
+            shell.ingest_batch(descs[start : start + 256], time=0)
+    finally:
+        shell.close()
+    report = cm.scenario.sanitizer.report()
+    label = f"throughput smoke ({events} events)"
+    if report["race_count"]:
+        return [f"{label}: {report['race_count']} race(s) flagged"]
+    if not report["writes"]:
+        return [f"{label}: sanitizer observed no writes (vacuous)"]
+    print(
+        f"ok: {label}: 0 races over {report['reads']} reads / "
+        f"{report['writes']} writes "
+        f"({report['predicted_conflicts']} conflicts the plan serialized)"
+    )
+    return []
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", default="0,1,2")
+    parser.add_argument("--smoke-events", type=int, default=SMOKE_EVENTS)
+    args = parser.parse_args()
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    problems = check_proc_equivalence(seeds)
+    problems += check_throughput_smoke(args.smoke_events)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if problems:
+        print("sanitizer soundness sweep: FAILED", file=sys.stderr)
+        return 1
+    print("sanitizer soundness sweep: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,11 @@ trigger graph and runs the CM-Lint check battery (see
 :mod:`repro.analysis`) over the named experiment or ``example:<stem>``
 script.  ``--json PATH`` writes the structured findings; the exit code is
 1 when any error-severity finding survives the target's allowlist.
-``--lint-codes`` prints the diagnostic-code reference.
+``--lint-codes`` prints the diagnostic-code reference, and ``--explain
+CM701`` (any code) deep-dives one code: its registry meaning plus every
+matching finding — for the CM7xx parallel-certification codes, the
+offending rule pair and the overlapping footprint term the static
+analysis could not prove disjoint.
 """
 
 from __future__ import annotations
@@ -72,8 +76,17 @@ def _profile_experiment(experiment: str, out_path: str | None) -> int:
     return 0
 
 
-def _lint(target: str | None, lint_all: bool, json_path: str | None) -> int:
-    from repro.analysis.reporters import render_text, write_json
+def _lint(
+    target: str | None,
+    lint_all: bool,
+    json_path: str | None,
+    explain: str | None = None,
+) -> int:
+    from repro.analysis.reporters import (
+        render_explain,
+        render_text,
+        write_json,
+    )
     from repro.analysis.targets import (
         available_targets,
         lint_all as run_all,
@@ -81,14 +94,15 @@ def _lint(target: str | None, lint_all: bool, json_path: str | None) -> int:
     )
     from repro.core.errors import ConfigurationError
 
-    if lint_all:
-        results = run_all()
-    elif target is not None:
+    if target is not None:
         try:
             results = {target: lint_target(target)}
         except ConfigurationError as exc:
             print(str(exc), file=sys.stderr)
             return 2
+    elif lint_all or explain is not None:
+        # A bare --explain CODE surveys every target for the code.
+        results = run_all()
     else:
         print(
             "--lint needs a target or --all "
@@ -96,7 +110,10 @@ def _lint(target: str | None, lint_all: bool, json_path: str | None) -> int:
             file=sys.stderr,
         )
         return 2
-    print(render_text(results))
+    if explain is not None:
+        print(render_explain(explain, results))
+    else:
+        print(render_text(results))
     if json_path is not None:
         path = write_json(results, json_path)
         print(f"lint report written to {path}")
@@ -212,6 +229,15 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the CM-Lint diagnostic-code reference and exit",
     )
+    parser.add_argument(
+        "--explain",
+        metavar="CODE",
+        default=None,
+        help="deep-dive one diagnostic code (e.g. CM701): print its "
+        "meaning plus every matching finding — for the CM7xx parallel-"
+        "certification codes, the offending rule pair and the overlapping "
+        "footprint term; combine with --lint TARGET to narrow the survey",
+    )
     sub = parser.add_subparsers(dest="command")
     experiments = sub.add_parser(
         "experiments", help="run the reproduction experiments"
@@ -276,9 +302,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.lint_codes:
         _print_lint_codes()
         return 0
-    if args.lint is not None or args.lint_all:
+    if args.lint is not None or args.lint_all or args.explain is not None:
         target = args.lint if args.lint else None
-        return _lint(target, args.lint_all, args.lint_json)
+        return _lint(target, args.lint_all, args.lint_json, args.explain)
     if args.lint_json is not None:
         parser.error("--json requires --lint")
     if args.profile is not None:

@@ -1,0 +1,141 @@
+"""Commutativity & parallel-phase certification diagnostics (CM7xx).
+
+The static planner (:mod:`repro.analysis.parplan`) partitions each site's
+strategy rules into certified parallel phases; this check surfaces what
+*limits* that certification: non-commuting pairs that share a dispatch
+shard (CM701), unbounded wildcard-write footprints (CM702), AST-fallback
+effect summaries (CM703), send-forced barriers (CM704), and
+enumerating-read/write overlaps (CM705).
+
+All five codes describe parallel certification, so the check is silent
+when the scenario does not shard dispatch (``dispatch_shards <= 1``):
+serial configurations have nothing to certify and their lint snapshots
+stay unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import diagnostic
+from repro.analysis.parplan import (
+    REASON_SEND,
+    REASON_WILDCARD_WRITE,
+    plan_from_entries,
+)
+from repro.cm.store import shard_of
+from repro.core.compile import compile_rule
+from repro.core.errors import CompileError
+
+CHECK = "commutativity"
+
+
+def _dispatch_shard(rule, shards: int) -> int:
+    """The shard a rule's LHS events land on — the family hash for keyed
+    templates, the barrier shard 0 for catch-all and item-less ones."""
+    family = rule.lhs.dispatch_family
+    if family is None:
+        return 0
+    return shard_of(family, shards)
+
+
+def _site_plans(ctx):
+    """Per site: ``(plan, rules_by_name)`` built from the trigger graph's
+    strategy nodes (no live shell needed)."""
+    by_site: dict[str, list] = {}
+    for node in ctx.graph.strategy_nodes():
+        try:
+            program = compile_rule(node.rule)
+        except CompileError:
+            program = None
+        by_site.setdefault(node.site, []).append(
+            (node.rule, program, node.rhs_site != node.site)
+        )
+    return {
+        site: (
+            plan_from_entries(site, entries),
+            {rule.name: rule for rule, __, __s in entries},
+        )
+        for site, entries in by_site.items()
+    }
+
+
+def check_commutativity(ctx, report) -> None:
+    shards = getattr(ctx, "dispatch_shards", 1)
+    if shards <= 1:
+        return
+    for site, (plan, rules) in sorted(_site_plans(ctx).items()):
+        for name, reason in sorted(plan.barrier_reasons.items()):
+            if reason == REASON_SEND:
+                report.add(
+                    diagnostic(
+                        "CM704",
+                        f"rule {name!r} fires across the network; its "
+                        f"phase is the serial barrier (FIFO send order "
+                        f"must follow trace order)",
+                        site=site,
+                        rule=name,
+                        check=CHECK,
+                        hint="keep send-heavy rules out of hot phases, or "
+                        "move the RHS to the LHS site",
+                    )
+                )
+            elif reason == REASON_WILDCARD_WRITE:
+                report.add(
+                    diagnostic(
+                        "CM702",
+                        f"rule {name!r} writes through a family-wildcard "
+                        f"template; its footprint cannot be bounded, so "
+                        f"no pair containing it is certifiable",
+                        site=site,
+                        rule=name,
+                        check=CHECK,
+                        hint="name the written family explicitly to bound "
+                        "the footprint",
+                    )
+                )
+        for name, summary in sorted(plan.summaries.items()):
+            if summary.fallback:
+                report.add(
+                    diagnostic(
+                        "CM703",
+                        f"rule {name!r} has no compiled program; its "
+                        f"effect summary is the AST fallback (sound but "
+                        f"possibly wider)",
+                        site=site,
+                        rule=name,
+                        check=CHECK,
+                    )
+                )
+        for conflict in plan.conflicts:
+            overlap = f"{conflict.term_a} vs {conflict.term_b}"
+            if conflict.enumerating:
+                report.add(
+                    diagnostic(
+                        "CM705",
+                        f"rules {conflict.rule_a!r} and "
+                        f"{conflict.rule_b!r} cannot be certified: an "
+                        f"enumerating read spans a family the other "
+                        f"writes ({overlap})",
+                        site=site,
+                        rule=conflict.rule_a,
+                        check=CHECK,
+                        hint=f"overlapping footprint: {overlap}",
+                    )
+                )
+                continue
+            shard_a = _dispatch_shard(rules[conflict.rule_a], shards)
+            shard_b = _dispatch_shard(rules[conflict.rule_b], shards)
+            if shard_a != shard_b:
+                continue
+            report.add(
+                diagnostic(
+                    "CM701",
+                    f"rules {conflict.rule_a!r} and {conflict.rule_b!r} "
+                    f"share dispatch shard {shard_a} but do not commute "
+                    f"({conflict.kind} overlap on {overlap}); their "
+                    f"evaluations stay serial",
+                    site=site,
+                    rule=conflict.rule_a,
+                    check=CHECK,
+                    hint=f"overlapping footprint: {overlap}",
+                )
+            )

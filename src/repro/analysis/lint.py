@@ -43,6 +43,10 @@ class LintContext:
     private_families: set[str] = field(default_factory=set)
     network: Optional[object] = None
     guarantees: list = field(default_factory=list)
+    #: Dispatch shard count of the linted configuration (1 = serial).
+    #: The commutativity check (CM7xx) only speaks when dispatch is
+    #: sharded — parallel certification is meaningless otherwise.
+    dispatch_shards: int = 1
 
     def family_known(self, family: str) -> bool:
         if self.scope == "shell":
@@ -87,6 +91,7 @@ def manager_context(cm) -> LintContext:
         private_families=private,
         network=cm.scenario.network,
         guarantees=guarantees,
+        dispatch_shards=getattr(cm.scenario, "dispatch_shards", 1),
     )
 
 
@@ -113,6 +118,9 @@ def shell_context(shell) -> LintContext:
         translator_sites=translator_sites,
         known_families=known,
         network=shell.network,
+        dispatch_shards=(
+            shell._sharded.shards if shell._sharded is not None else 1
+        ),
     )
 
 
@@ -137,7 +145,12 @@ def lint_manager(cm, *, suppress: tuple[str, ...] = ()) -> LintReport:
 #: single-site view cannot reason about remote reachability, ordering, or
 #: guarantee paths, so dead-rule, conflict, and feasibility checks would
 #: produce spurious findings there.
-SHELL_CHECK_NAMES = ("interface-compliance", "variable-safety", "cycles")
+SHELL_CHECK_NAMES = (
+    "interface-compliance",
+    "variable-safety",
+    "cycles",
+    "commutativity",
+)
 
 
 def lint_shell(shell, *, suppress: tuple[str, ...] = ()) -> LintReport:

@@ -63,6 +63,65 @@ def render_text(results: dict[str, LintReport]) -> str:
     return "\n".join(lines)
 
 
+def render_explain(code: str, results: dict[str, LintReport]) -> str:
+    """Deep-dive digest for one diagnostic code (CLI ``--explain``).
+
+    Prints the registry entry for ``code`` followed by every matching
+    finding across the linted targets — for the CM7xx commutativity codes
+    that is the offending rule pair and the overlapping footprint term the
+    static analysis could not prove disjoint (carried in the hint).
+    Suppressed findings are included (marked), since ``--explain`` is a
+    diagnosis tool, not a gate.
+    """
+    from repro.analysis.diagnostics import CODES
+
+    code = code.upper()
+    registered = CODES.get(code)
+    if registered is None:
+        known = ", ".join(sorted(CODES))
+        return f"unknown diagnostic code {code!r} (known: {known})"
+    severity, meaning = registered
+    lines = [f"{code} ({severity.value}): {meaning}", ""]
+    hits = 0
+    for target, report in results.items():
+        findings = [
+            (finding, False)
+            for finding in report.diagnostics
+            if finding.code == code
+        ] + [
+            (finding, True)
+            for finding in report.suppressed
+            if finding.code == code
+        ]
+        if not findings:
+            continue
+        lines.append(f"== {target} ==")
+        for finding, suppressed in findings:
+            hits += 1
+            mark = " (suppressed)" if suppressed else ""
+            where = []
+            if finding.site is not None:
+                where.append(f"site {finding.site}")
+            if finding.rule is not None:
+                where.append(f"rule {finding.rule}")
+            location = f" [{', '.join(where)}]" if where else ""
+            lines.append(f"  finding{location}{mark}:")
+            lines.append(f"    {finding.message}")
+            if finding.hint:
+                lines.append(f"    -> {finding.hint}")
+        lines.append("")
+    if hits == 0:
+        lines.append(
+            f"no {code} findings across {len(results)} linted target(s)"
+        )
+    else:
+        lines.append(
+            f"{hits} {code} finding(s) across {len(results)} linted "
+            f"target(s)"
+        )
+    return "\n".join(lines)
+
+
 def results_to_dict(results: dict[str, LintReport]) -> dict:
     """JSON-ready aggregate across targets."""
     return {

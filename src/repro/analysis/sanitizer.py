@@ -1,0 +1,251 @@
+"""Dynamic happens-before race sanitizer for certified parallel phases.
+
+The static planner (:mod:`repro.analysis.parplan`) certifies pairs of
+rules as *independent* — claiming their footprints are disjoint, so a
+parallel phase may evaluate them concurrently.  That claim is a theorem
+about the effect summaries, and effect summaries are an abstraction of the
+real programs.  This module is the abstraction's adversary: it shadows a
+real run, records every store access a rule actually performs, and flags
+any conflicting access pair (two rules, same item, at least one write)
+between rules the plan certified independent.
+
+**Every flag is a soundness bug in the static analysis**, never a mere
+performance note: a certified pair that dynamically collides means the
+effect summary under-approximated a footprint, and a parallel phase built
+on it could reorder observable writes.  Flags therefore dump the flight
+recorder (when one is attached) exactly like a failure notice would.
+
+How concurrency is judged
+-------------------------
+
+The sanitizer keeps one vector clock per site, advanced on every private
+write and merged across sites when a firing message arrives (the network
+is per-channel FIFO, so receive-time merge over-approximates the true
+sent snapshot — over-approximating happens-before can only *hide* cross
+site orderings, and the flag predicate below never relies on them).
+
+Within one site, the serial engine totally orders all accesses, so real
+vector clocks alone would never report concurrency.  The sanitizer
+instead judges *shadow concurrency*: two accesses by **different rules
+that the plan certified independent** are treated as concurrent — the
+serial order between them is exactly the artifact the certification
+licenses the engine to discard.  Every ordering the planner actually
+relies on (rule chaining, cross-site FIFO, barrier phases) maps to a
+pair the plan keeps dependent, so no legitimate edge is ever discarded.
+
+Conflicting pairs the plan *already* keeps serial (same phase denied, or
+barrier) are counted as ``predicted_conflicts`` — evidence the static
+analysis anticipated the collision, not a bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.items import DataItemRef, Value
+
+
+@dataclass(frozen=True)
+class RaceFlag:
+    """One detected soundness violation: a certified-independent rule pair
+    that dynamically collided on the same item."""
+
+    site: str
+    item: str
+    rule_a: str
+    rule_b: str
+    #: ``"ww"`` both wrote, ``"rw"``/``"wr"`` read-vs-write.
+    kind: str
+    time: int
+    clock: dict[str, int]
+
+    def to_dict(self) -> dict:
+        return {
+            "site": self.site,
+            "item": self.item,
+            "rule_a": self.rule_a,
+            "rule_b": self.rule_b,
+            "kind": self.kind,
+            "time": self.time,
+            "clock": dict(self.clock),
+        }
+
+
+class _ReadProbe:
+    """A :class:`~repro.core.conditions.LocalData` wrapper recording every
+    ``read_local`` a rule's condition performs, then delegating."""
+
+    __slots__ = ("_san", "_site", "_rule", "_store", "_now")
+
+    def __init__(self, san: "RaceSanitizer", site, rule, store, now):
+        self._san = san
+        self._site = site
+        self._rule = rule
+        self._store = store
+        self._now = now
+
+    def read_local(self, ref: DataItemRef) -> Value:
+        self._san.on_read(self._site, self._rule, ref, self._now)
+        return self._store.read_local(ref)
+
+
+@dataclass
+class _Access:
+    """Latest observed access of one rule to one item."""
+
+    wrote: bool
+    clock: dict[str, int] = field(default_factory=dict)
+
+
+class RaceSanitizer:
+    """Shadow a run, validating the parallel plan's independence claims.
+
+    Attach via ``Scenario(sanitize=True)`` — the manager calls
+    :meth:`register_shell` for every site, the shell calls the ``on_*``
+    hooks from its condition-evaluation and RHS paths.  Zero overhead when
+    not attached (shells guard every hook on ``_sanitizer is not None``).
+    """
+
+    def __init__(self, obs=None):
+        self.obs = obs
+        self._shells: dict[str, object] = {}
+        #: site -> (plan, rule-count it was built for); invalidated when
+        #: the shell's rule set grows (installs are not mid-run, but lazy
+        #: construction must survive install-after-attach ordering).
+        self._plans: dict[str, tuple] = {}
+        self._clocks: dict[str, dict[str, int]] = {}
+        #: (site, ref) -> {rule name: latest access}
+        self._accesses: dict[tuple, dict[str, _Access]] = {}
+        self._flag_keys: set[tuple] = set()
+        self.flags: list[RaceFlag] = []
+        self.predicted_conflicts = 0
+        self.reads = 0
+        self.writes = 0
+        self.receives = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def register_shell(self, shell) -> None:
+        """Track a shell; its site's plan is built lazily on first access."""
+        self._shells[shell.site] = shell
+        self._clocks.setdefault(shell.site, {shell.site: 0})
+        shell.attach_sanitizer(self)
+
+    def plan_for(self, site: str):
+        """The site's current parallel plan (``None`` if no shell or the
+        shell has no rules)."""
+        shell = self._shells.get(site)
+        if shell is None:
+            return None
+        generation = len(shell._index)
+        cached = self._plans.get(site)
+        if cached is not None and cached[1] == generation:
+            return cached[0]
+        if generation == 0:
+            return None
+        from repro.analysis.parplan import build_parallel_plan
+
+        plan = build_parallel_plan(shell)
+        self._plans[site] = (plan, generation)
+        return plan
+
+    def reader(self, site: str, rule: str, store, now) -> _ReadProbe:
+        """The store wrapper shells evaluate sanitized conditions against."""
+        return _ReadProbe(self, site, rule, store, now)
+
+    # -- hooks (called by shells) -----------------------------------------
+
+    def on_read(self, site: str, rule: str, ref: DataItemRef, now) -> None:
+        self.reads += 1
+        self._record(site, rule, ref, False, now)
+
+    def on_write(self, site: str, rule: str, ref: DataItemRef, now) -> None:
+        self.writes += 1
+        clock = self._clocks.setdefault(site, {site: 0})
+        clock[site] = clock.get(site, 0) + 1
+        self._record(site, rule, ref, True, now)
+
+    def on_receive(self, dst: str, src: str) -> None:
+        """Merge the sender's clock into the receiver's (FIFO channels make
+        the receive-time snapshot a sound happens-before witness)."""
+        self.receives += 1
+        mine = self._clocks.setdefault(dst, {dst: 0})
+        for site, tick in self._clocks.get(src, {}).items():
+            if tick > mine.get(site, 0):
+                mine[site] = tick
+        mine[dst] = mine.get(dst, 0) + 1
+
+    # -- core --------------------------------------------------------------
+
+    def _record(
+        self, site: str, rule: str, ref: DataItemRef, wrote: bool, now
+    ) -> None:
+        entry = self._accesses.setdefault((site, ref), {})
+        for other, access in entry.items():
+            if other == rule or not (wrote or access.wrote):
+                continue
+            plan = self.plan_for(site)
+            if plan is not None and plan.independent(rule, other):
+                kind = (
+                    "ww"
+                    if wrote and access.wrote
+                    else ("wr" if access.wrote else "rw")
+                )
+                self._flag(site, rule, other, ref, kind, now)
+            else:
+                self.predicted_conflicts += 1
+        mine = entry.get(rule)
+        clock = dict(self._clocks.get(site, ()))
+        if mine is None:
+            entry[rule] = _Access(wrote=wrote, clock=clock)
+        else:
+            mine.wrote = mine.wrote or wrote
+            mine.clock = clock
+
+    def _flag(
+        self, site: str, rule: str, other: str, ref: DataItemRef,
+        kind: str, now,
+    ) -> None:
+        key = (site, ref, frozenset((rule, other)))
+        if key in self._flag_keys:
+            return
+        self._flag_keys.add(key)
+        flag = RaceFlag(
+            site=site,
+            item=str(ref),
+            rule_a=min(rule, other),
+            rule_b=max(rule, other),
+            kind=kind,
+            time=int(now),
+            clock=dict(self._clocks.get(site, ())),
+        )
+        self.flags.append(flag)
+        obs = self.obs
+        flight = getattr(obs, "flight", None) if obs is not None else None
+        if flight is not None:
+            flight.record(site, "race", now, flag.to_dict())
+            # A flagged race is a static-analysis soundness bug: freeze the
+            # surrounding context exactly like an unrecovered failure.
+            flight.dump(f"race:{site}:{flag.rule_a}/{flag.rule_b}", now)
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        """True while no certified-independent pair has collided."""
+        return not self.flags
+
+    def report(self) -> dict:
+        """The sanitizer verdict for run reports and equivalence harnesses."""
+        return {
+            "enabled": True,
+            "ok": self.ok,
+            "races": [flag.to_dict() for flag in self.flags],
+            "race_count": len(self.flags),
+            "predicted_conflicts": self.predicted_conflicts,
+            "reads": self.reads,
+            "writes": self.writes,
+            "receives": self.receives,
+            "sites": sorted(self._clocks),
+        }

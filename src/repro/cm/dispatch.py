@@ -179,10 +179,13 @@ def _merge_by_serial(
     return merged
 
 
-#: One matching hit: ``(installed, slots, bindings)`` — ``slots`` for
-#: compiled programs, ``bindings`` for the interpreted fallback (the unused
-#: one is None).
-MatchHit = tuple[InstalledRule, Optional[list], Optional[Bindings]]
+#: One matching hit: ``(installed, slots, bindings, cond)`` — ``slots``
+#: for compiled programs, ``bindings`` for the interpreted fallback (the
+#: unused one is None).  ``cond`` is the condition verdict when a worker
+#: already evaluated it (store-free rules under a parallel plan): ``True``
+#: means fire without re-evaluating, ``None`` means not yet evaluated
+#: (failing hits are dropped at the worker and never ship).
+MatchHit = tuple[InstalledRule, Optional[list], Optional[Bindings], Optional[bool]]
 
 
 class ShardedDispatcher:
@@ -245,10 +248,39 @@ class ShardedDispatcher:
         self.barrier_events = 0
         self.batches = 0
         self.last_candidates = 0
+        #: Per-event shard assignment of the last ``match_batch`` — the
+        #: shell's phase B reads it so store write attribution follows the
+        #: shard that actually dispatched the event (barrier-pinned events
+        #: attribute to shard 0, matching ``events_by_shard``).
+        self.last_shard_of: list[int] = []
         self._pool: Optional[ThreadPoolExecutor] = None
         self._worker_pool = None
         self._worker_pool_rules = -1
+        self._worker_pool_free: frozenset = frozenset()
+        #: Serials of rules the active parallel plan proved store-free —
+        #: their compiled conditions read no local data, so workers may
+        #: evaluate them during phase A, off the GIL.
+        self._store_free: frozenset = frozenset()
         self._by_serial: dict[int, InstalledRule] = {}
+
+    def set_plan(self, plan) -> None:
+        """Arm plan-driven dispatch from a certified parallel plan.
+
+        Ships the plan's store-free rule set to the matching phase: those
+        conditions are evaluated where the match happens (worker processes
+        when configured), and their hits arrive pre-decided.  Passing
+        ``None`` disarms.  A changed set rebuilds the worker pool on the
+        next batch, since workers bake the set in at start.
+        """
+        if plan is None:
+            free: frozenset = frozenset()
+        else:
+            free = frozenset(
+                inst.serial
+                for inst in self.index
+                if inst.rule.name in plan.store_free
+            )
+        self._store_free = free
 
     def shard_for(self, family: str) -> int:
         index = self._family_shard.get(family)
@@ -275,8 +307,10 @@ class ShardedDispatcher:
                 0, descs, range(len(descs)), matches
             )
             self.events_by_shard[0] += len(descs)
+            self.last_shard_of = [0] * len(descs)
             return matches
         assignment: list[list[int]] = [[] for _ in range(self.shards)]
+        shard_of_event = [0] * len(descs)
         catch_all = self.index._catch_all
         barrier = assignment[0]
         barriers = 0
@@ -286,8 +320,11 @@ class ShardedDispatcher:
                 barrier.append(i)
                 barriers += 1
             else:
-                assignment[self.shard_for(item.name)].append(i)
+                shard = self.shard_for(item.name)
+                assignment[shard].append(i)
+                shard_of_event[i] = shard
         self.barrier_events += barriers
+        self.last_shard_of = shard_of_event
         total = 0
         if self.workers:
             total = self._match_with_workers(descs, assignment, matches)
@@ -317,16 +354,19 @@ class ShardedDispatcher:
         """The live worker pool, (re)built when the rule set changed."""
         from repro.cm.workers import ShardWorkerPool
 
-        if (
-            self._worker_pool is not None
-            and self._worker_pool_rules != len(self.index)
+        if self._worker_pool is not None and (
+            self._worker_pool_rules != len(self.index)
+            or self._worker_pool_free != self._store_free
         ):
             self._worker_pool.close()
             self._worker_pool = None
         if self._worker_pool is None:
             rules = [(inst.serial, inst.rule) for inst in self.index]
-            self._worker_pool = ShardWorkerPool(rules, self.workers)
+            self._worker_pool = ShardWorkerPool(
+                rules, self.workers, store_free=self._store_free
+            )
             self._worker_pool_rules = len(self.index)
+            self._worker_pool_free = self._store_free
             self._by_serial = {inst.serial: inst for inst in self.index}
         return self._worker_pool
 
@@ -349,7 +389,7 @@ class ShardedDispatcher:
                 slice_.append((i, encode_desc_compact(descs[i])))
         hits, considered = pool.match_slices(slices)
         by_serial = self._by_serial
-        for index, serial, slots, bindings in hits:
+        for index, serial, slots, bindings, cond in hits:
             installed = by_serial[serial]
             hit: MatchHit = (
                 installed,
@@ -365,6 +405,7 @@ class ShardedDispatcher:
                 }
                 if bindings is not None
                 else None,
+                cond,
             )
             bucket = matches[index]
             if bucket is None:
@@ -423,13 +464,13 @@ class ShardedDispatcher:
                     if slots is not None:
                         if hits is None:
                             hits = []
-                        hits.append((installed, slots, None))
+                        hits.append((installed, slots, None, None))
                 else:
                     bindings = installed.matcher(desc)
                     if bindings is not None:
                         if hits is None:
                             hits = []
-                        hits.append((installed, None, bindings))
+                        hits.append((installed, None, bindings, None))
             matches[i] = hits
         return considered
 

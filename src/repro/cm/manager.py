@@ -109,6 +109,17 @@ class Scenario:
     #: so the trace is identical to the sequential kernel's.  Needs
     #: ``dispatch_shards > 1`` (shards are the unit of distribution).
     shard_workers: int = 0
+    #: Drive sharded batch dispatch from each shell's certified
+    #: :class:`~repro.analysis.parplan.ParallelPlan`: hoistable conditions
+    #: evaluate ahead of the batch's commits and store-free conditions run
+    #: on the shard workers.  Trace-identical to the serial kernel — the
+    #: plan certifies evaluation order freedom, never commit reordering.
+    parallel_phases: bool = False
+    #: Attach the dynamic race sanitizer
+    #: (:class:`~repro.analysis.sanitizer.RaceSanitizer`): every store
+    #: access is checked against the static plan's independence claims;
+    #: any flagged pair is a soundness bug in the effect analysis.
+    sanitize: bool = False
     sim: Clock = field(init=False)
     rngs: RngRegistry = field(init=False)
     network: TransportAPI = field(init=False)
@@ -118,6 +129,8 @@ class Scenario:
     obs: Instrumentation = field(init=False)
     #: The resolved runtime instance bound to this scenario.
     runtime_impl: Runtime = field(init=False)
+    #: The attached race sanitizer (``sanitize=True``), else ``None``.
+    sanitizer: Optional[Any] = field(init=False, default=None)
 
     def __post_init__(self) -> None:
         reset_event_sequence()
@@ -128,6 +141,11 @@ class Scenario:
         self.runtime_impl = resolve_runtime(self.runtime)
         self.sim, self.network = self.runtime_impl.build(self)
         self.trace = ExecutionTrace()
+        self.sanitizer = None
+        if self.sanitize:
+            from repro.analysis.sanitizer import RaceSanitizer
+
+            self.sanitizer = RaceSanitizer(obs=self.obs)
         for hook in list(_scenario_hooks):
             hook(self)
 
@@ -188,6 +206,10 @@ class ConstraintManager:
         )
         if self.scenario.batch_max > 1:
             shell.enable_batching(self.scenario.batch_max)
+        if self.scenario.parallel_phases:
+            shell.enable_parallel_phases()
+        if self.scenario.sanitizer is not None:
+            self.scenario.sanitizer.register_shell(shell)
         shell.on_failure.append(self.board.on_notice)
         self.shells[name] = shell
         for other in self.shells.values():

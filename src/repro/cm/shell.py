@@ -169,6 +169,19 @@ class CMShell:
             unit="events",
             site=site,
         )
+        # -- certified parallel phases & the race sanitizer --
+        #: The attached RaceSanitizer (Scenario(sanitize=True)); None keeps
+        #: every hook below to a single identity check on the hot path.
+        self._sanitizer = None
+        #: Plan-driven dispatch (Scenario(parallel_phases=True)): hoist
+        #: certified conditions ahead of the batch's commits and let shard
+        #: workers evaluate store-free ones during matching.
+        self._parallel = False
+        self._parallel_plan = None
+        self._parallel_plan_rules = -1
+        self._m_hoisted = metrics.counter(
+            "shell_hoisted_conditions", site=site
+        )
         #: Offset of this site's local clock from true time, in ticks.
         #: Strategy execution never needs clocks (Section 7.2), but rules
         #: that *stamp* local time — the implicit ``now`` variable, as in
@@ -422,6 +435,59 @@ class CMShell:
         if self._sharded is not None:
             self._sharded.close()
 
+    # -- certified parallel phases & the race sanitizer ----------------------
+
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Attach the dynamic race sanitizer (see
+        :mod:`repro.analysis.sanitizer`); hooks stay dormant otherwise."""
+        self._sanitizer = sanitizer
+
+    def enable_parallel_phases(self, enabled: bool = True) -> None:
+        """Drive batched dispatch from the certified parallel plan.
+
+        When enabled, each sharded batch (re)builds the site's
+        :class:`~repro.analysis.parplan.ParallelPlan` lazily and uses it
+        two ways: *hoistable* conditions are evaluated for the whole batch
+        before any RHS commits, and *store-free* conditions are shipped to
+        the shard workers for evaluation during the matching phase.  RHS
+        commits always stay in batch order, so the trace is byte-identical
+        to the serial kernel's — certification licenses parallel
+        evaluation, never observable reordering.
+        """
+        self._parallel = bool(enabled)
+        self._parallel_plan = None
+        self._parallel_plan_rules = -1
+        if not enabled and self._sharded is not None:
+            self._sharded.set_plan(None)
+
+    def parallel_plan(self):
+        """The site's current certified plan (lazy; rebuilt when the rule
+        set changes; ``None`` while no rules are installed)."""
+        count = len(self._index)
+        if count == 0:
+            return None
+        if self._parallel_plan is None or self._parallel_plan_rules != count:
+            from repro.analysis.parplan import build_parallel_plan
+
+            self._parallel_plan = build_parallel_plan(self)
+            self._parallel_plan_rules = count
+            if self._parallel and self._sharded is not None:
+                self._sharded.set_plan(self._parallel_plan)
+        return self._parallel_plan
+
+    def parallelism_stats(self) -> dict:
+        """Plan-driven dispatch counters plus the plan itself, for the run
+        report's ``parallelism`` section.  Empty unless enabled."""
+        if not self._parallel:
+            return {}
+        plan = self.parallel_plan()
+        return {
+            "enabled": True,
+            "hoisted_conditions": self._m_hoisted.value,
+            # None for a shell with no installed rules (nothing to plan).
+            "plan": plan.to_dict() if plan is not None else None,
+        }
+
     # -- event processing -----------------------------------------------------------
 
     def deliver_local_event(self, event: Event) -> None:
@@ -540,66 +606,102 @@ class CMShell:
         fired_local: dict[str, int] = {}
         try:
             if self._sharded is not None:
-                # Phase A: pure per-shard matching.  Phase B (below):
-                # serial conditions + RHS in batch order, which is what
-                # keeps the trace identical to the unsharded kernel's.
+                # Phase A: pure per-shard matching (store-free conditions
+                # decided on the workers when a plan is armed).  Phase A.5:
+                # hoisted condition pre-pass over the whole batch.  Phase B
+                # (below): remaining conditions + RHS serially in batch
+                # order, which is what keeps the trace identical to the
+                # unsharded kernel's.
+                san = self._sanitizer
+                if self._parallel:
+                    self.parallel_plan()
                 matches = self._sharded.match_batch(descs)
                 n_candidates = self._sharded.last_candidates
-                for index in range(count):
-                    hits = matches[index]
-                    if not hits:
-                        continue
-                    for installed, slots, bindings in hits:
-                        program = installed.program
-                        if program is not None:
-                            lhs = program.lhs
-                            if lhs is not None:
-                                try:
-                                    if not lhs(slots, store):
-                                        continue
-                                except (BindingError, TypeError):
-                                    continue
-                        elif not self._lhs_condition_holds(
-                            installed.rule, bindings
-                        ):
+                shard_of_event = self._sharded.last_shard_of
+                verdicts = (
+                    self._hoist_conditions(matches, count)
+                    if self._parallel
+                    else None
+                )
+                try:
+                    for index in range(count):
+                        hits = matches[index]
+                        if not hits:
                             continue
-                        rule = installed.rule
-                        n_fired += 1
-                        fired_local[rule.name] = (
-                            fired_local.get(rule.name, 0) + 1
-                        )
-                        trigger = batch.event_at(index)
-                        rhs_site = installed.rhs_site
-                        if program is not None:
-                            if rhs_site is None or rhs_site == site:
-                                self._execute_compiled_rhs(
-                                    program, slots, trigger
-                                )
+                        # Attribute this event's RHS writes to the shard
+                        # that dispatched it (barrier-pinned events go to
+                        # shard 0, matching events_by_shard).
+                        store.dispatch_shard = shard_of_event[index]
+                        for installed, slots, bindings, cond in hits:
+                            program = installed.program
+                            if cond is None and verdicts is not None:
+                                cond = verdicts.get((index, installed.serial))
+                            if cond is False:
+                                continue
+                            if cond is None:
+                                if program is not None:
+                                    lhs = program.lhs
+                                    if lhs is not None:
+                                        cstore = (
+                                            store
+                                            if san is None
+                                            else san.reader(
+                                                site,
+                                                installed.rule.name,
+                                                store,
+                                                self.sim.now,
+                                            )
+                                        )
+                                        try:
+                                            if not lhs(slots, cstore):
+                                                continue
+                                        except (BindingError, TypeError):
+                                            continue
+                                elif not self._lhs_condition_holds(
+                                    installed.rule, bindings
+                                ):
+                                    continue
+                            rule = installed.rule
+                            n_fired += 1
+                            fired_local[rule.name] = (
+                                fired_local.get(rule.name, 0) + 1
+                            )
+                            trigger = batch.event_at(index)
+                            rhs_site = installed.rhs_site
+                            if program is not None:
+                                if rhs_site is None or rhs_site == site:
+                                    self._execute_compiled_rhs(
+                                        program, slots, trigger
+                                    )
+                                else:
+                                    network.send(
+                                        site,
+                                        rhs_site,
+                                        FireMessage(
+                                            rule, (), trigger,
+                                            program=program,
+                                            slots=tuple(slots),
+                                        ),
+                                    )
+                            elif rhs_site is None or rhs_site == site:
+                                self._execute_rhs(rule, bindings, trigger)
                             else:
                                 network.send(
                                     site,
                                     rhs_site,
                                     FireMessage(
-                                        rule, (), trigger,
-                                        program=program, slots=tuple(slots),
+                                        rule, tuple(bindings.items()), trigger
                                     ),
                                 )
-                        elif rhs_site is None or rhs_site == site:
-                            self._execute_rhs(rule, bindings, trigger)
-                        else:
-                            network.send(
-                                site,
-                                rhs_site,
-                                FireMessage(
-                                    rule, tuple(bindings.items()), trigger
-                                ),
-                            )
+                finally:
+                    store.dispatch_shard = None
                 return
             # Unsharded fused loop.  The candidate cache is two-level
             # (kind, then family) with the kind level memoized across
             # consecutive events: hashing an Enum member is a Python-level
             # call, and batches are almost always single-kind, so the hot
             # lookup pays only one C-level string hash per event.
+            san = self._sanitizer
             index_ = self._index
             cache = self._batch_cache
             if self._batch_cache_rules != len(index_):
@@ -631,8 +733,16 @@ class CMShell:
                             continue
                         lhs = program.lhs
                         if lhs is not None:
+                            cstore = (
+                                store
+                                if san is None
+                                else san.reader(
+                                    site, installed.rule.name, store,
+                                    self.sim.now,
+                                )
+                            )
                             try:
-                                if not lhs(slots, store):
+                                if not lhs(slots, cstore):
                                     continue
                             except (BindingError, TypeError):
                                 continue
@@ -717,6 +827,59 @@ class CMShell:
             stats["barrier_events"] = 0
         return stats
 
+    def _hoist_conditions(self, matches, count: int):
+        """Phase A.5: pre-evaluate hoistable conditions for a whole batch.
+
+        Certified safe by the parallel plan: a *hoistable* rule's condition
+        reads nothing any local rule (transitively) writes, so evaluating
+        it before the batch's RHS commits cannot change its verdict.  Only
+        condition *evaluation* moves; RHS commits still run serially in
+        batch order, so the trace is unchanged.  Returns
+        ``{(event index, rule serial): verdict}`` for the hoisted hits, or
+        ``None`` when the plan offers nothing to hoist.
+        """
+        plan = self.parallel_plan()
+        if plan is None or not plan.hoistable:
+            return None
+        hoistable = plan.hoistable
+        san = self._sanitizer
+        store = self.store
+        site = self.site
+        verdicts: dict = {}
+        hoisted = 0
+        for index in range(count):
+            hits = matches[index]
+            if not hits:
+                continue
+            for installed, slots, bindings, cond in hits:
+                if cond is not None:
+                    continue  # already decided on a worker
+                rule = installed.rule
+                if rule.name not in hoistable:
+                    continue
+                program = installed.program
+                if program is not None:
+                    lhs = program.lhs
+                    if lhs is None:
+                        ok = True
+                    else:
+                        cstore = (
+                            store
+                            if san is None
+                            else san.reader(site, rule.name, store, self.sim.now)
+                        )
+                        try:
+                            ok = bool(lhs(slots, cstore))
+                        except (BindingError, TypeError):
+                            ok = False
+                else:
+                    ok = self._lhs_condition_holds(rule, bindings)
+                verdicts[(index, installed.serial)] = ok
+                hoisted += 1
+        if hoisted:
+            self._m_hoisted.value += hoisted
+        return verdicts
+
     def _process_event(self, event: Event) -> None:
         self._m_events.value += 1
         obs = self.obs
@@ -751,6 +914,7 @@ class CMShell:
         desc = event.desc
         site = self.site
         store = self.store
+        san = self._sanitizer
         m_candidates = self._m_candidates
         for installed in self._index.candidates(desc):
             m_candidates.value += 1
@@ -763,8 +927,15 @@ class CMShell:
                     continue
                 lhs = program.lhs
                 if lhs is not None:
+                    cstore = (
+                        store
+                        if san is None
+                        else san.reader(
+                            site, installed.rule.name, store, self.sim.now
+                        )
+                    )
                     try:
-                        if not lhs(slots, store):
+                        if not lhs(slots, cstore):
                             continue
                     except (BindingError, TypeError):
                         # Unbindable condition (e.g. arithmetic over a cache
@@ -839,6 +1010,7 @@ class CMShell:
         desc = event.desc
         site = self.site
         store = self.store
+        san = self._sanitizer
         for installed in self._index.candidates(desc):
             self._m_candidates.value += 1
             rule = installed.rule
@@ -851,8 +1023,13 @@ class CMShell:
                     continue
                 lhs = program.lhs
                 if lhs is not None:
+                    cstore = (
+                        store
+                        if san is None
+                        else san.reader(site, rule.name, store, self.sim.now)
+                    )
                     try:
-                        if not lhs(slots, store):
+                        if not lhs(slots, cstore):
                             misses.value += 1
                             continue
                     except (BindingError, TypeError):
@@ -899,10 +1076,16 @@ class CMShell:
             exec_hist.observe(perf_counter_ns() - began)
 
     def _lhs_condition_holds(self, rule: Rule, bindings: Bindings) -> bool:
+        san = self._sanitizer
+        store = (
+            self.store
+            if san is None
+            else san.reader(self.site, rule.name, self.store, self.sim.now)
+        )
         try:
             for var, expr in rule.binders:
-                bindings[var] = evaluate_value(expr, bindings, self.store)
-            return evaluate(rule.condition, bindings, self.store)
+                bindings[var] = evaluate_value(expr, bindings, store)
+            return evaluate(rule.condition, bindings, store)
         except (BindingError, TypeError):
             # An unbindable condition (e.g. arithmetic over a cache that is
             # still MISSING) means the rule is simply not applicable yet.
@@ -912,6 +1095,11 @@ class CMShell:
 
     def _on_message(self, message: Message) -> None:
         payload = message.payload
+        san = self._sanitizer
+        if san is not None and isinstance(payload, (FireMessage, WireFiring)):
+            # Merge the sender's vector clock before any RHS runs here —
+            # the FIFO channel makes receive order a happens-before witness.
+            san.on_receive(self.site, message.src)
         if isinstance(payload, FireMessage):
             obs = self.obs
             span = None
@@ -986,6 +1174,12 @@ class CMShell:
             )
 
     def _execute_rhs(self, rule: Rule, bindings: Bindings, trigger: Event) -> None:
+        san = self._sanitizer
+        store = (
+            self.store
+            if san is None
+            else san.reader(self.site, rule.name, self.store, self.sim.now)
+        )
         for step in rule.steps:
             if step.template.kind is EventKind.FALSE:
                 continue  # prohibitions are promises, not actions
@@ -993,7 +1187,7 @@ class CMShell:
             step_bindings["now"] = self.sim.now + self.clock_skew
             try:
                 applicable = evaluate(
-                    step.condition, step_bindings, self.store
+                    step.condition, step_bindings, store
                 )
             except (BindingError, TypeError):
                 applicable = False  # unevaluable condition = not applicable
@@ -1013,7 +1207,12 @@ class CMShell:
         """
         rule = program.rule
         slots[program.now_slot] = self.sim.now + self.clock_skew
-        store = self.store
+        san = self._sanitizer
+        store = (
+            self.store
+            if san is None
+            else san.reader(self.site, rule.name, self.store, self.sim.now)
+        )
         for step in program.steps:
             condition = step.condition
             if condition is not None:
@@ -1025,6 +1224,8 @@ class CMShell:
             kind = step.kind
             if kind is EventKind.WRITE_REQUEST:
                 ref = step.make_ref(slots)
+                if san is not None:
+                    san.on_write(self.site, rule.name, ref, self.sim.now)
                 self.translator_for(ref.name).request_write(
                     ref, step.make_value(slots), rule=rule, trigger=trigger
                 )
@@ -1032,9 +1233,15 @@ class CMShell:
                 if step.enumerating:
                     translator = self.translator_for(step.family)
                     for ref in translator.enumerate_refs(step.family):
+                        if san is not None:
+                            san.on_read(
+                                self.site, rule.name, ref, self.sim.now
+                            )
                         translator.request_read(ref, rule=rule, trigger=trigger)
                 else:
                     ref = step.make_ref(slots)
+                    if san is not None:
+                        san.on_read(self.site, rule.name, ref, self.sim.now)
                     self.translator_for(ref.name).request_read(
                         ref, rule=rule, trigger=trigger
                     )
@@ -1045,6 +1252,8 @@ class CMShell:
                         f"rule {rule.name!r} writes {ref.name!r} directly; "
                         f"database items need a WR (write request) event"
                     )
+                if san is not None:
+                    san.on_write(self.site, rule.name, ref, self.sim.now)
                 event = self.store.write(
                     ref, step.make_value(slots), self.sim.now,
                     rule=rule, trigger=trigger,
@@ -1063,9 +1272,12 @@ class CMShell:
 
     def _emit(self, template, bindings: Bindings, rule: Rule, trigger: Event) -> None:
         kind = template.kind
+        san = self._sanitizer
         if kind is EventKind.WRITE_REQUEST:
             ref = ground_item(template.item, bindings)
             value = _ground_value(template, bindings, index=0)
+            if san is not None:
+                san.on_write(self.site, rule.name, ref, self.sim.now)
             self.translator_for(ref.name).request_write(
                 ref, value, rule=rule, trigger=trigger
             )
@@ -1075,9 +1287,13 @@ class CMShell:
             if unbound:
                 translator = self.translator_for(template.item.name)
                 for ref in translator.enumerate_refs(template.item.name):
+                    if san is not None:
+                        san.on_read(self.site, rule.name, ref, self.sim.now)
                     translator.request_read(ref, rule=rule, trigger=trigger)
                 return
             ref = ground_item(template.item, bindings)
+            if san is not None:
+                san.on_read(self.site, rule.name, ref, self.sim.now)
             self.translator_for(ref.name).request_read(
                 ref, rule=rule, trigger=trigger
             )
@@ -1090,6 +1306,8 @@ class CMShell:
                     f"database items need a WR (write request) event"
                 )
             value = _ground_value(template, bindings, index=0)
+            if san is not None:
+                san.on_write(self.site, rule.name, ref, self.sim.now)
             event = self.store.write(
                 ref, value, self.sim.now, rule=rule, trigger=trigger
             )

@@ -45,6 +45,15 @@ class ShellStore:
         self._family_shard: dict[str, int] = {}
         self.writes = 0
         self.writes_by_shard = [0] * self.shards
+        #: Attribution override for the sharded dispatch path: the shell's
+        #: phase B sets this to the shard that *dispatched* the event whose
+        #: RHS is writing, so ``writes_by_shard`` agrees with the
+        #: dispatcher's ``events_by_shard`` — barrier-pinned events (item
+        #: less, or a kind with family-wildcard candidates) attribute their
+        #: writes to barrier shard 0, not the written family's home shard.
+        #: ``None`` (the default, and the whole unsharded path) attributes
+        #: by home shard.  Data *placement* always stays by family hash.
+        self.dispatch_shard: Optional[int] = None
         self._items_view: Optional[Mapping[DataItemRef, Value]] = None
 
     def _shard_index(self, family: str) -> int:
@@ -72,7 +81,8 @@ class ShellStore:
         index = 0 if self._single is not None else self._shard_index(ref.name)
         self._shards[index][ref] = value
         self.writes += 1
-        self.writes_by_shard[index] += 1
+        attributed = self.dispatch_shard
+        self.writes_by_shard[attributed if attributed is not None else index] += 1
         self._items_view = None
         return self.trace.record(
             time, self.site, write_desc(ref, value), rule=rule, trigger=trigger

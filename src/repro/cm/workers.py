@@ -15,10 +15,21 @@ Protocol (one duplex pipe per worker, ``spawn`` start method so workers
 never inherit parent state):
 
 - parent → worker: ``("match", batch_id, [(index, compact_desc), ...])``
-- worker → parent: ``(batch_id, [(index, serial, slots, bindings), ...],
-  considered)`` — ``serial`` identifies the rule in the *parent's* index;
-  slot/binding values ride raw when scalar, codec-tagged otherwise.
+- worker → parent: ``(batch_id, [(index, serial, slots, bindings, cond),
+  ...], considered)`` — ``serial`` identifies the rule in the *parent's*
+  index; slot/binding values ride raw when scalar, codec-tagged otherwise.
 - parent → worker: ``("stop",)`` ends the worker.
+
+``cond`` carries plan-certified condition verdicts: when the pool was
+started with a ``store_free`` serial set (rules whose compiled LHS
+condition provably reads no local data — see
+:mod:`repro.analysis.parplan`), workers evaluate those conditions right
+after matching, *on the worker core*.  A failing hit is dropped at the
+worker (exactly what the parent's serial loop would have done) and a
+passing one ships ``cond=True`` so the parent commits without
+re-evaluating; every other hit ships ``cond=None``.  This is where a
+certified phase's condition evaluation actually leaves the parent
+process.
 
 The worker rebuilds the same ``(kind, family)``-bucketed candidate index
 the parent uses (installation order preserved via the shipped serials), so
@@ -32,7 +43,8 @@ import os
 from typing import Any, Optional, Sequence
 
 from repro.core.compile import compile_rule
-from repro.core.errors import CompileError, ConfigurationError
+from repro.core.conditions import NO_LOCAL_DATA
+from repro.core.errors import BindingError, CompileError, ConfigurationError
 from repro.core.rules import Rule
 from repro.core.templates import compile_matcher
 from repro.runtime.codec import (
@@ -52,7 +64,11 @@ def _decode_cell(value: Any) -> Any:
     return value if isinstance(value, _SCALARS) else decode_value(value)
 
 
-def _worker_main(conn, rule_blob: list[tuple[int, Rule]]) -> None:
+def _worker_main(
+    conn,
+    rule_blob: list[tuple[int, Rule]],
+    store_free: frozenset = frozenset(),
+) -> None:
     """Worker process body: compile the rule set, then match slices."""
     # Mirror of RuleIndex bucketing, keyed by the parent's serials so hit
     # order inside a bucket matches the parent's installation order.
@@ -107,15 +123,33 @@ def _worker_main(conn, rule_blob: list[tuple[int, Rule]]) -> None:
             for serial, program, matcher in bucket:
                 if program is not None:
                     slots = program.match(desc)
-                    if slots is not None:
-                        hits.append(
-                            (
-                                index,
-                                serial,
-                                [_encode_cell(v) for v in slots],
-                                None,
-                            )
+                    if slots is None:
+                        continue
+                    cond = None
+                    if serial in store_free:
+                        # Plan-certified store-free condition: evaluate it
+                        # here, on the worker core.  NO_LOCAL_DATA is safe
+                        # exactly because the plan proved the condition
+                        # performs no local reads.
+                        lhs = program.lhs
+                        if lhs is None:
+                            cond = True
+                        else:
+                            try:
+                                cond = bool(lhs(slots, NO_LOCAL_DATA))
+                            except (BindingError, TypeError):
+                                cond = False
+                        if not cond:
+                            continue  # same drop the parent would make
+                    hits.append(
+                        (
+                            index,
+                            serial,
+                            [_encode_cell(v) for v in slots],
+                            None,
+                            cond,
                         )
+                    )
                 else:
                     bindings = matcher(desc)
                     if bindings is not None:
@@ -128,6 +162,7 @@ def _worker_main(conn, rule_blob: list[tuple[int, Rule]]) -> None:
                                     (name, _encode_cell(v))
                                     for name, v in bindings.items()
                                 ],
+                                None,
                             )
                         )
         try:
@@ -145,9 +180,15 @@ class ShardWorkerPool:
     multi-core overlap comes from.
     """
 
-    def __init__(self, rules: Sequence[tuple[int, Rule]], workers: int) -> None:
+    def __init__(
+        self,
+        rules: Sequence[tuple[int, Rule]],
+        workers: int,
+        store_free: frozenset = frozenset(),
+    ) -> None:
         self.workers = max(1, int(workers))
         self.rule_count = len(rules)
+        self.store_free = frozenset(store_free)
         ctx = mp.get_context("spawn")
         self._procs: list = []
         self._conns: list = []
@@ -160,7 +201,7 @@ class ShardWorkerPool:
                 parent_conn, child_conn = ctx.Pipe(duplex=True)
                 proc = ctx.Process(
                     target=_worker_main,
-                    args=(child_conn, blob),
+                    args=(child_conn, blob, self.store_free),
                     daemon=True,
                 )
                 proc.start()
@@ -180,13 +221,14 @@ class ShardWorkerPool:
 
     def match_slices(
         self, slices: dict[int, list[tuple[int, tuple]]]
-    ) -> tuple[list[tuple[int, int, Optional[list], Optional[list]]], int]:
+    ) -> tuple[list[tuple], int]:
         """Ship per-worker descriptor slices; gather all hits.
 
         ``slices`` maps worker id -> ``[(batch index, compact desc), ...]``.
         Returns ``(hits, considered)`` with hits as
-        ``(index, serial, slots, bindings)`` tuples (codec cells still
-        encoded — the dispatcher decodes while reassembling).
+        ``(index, serial, slots, bindings, cond)`` tuples (codec cells
+        still encoded — the dispatcher decodes while reassembling;
+        ``cond`` is the worker-evaluated verdict for store-free rules).
         """
         self._batch_id += 1
         batch_id = self._batch_id
@@ -232,6 +274,7 @@ class ShardWorkerPool:
             "pids": self.pids,
             "batches_by_worker": list(self.batches_by_worker),
             "events_by_worker": list(self.events_by_worker),
+            "store_free_rules": len(self.store_free),
         }
 
     def close(self) -> None:

@@ -66,6 +66,8 @@ def build_salary_scenario(
     dispatch_shards: int = 1,
     shard_threads: bool = False,
     shard_workers: int = 0,
+    parallel_phases: bool = False,
+    sanitize: bool = False,
 ) -> SalaryScenario:
     """Build and install the salary copy-constraint scenario.
 
@@ -86,6 +88,8 @@ def build_salary_scenario(
         dispatch_shards=dispatch_shards,
         shard_threads=shard_threads,
         shard_workers=shard_workers,
+        parallel_phases=parallel_phases,
+        sanitize=sanitize,
     )
     cm = ConstraintManager(scenario)
     cm.add_site("sf")
@@ -165,6 +169,8 @@ def build_salary_scenario(
                 "dispatch_shards": dispatch_shards,
                 "shard_threads": shard_threads,
                 "shard_workers": shard_workers,
+                "parallel_phases": parallel_phases,
+                "sanitize": sanitize,
             },
         )
     return SalaryScenario(

@@ -50,6 +50,11 @@ class RunReport:
     #: histogram, per-shard event counters); empty for sites that never
     #: ran the batched path.
     batching: dict = field(default_factory=dict)
+    #: Certified-parallel-phase facts: per-site plan digests (phases,
+    #: certified pairs, barrier reasons, hoisted-condition counts) plus
+    #: the race sanitizer's verdict when one was attached; empty when
+    #: neither ``parallel_phases`` nor ``sanitize`` was on.
+    parallelism: dict = field(default_factory=dict)
     #: Shell-process supervision facts (pid, liveness, exit code,
     #: restarts per site plus worker-pool utilization); ``{"enabled":
     #: False}`` on the in-process runtimes.
@@ -72,6 +77,7 @@ class RunReport:
             "rule_profile": self.rule_profile,
             "flight": self.flight,
             "batching": self.batching,
+            "parallelism": self.parallelism,
             "processes": self.processes,
         }
 
@@ -145,6 +151,24 @@ class RunReport:
                 f"in {entry.get('batches_processed', 0)} batches "
                 f"(p99 size {(entry.get('batch_size') or {}).get('p99') or 0:g})"
                 f"{suffix}"
+            )
+        parallelism = self.parallelism
+        for site, entry in parallelism.get("sites", {}).items():
+            plan = entry.get("plan") or {}
+            lines.append(
+                f"  parallelism {site}: {len(plan.get('phases', []))} "
+                f"phases, {plan.get('certified_pairs', 0)} certified "
+                f"pairs, {entry.get('hoisted_conditions', 0)} hoisted "
+                f"conditions"
+            )
+        sanitizer = parallelism.get("sanitizer", {})
+        if sanitizer.get("enabled"):
+            verdict = "ok" if sanitizer.get("ok") else "RACES FLAGGED"
+            lines.append(
+                f"  sanitizer: {verdict} "
+                f"({sanitizer.get('race_count', 0)} races, "
+                f"{sanitizer.get('predicted_conflicts', 0)} conflicts "
+                f"serialized by the plan)"
             )
         processes = self.processes
         if processes.get("enabled"):
@@ -371,6 +395,24 @@ def build_run_report(cm: Any) -> RunReport:
         entry = shell.batching_stats()
         if entry:
             report.batching[site] = entry
+
+    # -- certified parallel phases & the race sanitizer ------------------------
+    parallel_sites = {}
+    for site, shell in cm.shells.items():
+        stats = shell.parallelism_stats()
+        if stats:
+            parallel_sites[site] = stats
+    sanitizer = getattr(scenario, "sanitizer", None)
+    if parallel_sites or sanitizer is not None:
+        report.parallelism = {
+            "enabled": bool(parallel_sites),
+            "sites": parallel_sites,
+            "sanitizer": (
+                sanitizer.report()
+                if sanitizer is not None
+                else {"enabled": False}
+            ),
+        }
 
     # -- shell processes (only the proc runtime has any) -----------------------
     process_report = getattr(scenario.runtime_impl, "process_report", None)

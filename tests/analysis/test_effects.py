@@ -1,0 +1,166 @@
+"""Unit tests for the static effect-summary extraction.
+
+The summaries are the foundation the parallel-phase certification stands
+on, so the tests here pin the soundness-critical behaviors: ground vs ANY
+arguments, enumerating-read extents, wildcard overlap, compiled-program
+corroboration, and the conflict predicate the planner consults.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.effects import (
+    ANY,
+    FootTerm,
+    effect_summary,
+    pattern_term,
+)
+from repro.core.compile import compile_rule
+from repro.core.dsl import parse_rule
+from repro.core.terms import FAMILY_WILDCARD
+
+
+class TestFootTermOverlap:
+    def test_distinct_ground_families_disjoint(self):
+        assert not FootTerm("a", ("k",)).overlaps(FootTerm("b", ("k",)))
+
+    def test_same_family_distinct_ground_args_disjoint(self):
+        assert not FootTerm("a", ("k1",)).overlaps(FootTerm("a", ("k2",)))
+
+    def test_any_argument_overlaps_everything(self):
+        assert FootTerm("a", (ANY,)).overlaps(FootTerm("a", ("k",)))
+        assert FootTerm("a", ("k",)).overlaps(FootTerm("a", (ANY,)))
+
+    def test_unknown_shape_overlaps_same_family(self):
+        assert FootTerm("a", None).overlaps(FootTerm("a", ("k",)))
+        assert not FootTerm("a", None).overlaps(FootTerm("b", ("k",)))
+
+    def test_extent_overlaps_any_args_of_the_family(self):
+        whole = FootTerm("a", (ANY,), extent=True)
+        assert whole.overlaps(FootTerm("a", ("k",)))
+        assert not whole.overlaps(FootTerm("b", ("k",)))
+
+    def test_family_wildcard_overlaps_every_family(self):
+        star = FootTerm(FAMILY_WILDCARD, (ANY,))
+        assert star.overlaps(FootTerm("anything", ("k",)))
+        assert FootTerm("anything", ("k",)).overlaps(star)
+
+    def test_distinct_arity_same_family_disjoint(self):
+        # DataItemRef equality includes the argument tuple, so a(k) and
+        # a() are distinct items by construction.
+        assert not FootTerm("a", ("k",)).overlaps(FootTerm("a", ()))
+
+    def test_str_rendering(self):
+        assert str(FootTerm("a", ("k", ANY))) == "a('k', *)"
+        assert str(FootTerm("a", (ANY,), extent=True)) == "a(**)"
+        assert str(FootTerm("a", None)) == "a(?)"
+        assert str(FootTerm("A", ())) == "A"
+
+
+class TestEffectSummary:
+    def _summary(self, text, name="r", compiled=True):
+        rule = parse_rule(text, name=name)
+        program = compile_rule(rule) if compiled else None
+        return effect_summary(rule, program=program)
+
+    def test_keyed_write_footprint_keeps_variable_as_any(self):
+        summary = self._summary("N(alpha(n), b) -> [0] W(Out(n), b)")
+        assert summary.writes == (FootTerm("Out", (ANY,)),)
+        assert not summary.fallback
+
+    def test_ground_write_argument_is_kept(self):
+        summary = self._summary("N(alpha(n), b) -> [0] WR(beta('e9'), b)")
+        assert summary.writes == (FootTerm("beta", ("e9",)),)
+
+    def test_condition_reads_are_cond_reads_and_reads(self):
+        summary = self._summary("N(alpha(n), b) & (b > X) -> [0] W(Out, b)")
+        assert FootTerm("X", ()) in summary.cond_reads
+        assert FootTerm("X", ()) in summary.reads
+
+    def test_step_condition_reads_are_not_cond_reads(self):
+        # A step condition evaluates at RHS time, after the batch commits,
+        # so it must not gate hoisting.
+        summary = self._summary(
+            "N(alpha(n), b) -> [0] (b > Limit) ? W(Out, b)"
+        )
+        assert FootTerm("Limit", ()) in summary.reads
+        assert FootTerm("Limit", ()) not in summary.cond_reads
+
+    def test_grounded_read_request_is_not_an_extent(self):
+        summary = self._summary("N(alpha(n), b) -> [0] RR(beta(n))")
+        (term,) = [t for t in summary.reads if t.family == "beta"]
+        assert not term.extent
+
+    def test_enumerating_read_request_is_a_whole_family_extent(self):
+        # m is not bound by the LHS: the RR enumerates every beta instance.
+        summary = self._summary("P(60) -> [0] RR(beta(m))")
+        (term,) = [t for t in summary.reads if t.family == "beta"]
+        assert term.extent
+
+    def test_prohibition_reports_failure_and_writes_nothing(self):
+        summary = self._summary("N(alpha(n), b) -> [0] FALSE")
+        assert summary.reports_failure
+        assert summary.writes == ()
+
+    def test_uncompiled_rule_is_flagged_fallback(self):
+        summary = self._summary(
+            "N(alpha(n), b) -> [0] W(Out, b)", compiled=False
+        )
+        assert summary.fallback
+
+    def test_sends_flag_is_callers_responsibility(self):
+        rule = parse_rule("N(alpha(n), b) -> [0] W(Out, b)", name="r")
+        assert effect_summary(rule, sends=True).sends
+        assert not effect_summary(rule).sends
+
+
+class TestConflicts:
+    def _pair(self, a, b):
+        ra = parse_rule(a, name="ra")
+        rb = parse_rule(b, name="rb")
+        return (
+            effect_summary(ra, program=compile_rule(ra)),
+            effect_summary(rb, program=compile_rule(rb)),
+        )
+
+    def test_disjoint_keyed_writes_commute(self):
+        sa, sb = self._pair(
+            "N(alpha(n), b) -> [0] W(OutA(n), b)",
+            "N(beta(n), b) -> [0] W(OutB(n), b)",
+        )
+        assert sa.conflicts(sb) is None
+        assert sb.conflicts(sa) is None
+
+    def test_same_item_blind_writes_conflict(self):
+        # Last-writer-wins order is observable in the trace, so two
+        # overwrites of the same item never commute.
+        sa, sb = self._pair(
+            "N(alpha(n), b) -> [0] W(Total, b)",
+            "N(beta(n), b) -> [0] W(Total, b)",
+        )
+        kind, mine, theirs = sa.conflicts(sb)
+        assert kind == "ww"
+        assert mine.family == theirs.family == "Total"
+
+    def test_read_vs_write_conflict(self):
+        sa, sb = self._pair(
+            "N(alpha(n), b) & (b > Total) -> [0] W(OutA(n), b)",
+            "N(beta(n), b) -> [0] W(Total, b)",
+        )
+        kind, __, __t = sa.conflicts(sb)
+        assert kind == "rw"
+
+    def test_enumerating_read_conflicts_with_any_family_write(self):
+        sa, sb = self._pair(
+            "P(60) -> [0] RR(beta(m))",
+            "N(alpha(n), b) -> [0] WR(beta(n), b)",
+        )
+        kind, mine, theirs = sb.conflicts(sa)
+        assert kind == "wr"
+        assert theirs.extent
+
+
+class TestPatternTerm:
+    def test_ground_args_kept_variables_erased(self):
+        rule = parse_rule("N(alpha(n), b) -> [0] W(Out(n), b)", name="r")
+        term = pattern_term(rule.steps[0].template.item)
+        assert term == FootTerm("Out", (ANY,))

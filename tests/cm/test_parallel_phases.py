@@ -1,0 +1,275 @@
+"""Plan-driven dispatch vs. the serial kernel, and the certification's
+negative space.
+
+The certified parallel plan licenses *evaluation* reordering only; these
+tests hold the plan-driven batch path to byte-identical traces across
+randomized workloads (seeds 0–4), check that adversarial non-commuting
+rule sets are never certified, and pin the sharded write-attribution fix
+(RHS writes follow the dispatching shard, not the written family's home
+shard).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cm import ConstraintManager, Scenario
+from repro.core.dsl import parse_rule
+from repro.core.events import notify_desc, reset_event_sequence
+from repro.core.items import item
+from repro.core.timebase import seconds
+
+SEEDS = [0, 1, 2, 3, 4]
+FAMILIES = 6
+N_EVENTS = 150
+
+#: A mixed rule set: keyed commuting writers, a store-free condition, a
+#: hoistable condition over an unwritten item, and one genuinely
+#: conflicting blind-writer pair — so every planner facility (phases,
+#: store_free, hoistable, conflicts) is live in the same run.
+RULES = [
+    ("N(fam0(n), b) -> [0] W(Out0(n), b)", "copy0"),
+    ("N(fam1(n), b) -> [0] W(Out1(n), b)", "copy1"),
+    ("N(fam2(n), b) & (b > 40) -> [0] W(Hot(n), b)", "hot"),
+    ("N(fam3(n), b) & (b > Threshold) -> [0] W(Seen(n), b)", "watch"),
+    ("N(fam4(n), b) -> [0] W(Total, b)", "acc_a"),
+    ("N(fam5(n), b) -> [0] W(Total, b)", "acc_b"),
+]
+
+
+def build_shell(parallel: bool, sanitize: bool = False, shards: int = 4):
+    reset_event_sequence()
+    cm = ConstraintManager(
+        Scenario(
+            seed=0,
+            dispatch_shards=shards,
+            parallel_phases=parallel,
+            sanitize=sanitize,
+        )
+    )
+    cm.add_site("s")
+    shell = cm.shell("s")
+    for text, name in RULES:
+        shell.install(parse_rule(text, name=name))
+    return cm, shell
+
+
+def random_descs(seed: int):
+    rng = random.Random(seed)
+    return [
+        notify_desc(
+            item(f"fam{rng.randrange(FAMILIES)}", f"k{rng.randrange(5)}"),
+            float(rng.randrange(100)),
+        )
+        for _ in range(N_EVENTS)
+    ]
+
+
+def signature(trace):
+    base = trace.events[0].seq
+    return [
+        (
+            event.time,
+            event.site,
+            str(event.desc),
+            event.rule.name if event.rule is not None else None,
+            event.trigger.seq - base if event.trigger is not None else None,
+            event.seq - base,
+        )
+        for event in trace.events
+    ]
+
+
+def run_batches(cm, shell, descs, batch: int = 16):
+    trace = cm.scenario.trace
+    for start in range(0, len(descs), batch):
+        chunk = descs[start : start + batch]
+        events = [trace.record(0, "s", desc) for desc in chunk]
+        shell.deliver_local_events(events)
+    return signature(trace)
+
+
+class TestRandomizedSoundness:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_plan_driven_trace_is_byte_identical(self, seed):
+        descs = random_descs(seed)
+        cm_serial, shell_serial = build_shell(parallel=False)
+        expected = run_batches(cm_serial, shell_serial, descs)
+        serial_stats = cm_serial.stats()["total"]
+
+        cm_par, shell_par = build_shell(parallel=True, sanitize=True)
+        got = run_batches(cm_par, shell_par, descs)
+        assert got == expected
+        stats = cm_par.stats()["total"]
+        assert stats["rules_fired"] == serial_stats["rules_fired"]
+        assert cm_par.scenario.sanitizer.ok
+
+    def test_the_plan_is_non_trivial_and_conditions_hoist(self):
+        cm, shell = build_shell(parallel=True)
+        plan = shell.parallel_plan()
+        open_phases = [p for p in plan.phases if not p.barrier]
+        assert len(plan.phases) >= 2, "the acc_a/acc_b conflict splits"
+        assert any(len(p.rules) > 1 for p in open_phases)
+        assert plan.certified_pairs > 0
+        assert "hot" in plan.store_free
+        assert "watch" in plan.hoistable and "watch" not in plan.store_free
+        run_batches(cm, shell, random_descs(0))
+        assert shell.parallelism_stats()["hoisted_conditions"] > 0
+
+
+class TestAdversarialNeverCertified:
+    """One rule pair per non-commuting shape: whatever else the planner
+    does, ``independent()`` must stay False for these."""
+
+    def _plan(self, rules, rhs_sites=()):
+        reset_event_sequence()
+        cm = ConstraintManager(Scenario(seed=0, dispatch_shards=4))
+        cm.add_site("s")
+        cm.add_site("peer")
+        shell = cm.shell("s")
+        sites = dict(rhs_sites)
+        for text, name in rules:
+            shell.install(parse_rule(text, name=name), sites.get(name))
+        return shell.parallel_plan()
+
+    def test_write_write_on_the_same_item(self):
+        plan = self._plan([
+            ("N(a(n), b) -> [0] W(Total, b)", "ra"),
+            ("N(b(n), b) -> [0] W(Total, b)", "rb"),
+        ])
+        assert not plan.independent("ra", "rb")
+
+    def test_read_vs_write(self):
+        plan = self._plan([
+            ("N(a(n), b) & (b > Total) -> [0] W(Out(n), b)", "ra"),
+            ("N(b(n), b) -> [0] W(Total, b)", "rb"),
+        ])
+        assert not plan.independent("ra", "rb")
+
+    def test_enumerating_read_vs_family_write(self):
+        plan = self._plan([
+            ("N(a(n), b) -> [0] RR(pos(x))", "scan"),
+            ("N(b(n), b) -> [0] W(pos(n), b)", "record"),
+        ])
+        assert not plan.independent("scan", "record")
+
+    def test_cross_site_sender_is_never_certified(self):
+        plan = self._plan(
+            [
+                ("N(a(n), b) -> [0] W(Far(n), b)", "push"),
+                ("N(b(n), b) -> [0] W(Out(n), b)", "local"),
+            ],
+            rhs_sites={"push": "peer"},
+        )
+        assert plan.barrier_reasons["push"]
+        assert not plan.independent("push", "local")
+
+    def test_chained_write_collision_is_never_certified(self):
+        # ra only writes Mid, but Mid triggers the chain rule which
+        # writes Total — colliding with rb's direct write.
+        plan = self._plan([
+            ("N(a(n), b) -> [0] W(Mid, b)", "ra"),
+            ("W(Mid, b) -> [0] W(Total, b)", "chain"),
+            ("N(b(n), b) -> [0] W(Total, b)", "rb"),
+        ])
+        assert not plan.independent("ra", "rb")
+
+    def test_overlap_must_be_proven_absent_not_just_unlikely(self):
+        # ANY-keyed writes to the same family may alias: not certifiable.
+        plan = self._plan([
+            ("N(a(n), b) -> [0] W(Out(n), b)", "ra"),
+            ("N(b(n), b) -> [0] W(Out(n), b)", "rb"),
+        ])
+        assert not plan.independent("ra", "rb")
+
+
+class TestWriteAttribution:
+    """The sharded-dispatch attribution fix: a batch event's RHS writes
+    count against the shard that *dispatched* the event."""
+
+    def _catch_all_shell(self, shards=4):
+        from repro.core.events import EventKind
+        from repro.core.rules import RhsStep, Rule
+        from repro.core.templates import FALSE_TEMPLATE, Template
+        from repro.core.terms import FAMILY_WILDCARD, ItemPattern, Var
+
+        reset_event_sequence()
+        cm = ConstraintManager(Scenario(seed=0, dispatch_shards=shards))
+        cm.add_site("s")
+        shell = cm.shell("s")
+        for i in range(FAMILIES):
+            shell.install(
+                parse_rule(
+                    f"N(fam{i}(n), b) -> [0] W(Out{i}(n), b)", name=f"copy{i}"
+                )
+            )
+        # The catch-all pins every NOTIFY to barrier shard 0.
+        lhs = Template(
+            EventKind.NOTIFY,
+            ItemPattern(FAMILY_WILDCARD, (Var("n"),)),
+            (Var("b"),),
+        )
+        shell.install(
+            Rule(name="audit", lhs=lhs, delay=0, steps=(RhsStep(FALSE_TEMPLATE),))
+        )
+        return cm, shell
+
+    def test_barrier_dispatched_writes_attribute_to_shard_zero(self):
+        cm, shell = self._catch_all_shell()
+        descs = random_descs(0)
+        run_batches(cm, shell, descs)
+        store = shell.store
+        dispatcher = shell._sharded
+        # Every event was barrier-pinned by the catch-all, so dispatch
+        # processed them all on shard 0 — and the RHS writes must agree,
+        # not scatter across the written families' home shards.
+        assert dispatcher.events_by_shard[0] == sum(dispatcher.events_by_shard)
+        assert store.writes_by_shard[0] == store.writes
+        assert sum(store.writes_by_shard) == store.writes
+
+    def test_keyed_dispatch_attributes_to_the_dispatching_shard(self):
+        cm, shell = build_shell(parallel=False)
+        run_batches(cm, shell, random_descs(1))
+        store = shell.store
+        assert sum(store.writes_by_shard) == store.writes
+        assert store.writes > 0
+
+    def test_attribution_override_resets_after_the_batch(self):
+        cm, shell = build_shell(parallel=False)
+        run_batches(cm, shell, random_descs(2))
+        assert shell.store.dispatch_shard is None
+        # A direct write outside any batch attributes by home shard.
+        before = list(shell.store.writes_by_shard)
+        ref = item("Out0", "kx")
+        shell.store.write(ref, 1.0, 0)
+        index = shell.store._shard_index("Out0")
+        assert shell.store.writes_by_shard[index] == before[index] + 1
+
+
+class TestManagerIntegration:
+    def test_salary_run_with_plan_and_sanitizer_matches_serial(self):
+        from repro.experiments.common import build_salary_scenario
+
+        def verdicts(**kwargs):
+            salary = build_salary_scenario("propagation", seed=3, **kwargs)
+            salary.cm.spontaneous_write("salary1", ("e1",), 50_000.0)
+            salary.cm.run(seconds(40))
+            reports = salary.cm.check_guarantees()
+            result = {name: r.valid for name, r in reports.items()}
+            salary.cm.stop()
+            return result, salary
+
+        serial, __ = verdicts()
+        parallel, salary = verdicts(
+            dispatch_shards=2, parallel_phases=True, sanitize=True
+        )
+        assert parallel == serial
+        assert salary.scenario.sanitizer.ok
+        # The run report must render even for sites whose shell carries a
+        # parallelism entry with no built plan (``"plan": None``).
+        report = salary.cm.run_report()
+        rendered = report.render()
+        assert "parallelism" in report.to_dict()
+        assert "sanitizer: ok" in rendered

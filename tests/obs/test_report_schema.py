@@ -28,6 +28,7 @@ TOP_LEVEL_KEYS = [
     "rule_profile",
     "flight",
     "batching",
+    "parallelism",
     "processes",
 ]
 
@@ -73,6 +74,16 @@ BATCHING_KEYS = {
     "workers", "executor", "events_by_shard", "barrier_events",
 }
 BATCH_SIZE_KEYS = {"count", "unit", "mean", "min", "max", "p50", "p99"}
+PARALLELISM_KEYS = {"enabled", "sites", "sanitizer"}
+PARALLELISM_SITE_KEYS = {"enabled", "hoisted_conditions", "plan"}
+PARALLELISM_PLAN_KEYS = {
+    "site", "phases", "certified_pairs", "barrier_reasons", "conflicts",
+    "hoistable", "store_free", "fallback_rules",
+}
+SANITIZER_KEYS = {
+    "enabled", "ok", "races", "race_count", "predicted_conflicts",
+    "reads", "writes", "receives", "sites",
+}
 
 
 def build_report():
@@ -135,6 +146,41 @@ class TestRunReportSchema:
             assert entry["workers"] == 0
             assert entry["executor"] == "serial"
             assert len(entry["events_by_shard"]) == entry["shards"]
+
+    def test_parallelism_section_empty_without_the_features(self):
+        data = build_report().to_dict()
+        assert data["parallelism"] == {}
+
+    def test_parallelism_section_schema(self):
+        salary = build_salary_scenario(
+            "propagation",
+            batch_max=32,
+            dispatch_shards=2,
+            parallel_phases=True,
+            sanitize=True,
+        )
+        cm = salary.cm
+        cm.spontaneous_write("salary1", ("e1",), 50_000.0)
+        cm.run(seconds(30))
+        data = cm.run_report().to_dict()
+        section = data["parallelism"]
+        assert set(section) == PARALLELISM_KEYS
+        assert section["enabled"] is True
+        assert section["sites"], "parallel phases were enabled"
+        for entry in section["sites"].values():
+            assert set(entry) == PARALLELISM_SITE_KEYS
+            if entry["plan"] is not None:
+                assert set(entry["plan"]) == PARALLELISM_PLAN_KEYS
+        assert any(
+            entry["plan"] is not None
+            for entry in section["sites"].values()
+        ), "at least one site has rules to plan"
+        sanitizer = section["sanitizer"]
+        assert set(sanitizer) == SANITIZER_KEYS
+        assert sanitizer["enabled"] is True
+        assert sanitizer["ok"] is True
+        assert sanitizer["races"] == []
+        cm.stop()
 
     def test_processes_section_disabled_on_in_process_runtimes(self):
         data = build_report().to_dict()
